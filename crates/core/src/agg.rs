@@ -1,0 +1,67 @@
+//! Aggregation functions `σ` (paper §1 and §4 "Other aggregates").
+//!
+//! The paper's methods are built for `σ = sum` (the time integral). `avg`
+//! follows immediately (`sum / (t2 − t1)`, identical ranking for a fixed
+//! interval), and with it "many other aggregations that can be expressed as
+//! linear combinations of the sum". Holistic aggregates (quantiles/median)
+//! are explicitly left open by the paper and are not provided.
+
+/// Which aggregate a `top-k(t1, t2, σ)` query ranks by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggKind {
+    /// `σ_i(t1,t2) = ∫_{t1}^{t2} g_i(t) dt` — the paper's primary focus.
+    #[default]
+    Sum,
+    /// `sum / (t2 − t1)`; for `t1 = t2` this degenerates to the instant
+    /// value `g_i(t)` (the instant top-k of the prior work \[15\]).
+    Avg,
+}
+
+impl AggKind {
+    /// Convert a `sum` score over `[t1, t2]` into this aggregate's score.
+    pub fn finalize(self, sum: f64, t1: f64, t2: f64) -> f64 {
+        match self {
+            AggKind::Sum => sum,
+            AggKind::Avg => {
+                let len = t2 - t1;
+                if len > 0.0 {
+                    sum / len
+                } else {
+                    sum // degenerate; instant queries are handled separately
+                }
+            }
+        }
+    }
+
+    /// Method name suffix for diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            AggKind::Sum => "sum",
+            AggKind::Avg => "avg",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finalize_sum_is_identity() {
+        assert_eq!(AggKind::Sum.finalize(42.0, 0.0, 10.0), 42.0);
+    }
+
+    #[test]
+    fn finalize_avg_divides_by_length() {
+        assert_eq!(AggKind::Avg.finalize(42.0, 0.0, 10.0), 4.2);
+        // Degenerate interval doesn't divide by zero.
+        assert_eq!(AggKind::Avg.finalize(42.0, 5.0, 5.0), 42.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(AggKind::Sum.label(), "sum");
+        assert_eq!(AggKind::Avg.label(), "avg");
+        assert_eq!(AggKind::default(), AggKind::Sum);
+    }
+}

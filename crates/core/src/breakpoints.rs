@@ -1,0 +1,742 @@
+//! Breakpoint construction (paper §3.1).
+//!
+//! Both approximate methods snap query endpoints to a set of breakpoints
+//! `B = {b_0 = 0, …, b_r = T}` chosen so that **no object accumulates more
+//! than `εM` between consecutive breakpoints** (`M = Σ_i σ_i(0,T)`), which
+//! gives Lemma 2: `|σ_i(t1,t2) − σ_i(B(t1),B(t2))| ≤ εM` for every object
+//! and every query.
+//!
+//! * [`Breakpoints::b1_with_eps`] — **BREAKPOINTS1**: sweep all segment
+//!   vertices maintaining the *global* sum value `V(t) = Σ_i g_i(t)` and
+//!   slope `W(t)`; close a gap when `Σ_i σ_i(b_j, t) = εM`. Exactly
+//!   `r = Θ(1/ε)` breakpoints; one `O((N/B) log_B N)` sorted sweep.
+//! * [`Breakpoints::b2_with_eps`] — **BREAKPOINTS2**: close a gap when
+//!   `max_i σ_i(b_j, t) = εM`. `r = O(1/ε)` but *far* smaller in practice
+//!   (paper Fig. 11(a): ε at equal r is orders of magnitude smaller). Two
+//!   constructions, selected by [`B2Construction`]:
+//!   [`B2Construction::Baseline`] re-bases every object's running integral
+//!   at every breakpoint (`O(rm + N log N)` time — the paper's baseline),
+//!   while [`B2Construction::Efficient`] re-bases lazily via per-object
+//!   epochs and eagerly only for *dangerous* objects (those that already
+//!   crossed the threshold), achieving the paper's Lemma 1
+//!   `O(N log N)` bound. Both produce identical breakpoints.
+//!
+//! Negative scores (paper §4) are handled by running both sweeps over
+//! `|g_i|`: curves are pre-split at zero crossings and mirrored, so `M`
+//! and every threshold use absolute mass.
+
+use crate::error::{CoreError, Result};
+use crate::object::TemporalSet;
+use chronorank_curve::numeric::accumulation_crossing;
+use chronorank_curve::PiecewiseLinear;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which of the paper's two breakpoint families a [`Breakpoints`] set is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakpointsKind {
+    /// BREAKPOINTS1: global-sum threshold, `r = Θ(1/ε)`.
+    B1,
+    /// BREAKPOINTS2: per-object-max threshold, `r = O(1/ε)`.
+    B2,
+}
+
+/// Which construction algorithm to use for BREAKPOINTS2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum B2Construction {
+    /// Reset all `m` running integrals at every breakpoint
+    /// (`O(rm + N log N)`; the paper's "BREAKPOINTS2-B").
+    Baseline,
+    /// Lazy epoch-based re-basing (`O(N log N)`, Lemma 1; the paper's
+    /// "BREAKPOINTS2-E").
+    #[default]
+    Efficient,
+}
+
+/// A constructed breakpoint set `B` (paper §3.1), with the `ε` that
+/// generated it.
+#[derive(Debug, Clone)]
+pub struct Breakpoints {
+    kind: BreakpointsKind,
+    points: Vec<f64>,
+    eps: f64,
+    /// Total absolute mass `M` at construction time (the amortized-update
+    /// rule rebuilds when the live mass doubles; see `ApproxIndex`).
+    mass: f64,
+}
+
+impl Breakpoints {
+    /// BREAKPOINTS1 for a given `ε > 0`.
+    pub fn b1_with_eps(set: &TemporalSet, eps: f64) -> Result<Self> {
+        check_eps(eps)?;
+        let points = sweep_b1(set, eps * set.total_mass())?;
+        Ok(Self { kind: BreakpointsKind::B1, points, eps, mass: set.total_mass() })
+    }
+
+    /// BREAKPOINTS1 sized to approximately `r` breakpoints
+    /// (`ε = 1/(r−1)`, per the paper's `r = ⌈1/ε + 1⌉`).
+    pub fn b1_with_count(set: &TemporalSet, r: usize) -> Result<Self> {
+        if r < 2 {
+            return Err(CoreError::BadQuery(format!("need r ≥ 2 breakpoints, got {r}")));
+        }
+        Self::b1_with_eps(set, 1.0 / (r as f64 - 1.0))
+    }
+
+    /// BREAKPOINTS2 for a given `ε > 0`.
+    pub fn b2_with_eps(set: &TemporalSet, eps: f64, construction: B2Construction) -> Result<Self> {
+        check_eps(eps)?;
+        let points = sweep_b2(set, eps * set.total_mass(), construction)?;
+        Ok(Self { kind: BreakpointsKind::B2, points, eps, mass: set.total_mass() })
+    }
+
+    /// BREAKPOINTS2 sized to approximately `r` breakpoints: binary-search
+    /// the `ε` whose sweep yields the closest count (this is how the paper
+    /// compares B1 and B2 "given the same budget r", Fig. 11(a)).
+    pub fn b2_with_count(
+        set: &TemporalSet,
+        r: usize,
+        construction: B2Construction,
+    ) -> Result<Self> {
+        if r < 2 {
+            return Err(CoreError::BadQuery(format!("need r ≥ 2 breakpoints, got {r}")));
+        }
+        // Start from B1's ε: B2(ε) produces at most as many breakpoints.
+        let mut hi = 1.0 / (r as f64 - 1.0); // count(hi) ≤ r
+        let mut candidate = Self::b2_with_eps(set, hi, construction)?;
+        if candidate.len() >= r {
+            return Ok(candidate);
+        }
+        // Exponentially shrink ε until we overshoot the target count.
+        let mut lo = hi;
+        loop {
+            lo /= 4.0;
+            let trial = Self::b2_with_eps(set, lo, construction)?;
+            let done = trial.len() >= r;
+            if trial_closer(&trial, &candidate, r) {
+                candidate = trial;
+            }
+            if done || lo < 1e-15 {
+                break;
+            }
+        }
+        // Binary search between lo (too many / just enough) and hi (too few).
+        for _ in 0..24 {
+            let mid = 0.5 * (lo + hi);
+            let trial = Self::b2_with_eps(set, mid, construction)?;
+            if trial.len() >= r {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            let exact = trial.len() == r;
+            if trial_closer(&trial, &candidate, r) {
+                candidate = trial;
+            }
+            if exact {
+                break;
+            }
+        }
+        Ok(candidate)
+    }
+
+    /// Which family this set is.
+    pub fn kind(&self) -> BreakpointsKind {
+        self.kind
+    }
+
+    /// Number of breakpoints `r` (including both domain endpoints).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the set holds no breakpoints (cannot happen for valid
+    /// construction; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The sorted breakpoints `b_0 … b_{r−1}`.
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// The `ε` that generated this set.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Absolute mass `M` at construction time.
+    pub fn mass(&self) -> f64 {
+        self.mass
+    }
+
+    /// `B(t)`: index of the smallest breakpoint ≥ `t` (paper Fig. 8),
+    /// clamped into range (`t` beyond the last breakpoint snaps to it).
+    pub fn snap_idx(&self, t: f64) -> usize {
+        let idx = self.points.partition_point(|&b| b < t);
+        idx.min(self.points.len() - 1)
+    }
+
+    /// `B(t)` as a time value.
+    pub fn snap(&self, t: f64) -> f64 {
+        self.points[self.snap_idx(t)]
+    }
+
+    /// Cumulative **signed** integral of `curve` from its own start up to
+    /// every breakpoint, in one `O(n_i + r)` merge-walk. This is the
+    /// per-object quantity the QUERY1/QUERY2 construction sweeps maintain:
+    /// `σ_i(b_j, b_j') = out[j'] − out[j]`.
+    pub fn cums_at(&self, curve: &PiecewiseLinear) -> Vec<f64> {
+        let n = curve.num_segments();
+        let mut out = Vec::with_capacity(self.points.len());
+        let mut seg_j = 0usize;
+        let mut cum_at_seg_start = 0.0f64;
+        for &b in &self.points {
+            while seg_j < n && curve.segment(seg_j).t1 <= b {
+                cum_at_seg_start += curve.segment(seg_j).integral_full();
+                seg_j += 1;
+            }
+            let c = if seg_j < n {
+                let seg = curve.segment(seg_j);
+                if b <= seg.t0 {
+                    cum_at_seg_start
+                } else {
+                    cum_at_seg_start + seg.integral_clipped(seg.t0, b)
+                }
+            } else {
+                cum_at_seg_start
+            };
+            out.push(c);
+        }
+        out
+    }
+}
+
+fn check_eps(eps: f64) -> Result<()> {
+    if !(eps > 0.0) || !eps.is_finite() {
+        return Err(CoreError::BadQuery(format!("ε must be positive and finite, got {eps}")));
+    }
+    Ok(())
+}
+
+/// Prefer the trial whose count is closest to the target (ties: keep
+/// current).
+fn trial_closer(trial: &Breakpoints, cur: &Breakpoints, r: usize) -> bool {
+    let d = |b: &Breakpoints| (b.len() as i64 - r as i64).unsigned_abs();
+    d(trial) < d(cur)
+}
+
+// ---------------------------------------------------------------------------
+// Absolute-value curve view (negative-score handling, §4)
+// ---------------------------------------------------------------------------
+
+/// The curves the sweeps actually integrate: `|g_i|`, materialized only
+/// when negatives exist.
+enum AbsCurves<'a> {
+    Borrowed(&'a TemporalSet),
+    Owned(Vec<PiecewiseLinear>),
+}
+
+impl<'a> AbsCurves<'a> {
+    fn new(set: &'a TemporalSet) -> Result<Self> {
+        if !set.has_negative() {
+            return Ok(AbsCurves::Borrowed(set));
+        }
+        let mut curves = Vec::with_capacity(set.num_objects());
+        for o in set.objects() {
+            curves.push(abs_curve(&o.curve)?);
+        }
+        Ok(AbsCurves::Owned(curves))
+    }
+
+    fn get(&self, i: usize) -> &PiecewiseLinear {
+        match self {
+            AbsCurves::Borrowed(set) => &set.objects()[i].curve,
+            AbsCurves::Owned(curves) => &curves[i],
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            AbsCurves::Borrowed(set) => set.num_objects(),
+            AbsCurves::Owned(curves) => curves.len(),
+        }
+    }
+}
+
+/// `|g|`: split each segment at its zero crossing and mirror negative
+/// values. The result is again piecewise linear.
+fn abs_curve(c: &PiecewiseLinear) -> Result<PiecewiseLinear> {
+    let mut pts: Vec<(f64, f64)> = Vec::with_capacity(c.num_points() + 4);
+    pts.push((c.start(), c.values()[0].abs()));
+    for seg in c.segments() {
+        if (seg.v0 < 0.0) != (seg.v1 < 0.0) && seg.v0 != 0.0 && seg.v1 != 0.0 {
+            // Zero crossing strictly inside the segment.
+            let tz = seg.t0 + (seg.t1 - seg.t0) * seg.v0.abs() / (seg.v0.abs() + seg.v1.abs());
+            if tz > pts.last().expect("non-empty").0 && tz < seg.t1 {
+                pts.push((tz, 0.0));
+            }
+        }
+        pts.push((seg.t1, seg.v1.abs()));
+    }
+    Ok(PiecewiseLinear::from_points(&pts)?)
+}
+
+// ---------------------------------------------------------------------------
+// BREAKPOINTS1: global V/W sweep
+// ---------------------------------------------------------------------------
+
+/// One sweep event: at `t`, the global slope changes by `dw` and the global
+/// value jumps by `dv` (jumps only at object starts/ends).
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    t: f64,
+    dw: f64,
+    dv: f64,
+}
+
+fn b1_events(curves: &AbsCurves<'_>) -> Vec<Event> {
+    let mut events: Vec<Event> = Vec::new();
+    for i in 0..curves.len() {
+        let c = curves.get(i);
+        let first = c.segment(0);
+        events.push(Event { t: c.start(), dw: first.slope(), dv: first.v0 });
+        for j in 1..c.num_segments() {
+            let prev = c.segment(j - 1);
+            let cur = c.segment(j);
+            events.push(Event { t: cur.t0, dw: cur.slope() - prev.slope(), dv: 0.0 });
+        }
+        let last = c.segment(c.num_segments() - 1);
+        events.push(Event { t: c.end(), dw: -last.slope(), dv: -last.v1 });
+    }
+    events.sort_by(|a, b| a.t.total_cmp(&b.t));
+    events
+}
+
+/// BREAKPOINTS1 sweep: emit a breakpoint whenever the global running
+/// integral `I(t) = Σ_i σ_i(b_j, t)` reaches `τ = εM`.
+fn sweep_b1(set: &TemporalSet, tau: f64) -> Result<Vec<f64>> {
+    let curves = AbsCurves::new(set)?;
+    let events = b1_events(&curves);
+    let t_min = set.t_min();
+    let t_max = set.t_max();
+    let mut points = vec![t_min];
+    if tau <= 0.0 || set.total_mass() <= 0.0 {
+        points.push(t_max);
+        return Ok(points);
+    }
+    let mut v = 0.0f64; // V(t) = Σ |g_i(t)|
+    let mut w = 0.0f64; // W(t) = Σ slopes
+    let mut acc = 0.0f64; // I(t) since the last breakpoint
+    let mut t_cur = t_min;
+    let mut e = 0usize;
+    while e < events.len() {
+        let te = events[e].t;
+        // Advance continuously across [t_cur, te], emitting breakpoints.
+        while t_cur < te {
+            let remaining = te - t_cur;
+            match accumulation_crossing(v.max(0.0), w, tau - acc) {
+                Some(delta) if delta <= remaining => {
+                    t_cur += delta;
+                    v += w * delta;
+                    points.push(t_cur);
+                    acc = 0.0;
+                }
+                _ => {
+                    acc += 0.5 * w * remaining * remaining + v * remaining;
+                    v += w * remaining;
+                    t_cur = te;
+                }
+            }
+        }
+        // Apply all events at this time.
+        while e < events.len() && events[e].t == te {
+            w += events[e].dw;
+            v += events[e].dv;
+            e += 1;
+        }
+    }
+    if *points.last().expect("non-empty") < t_max {
+        points.push(t_max);
+    }
+    Ok(points)
+}
+
+// ---------------------------------------------------------------------------
+// BREAKPOINTS2: per-object max sweep (baseline and efficient)
+// ---------------------------------------------------------------------------
+
+/// Per-object sweep state.
+struct ObjState {
+    /// Running integral `σ_i(b_cur, frontier)`… relative to the breakpoint
+    /// the object was last re-based at (`epoch`).
+    integral: f64,
+    /// Time up to which this object's segments have been consumed.
+    frontier: f64,
+    /// Index into the emitted breakpoint list at whose value `integral`
+    /// was last re-based.
+    epoch: usize,
+    /// Whether the object currently has a crossing candidate queued.
+    dangerous: bool,
+    /// Lazy-invalidated generation for heap entries.
+    generation: u64,
+}
+
+fn sweep_b2(set: &TemporalSet, tau: f64, construction: B2Construction) -> Result<Vec<f64>> {
+    let curves = AbsCurves::new(set)?;
+    let m = curves.len();
+    let t_min = set.t_min();
+    let t_max = set.t_max();
+    let mut points = vec![t_min];
+    if tau <= 0.0 || set.total_mass() <= 0.0 {
+        points.push(t_max);
+        return Ok(points);
+    }
+
+    // All segments sorted by left endpoint (the paper's queue Q).
+    let mut segs: Vec<(f64, u32, u32)> = Vec::with_capacity(set.num_segments() as usize);
+    for i in 0..m {
+        let c = curves.get(i);
+        for j in 0..c.num_segments() {
+            segs.push((c.segment(j).t0, i as u32, j as u32));
+        }
+    }
+    segs.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut st: Vec<ObjState> = (0..m)
+        .map(|i| ObjState {
+            integral: 0.0,
+            frontier: curves.get(i).start(),
+            epoch: 0,
+            dangerous: false,
+            generation: 0,
+        })
+        .collect();
+    // Min-heap of (candidate crossing time, object, generation).
+    let mut heap: BinaryHeap<Reverse<(OrdF64, u32, u64)>> = BinaryHeap::new();
+    let mut b_cur = t_min;
+
+    // Commit the earliest valid candidate; returns the breakpoint or None.
+    // After a commit, dangerous objects are re-based eagerly (both
+    // constructions); the baseline additionally re-bases *every* object.
+    macro_rules! pop_valid {
+        () => {{
+            let mut found = None;
+            while let Some(&Reverse((OrdF64(t), obj, gen))) = heap.peek() {
+                let o = obj as usize;
+                if st[o].dangerous && st[o].generation == gen {
+                    found = Some((t, obj));
+                    break;
+                }
+                heap.pop();
+            }
+            found
+        }};
+    }
+
+    let commit = |b_star: f64,
+                      st: &mut Vec<ObjState>,
+                      heap: &mut BinaryHeap<Reverse<(OrdF64, u32, u64)>>,
+                      points: &mut Vec<f64>,
+                      b_cur: &mut f64| {
+        points.push(b_star);
+        *b_cur = b_star;
+        let epoch = points.len() - 1;
+        // Collect objects to re-base: dangerous ones always; under the
+        // baseline construction, every object (the paper's O(rm) resets).
+        let rebase_all = construction == B2Construction::Baseline;
+        for (i, s) in st.iter_mut().enumerate() {
+            if !rebase_all && !s.dangerous {
+                continue;
+            }
+            let c = curves.get(i);
+            s.integral = if s.frontier > b_star { c.integral(b_star, s.frontier) } else { 0.0 };
+            s.epoch = epoch;
+            s.generation += 1;
+            s.dangerous = false;
+            if s.integral >= tau {
+                // Still over threshold: a further crossing exists within
+                // the already-consumed region.
+                if let Some(t_star) = c.time_to_accumulate(b_star, tau) {
+                    s.dangerous = true;
+                    heap.push(Reverse((OrdF64(t_star), i as u32, s.generation)));
+                }
+            }
+        }
+    };
+
+    let mut k = 0usize;
+    while k < segs.len() {
+        let (t_l, obj, j) = segs[k];
+        // Commit any breakpoints that must occur before this segment starts.
+        loop {
+            match pop_valid!() {
+                Some((b_star, _)) if t_l > b_star => {
+                    commit(b_star, &mut st, &mut heap, &mut points, &mut b_cur);
+                }
+                _ => break,
+            }
+        }
+        // Lazily re-base this object if breakpoints advanced past its epoch.
+        let o = obj as usize;
+        let c = curves.get(o);
+        if st[o].epoch != points.len() - 1 {
+            st[o].integral =
+                if st[o].frontier > b_cur { c.integral(b_cur, st[o].frontier) } else { 0.0 };
+            st[o].epoch = points.len() - 1;
+            debug_assert!(
+                st[o].integral < tau * (1.0 + 1e-9) + 1e-12 || st[o].dangerous,
+                "lazy rebase found an unnoticed crossing"
+            );
+        }
+        // Consume the segment (only its part after the current breakpoint).
+        let seg = c.segment(j as usize);
+        let from = seg.t0.max(b_cur);
+        let add = if from < seg.t1 { seg.integral_clipped(from, seg.t1) } else { 0.0 };
+        if !st[o].dangerous && st[o].integral < tau && st[o].integral + add >= tau {
+            if let Some(t_star) = seg.time_to_accumulate(from, tau - st[o].integral) {
+                st[o].dangerous = true;
+                st[o].generation += 1;
+                heap.push(Reverse((OrdF64(t_star), obj, st[o].generation)));
+            }
+        }
+        st[o].integral += add;
+        st[o].frontier = seg.t1;
+        k += 1;
+    }
+    // Drain remaining candidates.
+    while let Some((b_star, _)) = pop_valid!() {
+        if b_star >= t_max {
+            break;
+        }
+        commit(b_star, &mut st, &mut heap, &mut points, &mut b_cur);
+    }
+    if *points.last().expect("non-empty") < t_max {
+        points.push(t_max);
+    }
+    Ok(points)
+}
+
+/// Total-ordered f64 for heap keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::small_set;
+    use chronorank_curve::numeric::approx_eq;
+
+    /// The defining property (Lemma 2 precondition): between consecutive
+    /// breakpoints, no single object (B2) / the global sum (B1) exceeds τ.
+    fn assert_gap_property(set: &TemporalSet, bp: &Breakpoints) {
+        let tau = bp.eps() * bp.mass();
+        let slack = 1.0 + 1e-6;
+        for w in bp.points().windows(2) {
+            let (a, b) = (w[0], w[1]);
+            match bp.kind() {
+                BreakpointsKind::B1 => {
+                    let total: f64 =
+                        set.objects().iter().map(|o| o.curve.abs_integral(a, b)).sum();
+                    assert!(
+                        total <= tau * slack,
+                        "B1 gap [{a},{b}] holds {total} > τ = {tau}"
+                    );
+                }
+                BreakpointsKind::B2 => {
+                    for o in set.objects() {
+                        let s = o.curve.abs_integral(a, b);
+                        assert!(
+                            s <= tau * slack,
+                            "B2 gap [{a},{b}] object {} holds {s} > τ = {tau}",
+                            o.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn b1_count_matches_inverse_eps() {
+        let set = small_set();
+        for &r in &[5usize, 10, 25, 60] {
+            let bp = Breakpoints::b1_with_count(&set, r).unwrap();
+            assert!(
+                (bp.len() as i64 - r as i64).abs() <= 2,
+                "requested {r}, got {}",
+                bp.len()
+            );
+            assert_gap_property(&set, &bp);
+        }
+    }
+
+    #[test]
+    fn b1_gaps_carry_equal_mass() {
+        let set = small_set();
+        let bp = Breakpoints::b1_with_eps(&set, 0.05).unwrap();
+        let tau = 0.05 * set.total_mass();
+        // All interior gaps carry exactly τ of global mass.
+        let pts = bp.points();
+        for w in pts.windows(2).take(pts.len() - 2) {
+            let total: f64 =
+                set.objects().iter().map(|o| o.curve.abs_integral(w[0], w[1])).sum();
+            assert!(
+                approx_eq(total, tau, 1e-6),
+                "gap [{}, {}] carries {total}, want {tau}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn b2_has_fewer_breakpoints_than_b1_at_equal_eps() {
+        let set = small_set();
+        let eps = 0.02;
+        let b1 = Breakpoints::b1_with_eps(&set, eps).unwrap();
+        let b2 = Breakpoints::b2_with_eps(&set, eps, B2Construction::Efficient).unwrap();
+        assert!(
+            b2.len() <= b1.len(),
+            "B2 ({}) must not exceed B1 ({})",
+            b2.len(),
+            b1.len()
+        );
+        assert_gap_property(&set, &b1);
+        assert_gap_property(&set, &b2);
+    }
+
+    #[test]
+    fn b2_baseline_and_efficient_agree() {
+        let set = small_set();
+        for &eps in &[0.5, 0.1, 0.03, 0.01, 0.003] {
+            let a = Breakpoints::b2_with_eps(&set, eps, B2Construction::Baseline).unwrap();
+            let b = Breakpoints::b2_with_eps(&set, eps, B2Construction::Efficient).unwrap();
+            assert_eq!(a.len(), b.len(), "eps={eps}");
+            for (x, y) in a.points().iter().zip(b.points()) {
+                assert!(approx_eq(*x, *y, 1e-9), "eps={eps}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn b2_with_count_hits_target_roughly() {
+        let set = small_set();
+        for &r in &[6usize, 12, 30] {
+            let bp = Breakpoints::b2_with_count(&set, r, B2Construction::Efficient).unwrap();
+            let got = bp.len() as i64;
+            assert!(
+                (got - r as i64).abs() as f64 <= 2.0 + 0.2 * r as f64,
+                "requested {r}, got {got}"
+            );
+            assert_gap_property(&set, &bp);
+        }
+    }
+
+    #[test]
+    fn b2_eps_smaller_than_b1_at_equal_count() {
+        // Fig. 11(a): at the same budget r, B2's ε is much smaller.
+        let set = small_set();
+        let r = 20;
+        let b1 = Breakpoints::b1_with_count(&set, r).unwrap();
+        let b2 = Breakpoints::b2_with_count(&set, r, B2Construction::Efficient).unwrap();
+        assert!(
+            b2.eps() < b1.eps(),
+            "ε_B2 = {} must be below ε_B1 = {}",
+            b2.eps(),
+            b1.eps()
+        );
+    }
+
+    #[test]
+    fn snapping_is_smallest_breakpoint_geq_t() {
+        let set = small_set();
+        let bp = Breakpoints::b1_with_count(&set, 10).unwrap();
+        let pts = bp.points().to_vec();
+        for (i, &p) in pts.iter().enumerate() {
+            assert_eq!(bp.snap_idx(p), i, "exact hit must snap to itself");
+        }
+        // Between two breakpoints, snap right.
+        let mid = 0.5 * (pts[1] + pts[2]);
+        assert_eq!(bp.snap_idx(mid), 2);
+        // Clamped at both ends.
+        assert_eq!(bp.snap_idx(-1e9), 0);
+        assert_eq!(bp.snap_idx(1e9), pts.len() - 1);
+        assert_eq!(bp.snap(1e9), *pts.last().unwrap());
+    }
+
+    #[test]
+    fn endpoints_are_always_present() {
+        let set = small_set();
+        for bp in [
+            Breakpoints::b1_with_eps(&set, 0.3).unwrap(),
+            Breakpoints::b2_with_eps(&set, 0.3, B2Construction::Efficient).unwrap(),
+        ] {
+            assert_eq!(bp.points()[0], set.t_min());
+            assert_eq!(*bp.points().last().unwrap(), set.t_max());
+            assert!(bp.points().windows(2).all(|w| w[0] < w[1]), "strictly sorted");
+        }
+    }
+
+    #[test]
+    fn negative_scores_use_absolute_mass() {
+        let c0 =
+            PiecewiseLinear::from_points(&[(0.0, -4.0), (10.0, 4.0), (20.0, -4.0)]).unwrap();
+        let c1 = PiecewiseLinear::from_points(&[(0.0, 1.0), (20.0, 1.0)]).unwrap();
+        let set = TemporalSet::from_curves(vec![c0, c1]).unwrap();
+        assert!(set.has_negative());
+        for bp in [
+            Breakpoints::b1_with_eps(&set, 0.1).unwrap(),
+            Breakpoints::b2_with_eps(&set, 0.1, B2Construction::Efficient).unwrap(),
+            Breakpoints::b2_with_eps(&set, 0.1, B2Construction::Baseline).unwrap(),
+        ] {
+            assert_gap_property(&set, &bp);
+            assert!(bp.len() > 3);
+        }
+    }
+
+    #[test]
+    fn zero_mass_set_degenerates_to_endpoints() {
+        let c = PiecewiseLinear::from_points(&[(0.0, 0.0), (5.0, 0.0)]).unwrap();
+        let set = TemporalSet::from_curves(vec![c]).unwrap();
+        let bp = Breakpoints::b1_with_eps(&set, 0.1).unwrap();
+        assert_eq!(bp.points(), &[0.0, 5.0]);
+        let bp = Breakpoints::b2_with_eps(&set, 0.1, B2Construction::Efficient).unwrap();
+        assert_eq!(bp.points(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn bad_eps_rejected() {
+        let set = small_set();
+        assert!(Breakpoints::b1_with_eps(&set, 0.0).is_err());
+        assert!(Breakpoints::b1_with_eps(&set, -0.1).is_err());
+        assert!(Breakpoints::b1_with_eps(&set, f64::NAN).is_err());
+        assert!(Breakpoints::b1_with_count(&set, 1).is_err());
+        assert!(Breakpoints::b2_with_count(&set, 0, B2Construction::Efficient).is_err());
+    }
+
+    #[test]
+    fn single_long_segment_spawns_multiple_breakpoints() {
+        // One object, one segment carrying all the mass: B2 must cut it
+        // repeatedly (the multiple-crossings-per-segment path).
+        let c = PiecewiseLinear::from_points(&[(0.0, 10.0), (100.0, 10.0)]).unwrap();
+        let set = TemporalSet::from_curves(vec![c]).unwrap();
+        for constr in [B2Construction::Baseline, B2Construction::Efficient] {
+            let bp = Breakpoints::b2_with_eps(&set, 0.1, constr).unwrap();
+            // mass 1000, τ = 100 → cuts every 10 time units: 11 points.
+            assert_eq!(bp.len(), 11, "{constr:?}: {:?}", bp.points());
+            assert_gap_property(&set, &bp);
+        }
+    }
+}

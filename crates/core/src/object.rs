@@ -1,0 +1,290 @@
+//! The temporal database model: objects and object sets.
+
+use crate::error::{CoreError, Result};
+use chronorank_curve::PiecewiseLinear;
+
+/// Object identifier; objects are dense `0..m` within a [`TemporalSet`].
+pub type ObjectId = u32;
+
+/// One temporal object `o_i`: an id plus its score curve `g_i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalObject {
+    /// Dense id in `[0, m)`.
+    pub id: ObjectId,
+    /// The piecewise-linear score function.
+    pub curve: PiecewiseLinear,
+}
+
+/// The temporal database: `m` objects over a common time domain `[0, T]`
+/// (objects need not individually span the whole domain, nor align their
+/// segment boundaries — the paper explicitly permits heterogeneous
+/// segmentations).
+///
+/// The set is the ground-truth, in-memory representation that all index
+/// structures are built from; it also serves as the oracle for correctness
+/// tests ([`TemporalSet::score`] / [`TemporalSet::top_k_bruteforce`]).
+#[derive(Debug, Clone)]
+pub struct TemporalSet {
+    objects: Vec<TemporalObject>,
+    t_min: f64,
+    t_max: f64,
+    num_segments: u64,
+    /// `M = Σ_i σ_i(0, T)` over |g| (absolute mass; equals the plain mass
+    /// for non-negative data). Breakpoint thresholds are `ε·M` (§3.1, §4).
+    total_mass: f64,
+    /// True when any object takes a negative value (enables the §4
+    /// absolute-value handling in breakpoint construction).
+    has_negative: bool,
+    max_segment_duration: f64,
+}
+
+impl TemporalSet {
+    /// Build a set from curves; ids are assigned positionally.
+    pub fn from_curves(curves: Vec<PiecewiseLinear>) -> Result<Self> {
+        let objects = curves
+            .into_iter()
+            .enumerate()
+            .map(|(i, curve)| TemporalObject { id: i as ObjectId, curve })
+            .collect();
+        Self::from_objects(objects)
+    }
+
+    /// Build a set from objects whose ids must be dense `0..m` in order.
+    pub fn from_objects(objects: Vec<TemporalObject>) -> Result<Self> {
+        if objects.is_empty() {
+            return Err(CoreError::BadQuery("a temporal set needs at least one object".into()));
+        }
+        for (i, o) in objects.iter().enumerate() {
+            if o.id != i as ObjectId {
+                return Err(CoreError::BadQuery(format!(
+                    "object ids must be dense and ordered: position {i} holds id {}",
+                    o.id
+                )));
+            }
+        }
+        let mut set = Self {
+            objects,
+            t_min: 0.0,
+            t_max: 0.0,
+            num_segments: 0,
+            total_mass: 0.0,
+            has_negative: false,
+            max_segment_duration: 0.0,
+        };
+        set.recompute_stats();
+        Ok(set)
+    }
+
+    fn recompute_stats(&mut self) {
+        self.t_min = f64::INFINITY;
+        self.t_max = f64::NEG_INFINITY;
+        self.num_segments = 0;
+        self.total_mass = 0.0;
+        self.has_negative = false;
+        self.max_segment_duration = 0.0;
+        for o in &self.objects {
+            let c = &o.curve;
+            self.t_min = self.t_min.min(c.start());
+            self.t_max = self.t_max.max(c.end());
+            self.num_segments += c.num_segments() as u64;
+            self.total_mass += c.total_abs();
+            self.has_negative |= c.min_value() < 0.0;
+            self.max_segment_duration = self.max_segment_duration.max(c.max_segment_duration());
+        }
+    }
+
+    /// Number of objects `m`.
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Total number of segments `N`.
+    pub fn num_segments(&self) -> u64 {
+        self.num_segments
+    }
+
+    /// Left edge of the global time domain.
+    pub fn t_min(&self) -> f64 {
+        self.t_min
+    }
+
+    /// Right edge of the global time domain (`T`).
+    pub fn t_max(&self) -> f64 {
+        self.t_max
+    }
+
+    /// `t_max - t_min`.
+    pub fn span(&self) -> f64 {
+        self.t_max - self.t_min
+    }
+
+    /// `M = Σ_i ∫ |g_i|` — the paper's total mass, absolute-valued per §4.
+    pub fn total_mass(&self) -> f64 {
+        self.total_mass
+    }
+
+    /// True when any curve dips below zero.
+    pub fn has_negative(&self) -> bool {
+        self.has_negative
+    }
+
+    /// Longest single segment duration across all objects.
+    pub fn max_segment_duration(&self) -> f64 {
+        self.max_segment_duration
+    }
+
+    /// Borrow an object.
+    pub fn object(&self, id: ObjectId) -> Result<&TemporalObject> {
+        self.objects.get(id as usize).ok_or(CoreError::NoSuchObject(id))
+    }
+
+    /// All objects, id order.
+    pub fn objects(&self) -> &[TemporalObject] {
+        &self.objects
+    }
+
+    /// `σ_i(t1, t2)`: the ground-truth aggregate score of one object.
+    pub fn score(&self, id: ObjectId, t1: f64, t2: f64) -> Result<f64> {
+        Ok(self.object(id)?.curve.integral(t1, t2))
+    }
+
+    /// Ground-truth `top-k(t1, t2, sum)` by brute force over all objects —
+    /// the paper's EXACT1 semantics without any index; `O(m log n + Σ q_i)`
+    /// compute. Used as the oracle in tests and quality metrics.
+    pub fn top_k_bruteforce(&self, t1: f64, t2: f64, k: usize) -> crate::TopK {
+        let scores =
+            self.objects.iter().map(|o| (o.id, o.curve.integral(t1, t2)));
+        crate::topk::top_k_from_scores(scores, k)
+    }
+
+    /// Append a segment to object `id` (the paper's §4 update model: a new
+    /// segment extending the object at the current time edge). Set-level
+    /// statistics (`M`, `N`, `T`, …) are maintained incrementally.
+    pub fn append_segment(&mut self, id: ObjectId, t: f64, v: f64) -> Result<()> {
+        let idx = id as usize;
+        if idx >= self.objects.len() {
+            return Err(CoreError::NoSuchObject(id));
+        }
+        let curve = &mut self.objects[idx].curve;
+        let (prev_t, prev_v) = curve.point(curve.num_points() - 1);
+        curve.append(t, v)?;
+        self.num_segments += 1;
+        self.t_max = self.t_max.max(t);
+        self.max_segment_duration = self.max_segment_duration.max(t - prev_t);
+        // Absolute mass of the new trapezoid (exact, including sign change).
+        let seg = chronorank_curve::Segment::new(prev_t, prev_v, t, v);
+        self.total_mass += seg.abs_integral_clipped(prev_t, t);
+        self.has_negative |= v < 0.0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronorank_curve::numeric::approx_eq;
+
+    fn set() -> TemporalSet {
+        let c0 = PiecewiseLinear::from_points(&[(0.0, 1.0), (10.0, 1.0)]).unwrap(); // area 10
+        let c1 = PiecewiseLinear::from_points(&[(2.0, 0.0), (6.0, 4.0), (8.0, 0.0)]).unwrap(); // area 12
+        let c2 = PiecewiseLinear::from_points(&[(5.0, 2.0), (15.0, 2.0)]).unwrap(); // area 20
+        TemporalSet::from_curves(vec![c0, c1, c2]).unwrap()
+    }
+
+    #[test]
+    fn stats_are_computed() {
+        let s = set();
+        assert_eq!(s.num_objects(), 3);
+        assert_eq!(s.num_segments(), 4);
+        assert_eq!(s.t_min(), 0.0);
+        assert_eq!(s.t_max(), 15.0);
+        assert_eq!(s.span(), 15.0);
+        assert!(approx_eq(s.total_mass(), 42.0, 1e-12));
+        assert!(!s.has_negative());
+        assert_eq!(s.max_segment_duration(), 10.0);
+    }
+
+    #[test]
+    fn id_validation() {
+        let c = PiecewiseLinear::from_points(&[(0.0, 1.0), (1.0, 1.0)]).unwrap();
+        let bad = vec![TemporalObject { id: 5, curve: c }];
+        assert!(TemporalSet::from_objects(bad).is_err());
+        assert!(TemporalSet::from_objects(vec![]).is_err());
+    }
+
+    #[test]
+    fn scores_and_bruteforce_topk() {
+        let s = set();
+        // On [4, 8]: o0 = 4, o1 = ∫_4^6 (t-2) + ∫_6^8 (4-2(t-6)) = 6+4 = 10...
+        // o1 on [4,6]: values 2→4 → area 6; [6,8]: 4→0 → area 4; total 10.
+        // o2 on [5,8]: 2*3 = 6.
+        assert!(approx_eq(s.score(0, 4.0, 8.0).unwrap(), 4.0, 1e-12));
+        assert!(approx_eq(s.score(1, 4.0, 8.0).unwrap(), 10.0, 1e-12));
+        assert!(approx_eq(s.score(2, 4.0, 8.0).unwrap(), 6.0, 1e-12));
+        let top = s.top_k_bruteforce(4.0, 8.0, 2);
+        assert_eq!(top.ids(), vec![1, 2]);
+        assert!(s.score(99, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn figure2_example() {
+        // Reproduce the paper's Figure 2 claims: the top-2(t1,t2,sum) answer
+        // is {o3, o1}; and A(1, t2, t3) = {o1} even though o1 is never an
+        // instant top-1(t) for any t in [t2, t3].
+        let o1 = PiecewiseLinear::from_points(&[(0.0, 5.0), (10.0, 5.0)]).unwrap();
+        let o2 = PiecewiseLinear::from_points(&[
+            (0.0, 1.0),
+            (3.0, 2.0),
+            (4.0, 9.0),
+            (5.0, 2.0),
+            (6.0, 0.5),
+            (8.0, 5.5),
+            (10.0, 6.0),
+        ])
+        .unwrap();
+        let o3 =
+            PiecewiseLinear::from_points(&[(0.0, 8.0), (6.0, 8.0), (10.0, 1.9)]).unwrap();
+        let s = TemporalSet::from_curves(vec![o1, o2, o3]).unwrap();
+        // Over [1, 6] (the figure's [t1, t2]): o3 = 40, o1 = 25, o2 ≈ 15.6.
+        let top = s.top_k_bruteforce(1.0, 6.0, 2);
+        assert_eq!(top.ids(), vec![2, 0], "answer must be (o3, o1)");
+        // Over [6, 10] (the figure's [t2, t3]): o1 = 20 beats o3 = 19.8 and
+        // o2 = 17.5, yet at every instant either o3 (early) or o2 (late) is
+        // above o1's constant 5.
+        let top = s.top_k_bruteforce(6.0, 10.0, 1);
+        assert_eq!(top.ids(), vec![0]);
+        for i in 0..=40 {
+            let t = 6.0 + i as f64 * 0.1;
+            let v1 = s.object(0).unwrap().curve.eval(t).unwrap();
+            let v2 = s.object(1).unwrap().curve.eval(t).unwrap();
+            let v3 = s.object(2).unwrap().curve.eval(t).unwrap();
+            assert!(v2.max(v3) >= v1, "o1 must never be instant top-1 (t={t})");
+        }
+    }
+
+    #[test]
+    fn append_segment_maintains_stats() {
+        let mut s = set();
+        let m_before = s.total_mass();
+        s.append_segment(0, 14.0, 3.0).unwrap(); // trapezoid (1+3)/2*4 = 8
+        assert_eq!(s.num_segments(), 5);
+        assert!(approx_eq(s.total_mass(), m_before + 8.0, 1e-12));
+        assert_eq!(s.t_max(), 15.0); // still dominated by o2
+        s.append_segment(0, 20.0, 3.0).unwrap();
+        assert_eq!(s.t_max(), 20.0);
+        assert!(s.append_segment(9, 30.0, 0.0).is_err());
+        assert!(s.append_segment(0, 1.0, 0.0).is_err(), "must extend rightward");
+    }
+
+    #[test]
+    fn negative_detection() {
+        let c = PiecewiseLinear::from_points(&[(0.0, -1.0), (1.0, 1.0)]).unwrap();
+        let s = TemporalSet::from_curves(vec![c]).unwrap();
+        assert!(s.has_negative());
+        // |g| mass: two triangles 0.25 each.
+        assert!(approx_eq(s.total_mass(), 0.5, 1e-12));
+        let mut s = s;
+        s.append_segment(0, 2.0, -1.0).unwrap(); // crosses zero again
+        assert!(approx_eq(s.total_mass(), 1.0, 1e-12));
+    }
+}

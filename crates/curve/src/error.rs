@@ -1,0 +1,77 @@
+//! Validation errors for curve construction.
+
+use std::fmt;
+
+/// Curve-layer result alias.
+pub type Result<T> = std::result::Result<T, CurveError>;
+
+/// Why a curve could not be constructed or extended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CurveError {
+    /// Fewer than two points / one segment supplied.
+    TooFewPoints(usize),
+    /// Time stamps must be strictly increasing; `index` is the first
+    /// offending position.
+    NotIncreasing {
+        /// Index of the first point whose time is not after its predecessor.
+        index: usize,
+        /// The offending time.
+        time: f64,
+        /// The preceding time.
+        prev: f64,
+    },
+    /// A time or value was NaN/infinite.
+    NonFinite {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// An appended point must extend the curve strictly to the right.
+    AppendNotAfterEnd {
+        /// The curve's current right endpoint.
+        end: f64,
+        /// The time that was appended.
+        time: f64,
+    },
+    /// A polynomial segment had an empty coefficient vector or a
+    /// non-positive duration.
+    BadPolySegment(String),
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveError::TooFewPoints(n) => {
+                write!(f, "a curve needs at least 2 points, got {n}")
+            }
+            CurveError::NotIncreasing { index, time, prev } => write!(
+                f,
+                "time stamps must be strictly increasing: point {index} has t={time} after t={prev}"
+            ),
+            CurveError::NonFinite { index } => {
+                write!(f, "point {index} has a NaN or infinite coordinate")
+            }
+            CurveError::AppendNotAfterEnd { end, time } => {
+                write!(f, "appended point t={time} is not after the curve end t={end}")
+            }
+            CurveError::BadPolySegment(msg) => write!(f, "bad polynomial segment: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CurveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_key_data() {
+        assert!(CurveError::TooFewPoints(1).to_string().contains('1'));
+        let e = CurveError::NotIncreasing { index: 3, time: 1.0, prev: 2.0 };
+        assert!(e.to_string().contains("point 3"));
+        assert!(CurveError::NonFinite { index: 5 }.to_string().contains('5'));
+        let e = CurveError::AppendNotAfterEnd { end: 9.0, time: 4.0 };
+        assert!(e.to_string().contains('9'));
+        assert!(CurveError::BadPolySegment("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,44 @@
+//! # chronorank-curve — the temporal function model
+//!
+//! The paper represents every temporal object `o_i` as a piecewise-linear
+//! function `g_i : [0,T] → ℝ` with `n_i` segments; the aggregate score of an
+//! object over a query interval is the integral `σ_i(t1,t2) = ∫ g_i`.
+//! This crate implements that model and the numeric kernels every method in
+//! the paper is built from:
+//!
+//! * [`Segment`] — one linear piece; trapezoid integral over a clipped
+//!   sub-interval (the paper's Eq. (1)), absolute-value integrals (for the
+//!   Section 4 negative-score extension), and accumulation-crossing solves
+//!   (used by breakpoint construction);
+//! * [`PiecewiseLinear`] — a validated sequence of segments with binary
+//!   search evaluation, interval integrals, prefix sums
+//!   `σ_i(I_{i,ℓ})` (the quantity EXACT2/EXACT3 store), and right-edge
+//!   appends (the paper's update model);
+//! * [`PiecewisePoly`] — the Section 4 extension to piecewise *polynomial*
+//!   curves with exact antiderivative integrals;
+//! * [`segmentation`] — algorithms that turn raw time-series samples into a
+//!   piecewise-linear representation (connect-the-dots, uniform thinning,
+//!   and adaptive bottom-up segmentation), since the paper assumes data
+//!   arrives already segmented by any such method;
+//! * [`numeric`] — shared robust solvers (quadratic accumulation
+//!   crossings).
+//!
+//! Everything is plain `f64` math with no storage dependencies.
+
+mod error;
+pub mod numeric;
+mod poly;
+mod pwl;
+mod segment;
+pub mod segmentation;
+
+pub use error::{CurveError, Result};
+pub use poly::{PiecewisePoly, PolySegment};
+pub use pwl::PiecewiseLinear;
+pub use segment::Segment;
+
+/// Objects' times are `f64` seconds (or any consistent unit) throughout.
+pub type Time = f64;
+
+/// Score values.
+pub type Value = f64;

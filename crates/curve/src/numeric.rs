@@ -1,0 +1,170 @@
+//! Robust numeric kernels shared by the curve model and the breakpoint
+//! sweeps in `chronorank-core`.
+
+/// Relative slack used by the crate's internal comparisons.
+pub const EPS: f64 = 1e-12;
+
+/// Solve for the smallest `δ > 0` such that the running integral of a linear
+/// function starting at value `v0` with slope `w` reaches `target`:
+///
+/// ```text
+///   F(δ) = w/2 · δ² + v0 · δ  =  target        (target > 0)
+/// ```
+///
+/// Returns `None` when the accumulation never reaches `target` (e.g. the
+/// value decays to zero first). This is the crossing solve used when placing
+/// a breakpoint inside a segment (paper §3.1); the closed form
+/// `2·target / (v0 + √(v0² + 2·w·target))` is the numerically stable root
+/// that degrades gracefully to `target / v0` as `w → 0`.
+pub fn accumulation_crossing(v0: f64, w: f64, target: f64) -> Option<f64> {
+    debug_assert!(target > 0.0, "crossing target must be positive");
+    if !v0.is_finite() || !w.is_finite() {
+        return None;
+    }
+    if w.abs() < EPS {
+        // Constant value: linear accumulation.
+        if v0 <= 0.0 {
+            return None;
+        }
+        return Some(target / v0);
+    }
+    let disc = v0 * v0 + 2.0 * w * target;
+    if disc < 0.0 {
+        // Downward slope peaks below the target.
+        return None;
+    }
+    let s = disc.sqrt();
+    let denom = v0 + s;
+    if denom <= 0.0 {
+        // v0 ≤ 0 and the parabola's positive branch: use the explicit root.
+        // For w > 0 the integral eventually reaches any target.
+        if w > 0.0 {
+            return Some((-v0 + s) / w);
+        }
+        return None;
+    }
+    let delta = 2.0 * target / denom;
+    if delta.is_finite() && delta >= 0.0 {
+        Some(delta)
+    } else {
+        None
+    }
+}
+
+/// True when `a` and `b` are equal within absolute slack `eps` scaled by
+/// magnitude (useful for integral identities).
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    let scale = 1.0_f64.max(a.abs()).max(b.abs());
+    (a - b).abs() <= eps * scale
+}
+
+/// Monotone bisection: find `x ∈ [lo, hi]` with `f(x) ≈ target` for a
+/// nondecreasing `f`. Used for polynomial accumulation crossings where no
+/// closed form exists. Returns `hi` clamped if the target is beyond range.
+pub fn monotone_bisect(mut lo: f64, mut hi: f64, target: f64, f: impl Fn(f64) -> f64) -> f64 {
+    debug_assert!(lo <= hi);
+    if f(hi) <= target {
+        return hi;
+    }
+    if f(lo) >= target {
+        return lo;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if !(lo < mid && mid < hi) {
+            break; // float exhaustion
+        }
+        if f(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accum(v0: f64, w: f64, d: f64) -> f64 {
+        0.5 * w * d * d + v0 * d
+    }
+
+    #[test]
+    fn crossing_constant_value() {
+        let d = accumulation_crossing(2.0, 0.0, 10.0).unwrap();
+        assert!(approx_eq(d, 5.0, 1e-12));
+    }
+
+    #[test]
+    fn crossing_rising_slope() {
+        let d = accumulation_crossing(1.0, 2.0, 4.0).unwrap();
+        assert!(approx_eq(accum(1.0, 2.0, d), 4.0, 1e-12), "got {d}");
+    }
+
+    #[test]
+    fn crossing_falling_slope_reached() {
+        // v0=4, w=-1: F peaks at δ=4 with value 8; target 6 is reachable.
+        let d = accumulation_crossing(4.0, -1.0, 6.0).unwrap();
+        assert!(approx_eq(accum(4.0, -1.0, d), 6.0, 1e-12));
+        assert!(d < 4.0, "must take the earlier crossing, got {d}");
+    }
+
+    #[test]
+    fn crossing_falling_slope_unreachable() {
+        // Peak accumulation is 8; target 9 can never be reached.
+        assert!(accumulation_crossing(4.0, -1.0, 9.0).is_none());
+    }
+
+    #[test]
+    fn crossing_zero_value_zero_slope() {
+        assert!(accumulation_crossing(0.0, 0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn crossing_zero_value_positive_slope() {
+        // F(δ) = δ²/2 = 2 → δ = 2.
+        let d = accumulation_crossing(0.0, 1.0, 2.0).unwrap();
+        assert!(approx_eq(d, 2.0, 1e-12));
+    }
+
+    #[test]
+    fn crossing_negative_start_positive_slope() {
+        // Starts negative, integral dips then recovers: v0=-1, w=1,
+        // F(δ) = δ²/2 - δ = 3 → δ = 1 + √7 ≈ 3.6458.
+        let d = accumulation_crossing(-1.0, 1.0, 3.0).unwrap();
+        assert!(approx_eq(accum(-1.0, 1.0, d), 3.0, 1e-12), "got {d}");
+    }
+
+    #[test]
+    fn crossing_matches_brute_force_on_grid() {
+        for &v0 in &[0.0, 0.5, 1.0, 10.0, 100.0] {
+            for &w in &[-2.0, -0.5, 0.0, 0.5, 2.0] {
+                for &target in &[0.1, 1.0, 7.3] {
+                    if let Some(d) = accumulation_crossing(v0, w, target) {
+                        assert!(d >= 0.0);
+                        assert!(
+                            approx_eq(accum(v0, w, d), target, 1e-9),
+                            "v0={v0} w={w} target={target} d={d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bisect_finds_crossing() {
+        let f = |x: f64| x * x * x; // monotone on [0, 10]
+        let x = monotone_bisect(0.0, 10.0, 27.0, f);
+        assert!(approx_eq(x, 3.0, 1e-9));
+    }
+
+    #[test]
+    fn bisect_clamps_out_of_range_targets() {
+        let f = |x: f64| x;
+        assert_eq!(monotone_bisect(0.0, 1.0, 5.0, f), 1.0);
+        assert_eq!(monotone_bisect(0.0, 1.0, -5.0, f), 0.0);
+    }
+}

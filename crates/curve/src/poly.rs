@@ -1,0 +1,301 @@
+//! Piecewise *polynomial* curves — the Section 4 extension.
+//!
+//! "all of our methods also naturally work with any piecewise polynomial
+//! functions p: the only change is [...] how to compute σ_i(I) [...] we
+//! simply compute it using the integral over p_{i,j}". Coefficients are
+//! stored relative to each segment's left endpoint for numerical stability,
+//! and integrals use exact antiderivatives.
+
+use crate::error::{CurveError, Result};
+use crate::numeric::monotone_bisect;
+use crate::{Time, Value};
+
+/// One polynomial piece: `p(t) = Σ_k coeffs[k] · (t - t0)^k` on `[t0, t1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolySegment {
+    /// Left time.
+    pub t0: Time,
+    /// Right time (strictly greater).
+    pub t1: Time,
+    /// Polynomial coefficients in the local variable `x = t - t0`.
+    pub coeffs: Vec<f64>,
+}
+
+impl PolySegment {
+    /// Construct and validate a polynomial segment.
+    pub fn new(t0: Time, t1: Time, coeffs: Vec<f64>) -> Result<Self> {
+        if coeffs.is_empty() {
+            return Err(CurveError::BadPolySegment("empty coefficient vector".into()));
+        }
+        if !(t1 > t0) || !t0.is_finite() || !t1.is_finite() {
+            return Err(CurveError::BadPolySegment(format!(
+                "non-positive or non-finite span [{t0}, {t1}]"
+            )));
+        }
+        if coeffs.iter().any(|c| !c.is_finite()) {
+            return Err(CurveError::BadPolySegment("non-finite coefficient".into()));
+        }
+        Ok(Self { t0, t1, coeffs })
+    }
+
+    /// A linear segment as a degree-1 polynomial (bridges from PWL).
+    pub fn from_linear(t0: Time, v0: Value, t1: Time, v1: Value) -> Result<Self> {
+        let w = (v1 - v0) / (t1 - t0);
+        Self::new(t0, t1, vec![v0, w])
+    }
+
+    /// Evaluate `p(t)` by Horner's rule (extrapolates outside the span).
+    pub fn eval(&self, t: Time) -> Value {
+        let x = t - self.t0;
+        let mut acc = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Antiderivative `P(x) = Σ_k coeffs[k]/(k+1) · x^{k+1}` evaluated at
+    /// `x = t - t0` (so `P(0) = 0`).
+    fn antiderivative_at(&self, t: Time) -> f64 {
+        let x = t - self.t0;
+        let mut acc = 0.0;
+        for (k, &c) in self.coeffs.iter().enumerate().rev() {
+            acc = acc * x + c / (k as f64 + 1.0);
+        }
+        acc * x
+    }
+
+    /// Exact integral of `p` over `[a, b] ∩ [t0, t1]` (the polynomial
+    /// replacement for the trapezoid formula Eq. (1)).
+    pub fn integral_clipped(&self, a: Time, b: Time) -> f64 {
+        let tl = a.max(self.t0);
+        let tr = b.min(self.t1);
+        if tr <= tl {
+            return 0.0;
+        }
+        self.antiderivative_at(tr) - self.antiderivative_at(tl)
+    }
+
+    /// Full-span integral.
+    pub fn integral_full(&self) -> f64 {
+        self.integral_clipped(self.t0, self.t1)
+    }
+
+    /// Smallest `t ≥ from` in the span at which `∫_from^t p = target`
+    /// (`target > 0`), found by monotone bisection (valid for non-negative
+    /// `p`, which is what breakpoint construction assumes). `None` when the
+    /// target is not reached by `t1`.
+    pub fn time_to_accumulate(&self, from: Time, target: f64) -> Option<Time> {
+        let from = from.max(self.t0);
+        if from >= self.t1 {
+            return None;
+        }
+        let total = self.integral_clipped(from, self.t1);
+        if total < target {
+            return None;
+        }
+        let t = monotone_bisect(from, self.t1, target, |x| self.integral_clipped(from, x));
+        Some(t)
+    }
+}
+
+/// A piecewise polynomial curve: contiguous [`PolySegment`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewisePoly {
+    segments: Vec<PolySegment>,
+}
+
+impl PiecewisePoly {
+    /// Build from contiguous segments (each must start where the previous
+    /// ended).
+    pub fn new(segments: Vec<PolySegment>) -> Result<Self> {
+        if segments.is_empty() {
+            return Err(CurveError::TooFewPoints(0));
+        }
+        for i in 1..segments.len() {
+            if (segments[i].t0 - segments[i - 1].t1).abs() > 1e-9 {
+                return Err(CurveError::BadPolySegment(format!(
+                    "segment {i} starts at {} but previous ends at {}",
+                    segments[i].t0,
+                    segments[i - 1].t1
+                )));
+            }
+        }
+        Ok(Self { segments })
+    }
+
+    /// Convert a piecewise-linear curve into degree-1 polynomial pieces.
+    pub fn from_pwl(pwl: &crate::PiecewiseLinear) -> Self {
+        let segments = pwl
+            .segments()
+            .map(|s| PolySegment::from_linear(s.t0, s.v0, s.t1, s.v1).expect("valid segment"))
+            .collect();
+        Self { segments }
+    }
+
+    /// Number of polynomial pieces.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The pieces, left to right.
+    pub fn segments(&self) -> &[PolySegment] {
+        &self.segments
+    }
+
+    /// Domain start.
+    pub fn start(&self) -> Time {
+        self.segments[0].t0
+    }
+
+    /// Domain end.
+    pub fn end(&self) -> Time {
+        self.segments.last().expect("non-empty").t1
+    }
+
+    /// Segment index containing `t` (half-open; last segment closed).
+    pub fn locate(&self, t: Time) -> Option<usize> {
+        if t < self.start() || t > self.end() {
+            return None;
+        }
+        if t == self.end() {
+            return Some(self.segments.len() - 1);
+        }
+        let idx = self.segments.partition_point(|s| s.t1 <= t);
+        Some(idx.min(self.segments.len() - 1))
+    }
+
+    /// Evaluate the curve, `None` outside the domain.
+    pub fn eval(&self, t: Time) -> Option<Value> {
+        let j = self.locate(t)?;
+        Some(self.segments[j].eval(t))
+    }
+
+    /// `∫_a^b p(t) dt`, clipped to the domain.
+    pub fn integral(&self, a: Time, b: Time) -> f64 {
+        if b <= a {
+            return 0.0;
+        }
+        let lo = a.max(self.start());
+        let hi = b.min(self.end());
+        if hi <= lo {
+            return 0.0;
+        }
+        let first = self.locate(lo).expect("clamped");
+        let mut acc = 0.0;
+        for seg in &self.segments[first..] {
+            if seg.t0 >= hi {
+                break;
+            }
+            acc += seg.integral_clipped(lo, hi);
+        }
+        acc
+    }
+
+    /// Total integral over the domain.
+    pub fn total(&self) -> f64 {
+        self.segments.iter().map(|s| s.integral_full()).sum()
+    }
+
+    /// Prefix sums at piece boundaries (`P[0] = 0`), the EXACT2/EXACT3
+    /// stored quantity for polynomial data.
+    pub fn prefix_sums(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.segments.len() + 1);
+        out.push(0.0);
+        let mut acc = 0.0;
+        for seg in &self.segments {
+            acc += seg.integral_full();
+            out.push(acc);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::approx_eq;
+    use crate::PiecewiseLinear;
+
+    #[test]
+    fn construction_validates() {
+        assert!(PolySegment::new(0.0, 1.0, vec![]).is_err());
+        assert!(PolySegment::new(1.0, 1.0, vec![1.0]).is_err());
+        assert!(PolySegment::new(0.0, 1.0, vec![f64::NAN]).is_err());
+        assert!(PiecewisePoly::new(vec![]).is_err());
+        let a = PolySegment::new(0.0, 1.0, vec![1.0]).unwrap();
+        let b = PolySegment::new(2.0, 3.0, vec![1.0]).unwrap();
+        assert!(PiecewisePoly::new(vec![a, b]).is_err(), "gap must be rejected");
+    }
+
+    #[test]
+    fn quadratic_eval_and_integral() {
+        // p(t) = (t-1)^2 on [1, 3]: coeffs [0, 0, 1].
+        let s = PolySegment::new(1.0, 3.0, vec![0.0, 0.0, 1.0]).unwrap();
+        assert!(approx_eq(s.eval(2.0), 1.0, 1e-12));
+        assert!(approx_eq(s.eval(3.0), 4.0, 1e-12));
+        // ∫_1^3 (t-1)^2 dt = 8/3.
+        assert!(approx_eq(s.integral_full(), 8.0 / 3.0, 1e-12));
+        // ∫_2^3 = (8-1)/3 = 7/3.
+        assert!(approx_eq(s.integral_clipped(2.0, 5.0), 7.0 / 3.0, 1e-12));
+    }
+
+    #[test]
+    fn degree_one_matches_trapezoid() {
+        let lin = crate::Segment::new(2.0, 1.0, 8.0, 4.0);
+        let p = PolySegment::from_linear(2.0, 1.0, 8.0, 4.0).unwrap();
+        for &(a, b) in &[(2.0, 8.0), (3.0, 5.0), (0.0, 4.0), (7.0, 20.0)] {
+            assert!(
+                approx_eq(p.integral_clipped(a, b), lin.integral_clipped(a, b), 1e-12),
+                "[{a},{b}]"
+            );
+        }
+    }
+
+    #[test]
+    fn from_pwl_preserves_integrals() {
+        let pwl =
+            PiecewiseLinear::from_points(&[(0.0, 0.0), (2.0, 4.0), (5.0, 1.0), (6.0, 1.0)])
+                .unwrap();
+        let poly = PiecewisePoly::from_pwl(&pwl);
+        assert_eq!(poly.num_segments(), 3);
+        for &(a, b) in &[(0.0, 6.0), (1.0, 3.0), (-2.0, 2.5), (5.5, 9.0)] {
+            assert!(approx_eq(poly.integral(a, b), pwl.integral(a, b), 1e-12), "[{a},{b}]");
+        }
+        assert!(approx_eq(poly.total(), pwl.total(), 1e-12));
+    }
+
+    #[test]
+    fn prefix_sums_telescope() {
+        let s1 = PolySegment::new(0.0, 1.0, vec![1.0]).unwrap(); // area 1
+        let s2 = PolySegment::new(1.0, 2.0, vec![0.0, 2.0]).unwrap(); // area 1
+        let s3 = PolySegment::new(2.0, 3.0, vec![0.0, 0.0, 3.0]).unwrap(); // area 1
+        let p = PiecewisePoly::new(vec![s1, s2, s3]).unwrap();
+        let pre = p.prefix_sums();
+        assert_eq!(pre.len(), 4);
+        assert!(approx_eq(pre[3], 3.0, 1e-12));
+        assert!(approx_eq(pre[2], 2.0, 1e-12));
+    }
+
+    #[test]
+    fn locate_and_eval() {
+        let s1 = PolySegment::new(0.0, 1.0, vec![1.0]).unwrap();
+        let s2 = PolySegment::new(1.0, 2.0, vec![5.0]).unwrap();
+        let p = PiecewisePoly::new(vec![s1, s2]).unwrap();
+        assert_eq!(p.locate(0.5), Some(0));
+        assert_eq!(p.locate(1.0), Some(1));
+        assert_eq!(p.locate(2.0), Some(1));
+        assert_eq!(p.locate(2.5), None);
+        assert_eq!(p.eval(0.5), Some(1.0));
+        assert_eq!(p.eval(1.5), Some(5.0));
+    }
+
+    #[test]
+    fn time_to_accumulate_quadratic() {
+        // p(t) = t² on [0,2], ∫_0^x = x³/3; target 1 → x = 3^{1/3}.
+        let s = PolySegment::new(0.0, 2.0, vec![0.0, 0.0, 1.0]).unwrap();
+        let t = s.time_to_accumulate(0.0, 1.0).unwrap();
+        assert!(approx_eq(t, 3.0_f64.cbrt(), 1e-9), "t={t}");
+        assert!(s.time_to_accumulate(0.0, 10.0).is_none());
+    }
+}

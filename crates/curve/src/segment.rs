@@ -1,0 +1,229 @@
+//! A single linear segment and the paper's Eq. (1) trapezoid integral.
+
+use crate::numeric::accumulation_crossing;
+use crate::{Time, Value};
+
+/// One linear piece `ℓ` of a temporal curve, spanning `[t0, t1]` with values
+/// `v0 = ℓ(t0)` and `v1 = ℓ(t1)`.
+///
+/// The paper writes segments as `g_{i,j}` defined by end-points
+/// `((t_{i,j-1}, v_{i,j-1}), (t_{i,j}, v_{i,j}))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Left time.
+    pub t0: Time,
+    /// Value at `t0`.
+    pub v0: Value,
+    /// Right time (strictly greater than `t0`).
+    pub t1: Time,
+    /// Value at `t1`.
+    pub v1: Value,
+}
+
+impl Segment {
+    /// Construct a segment; panics in debug builds on a non-positive span.
+    pub fn new(t0: Time, v0: Value, t1: Time, v1: Value) -> Self {
+        debug_assert!(t1 > t0, "segment must have positive duration");
+        Self { t0, v0, t1, v1 }
+    }
+
+    /// Segment duration `t1 - t0`.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.t1 - self.t0
+    }
+
+    /// Slope `w = (v1 - v0) / (t1 - t0)`.
+    #[inline]
+    pub fn slope(&self) -> f64 {
+        (self.v1 - self.v0) / (self.t1 - self.t0)
+    }
+
+    /// Value `ℓ(t)` by linear interpolation; `t` is expected inside
+    /// `[t0, t1]` but extrapolation is well-defined and used by clipping.
+    #[inline]
+    pub fn eval(&self, t: Time) -> Value {
+        self.v0 + self.slope() * (t - self.t0)
+    }
+
+    /// Integral over the whole segment (trapezoid area, signed).
+    #[inline]
+    pub fn integral_full(&self) -> f64 {
+        0.5 * (self.v0 + self.v1) * self.duration()
+    }
+
+    /// The paper's Eq. (1): the integral of `ℓ` over `[a, b] ∩ [t0, t1]`,
+    /// i.e. the signed trapezoid on `[tL, tR]` with
+    /// `tL = max(a, t0)`, `tR = min(b, t1)`; zero when they do not overlap.
+    pub fn integral_clipped(&self, a: Time, b: Time) -> f64 {
+        let tl = a.max(self.t0);
+        let tr = b.min(self.t1);
+        if tr <= tl {
+            return 0.0;
+        }
+        0.5 * (tr - tl) * (self.eval(tl) + self.eval(tr))
+    }
+
+    /// Integral of `|ℓ|` over `[a, b] ∩ [t0, t1]` (Section 4: negative
+    /// scores). Splits at the zero crossing when the segment changes sign.
+    pub fn abs_integral_clipped(&self, a: Time, b: Time) -> f64 {
+        let tl = a.max(self.t0);
+        let tr = b.min(self.t1);
+        if tr <= tl {
+            return 0.0;
+        }
+        let vl = self.eval(tl);
+        let vr = self.eval(tr);
+        if vl >= 0.0 && vr >= 0.0 {
+            return 0.5 * (tr - tl) * (vl + vr);
+        }
+        if vl <= 0.0 && vr <= 0.0 {
+            return -0.5 * (tr - tl) * (vl + vr);
+        }
+        // Sign change: split at the root t* = tl + |vl| / |slope-ish|.
+        let tstar = tl + (tr - tl) * vl.abs() / (vl.abs() + vr.abs());
+        0.5 * ((tstar - tl) * vl.abs() + (tr - tstar) * vr.abs())
+    }
+
+    /// Smallest `t ≥ from` within this segment at which
+    /// `∫_from^t ℓ = target` (for `target > 0`), or `None` when the target
+    /// is not reached by `t1`. Used when a breakpoint lands inside a
+    /// segment (paper §3.1, BREAKPOINTS2).
+    pub fn time_to_accumulate(&self, from: Time, target: f64) -> Option<Time> {
+        let from = from.max(self.t0);
+        if from >= self.t1 {
+            return None;
+        }
+        let v_at = self.eval(from);
+        let w = self.slope();
+        let delta = accumulation_crossing(v_at, w, target)?;
+        let t = from + delta;
+        // Guard against float drift just past the right endpoint.
+        if t <= self.t1 * (1.0 + 1e-15) + 1e-15 && t - from <= self.t1 - from + 1e-9 {
+            Some(t.min(self.t1))
+        } else {
+            None
+        }
+    }
+
+    /// True when `[a, b]` overlaps `[t0, t1)` with positive measure.
+    #[inline]
+    pub fn overlaps(&self, a: Time, b: Time) -> bool {
+        a.max(self.t0) < b.min(self.t1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::approx_eq;
+
+    fn seg() -> Segment {
+        // From (0, 2) to (4, 6): slope 1, integral 16.
+        Segment::new(0.0, 2.0, 4.0, 6.0)
+    }
+
+    #[test]
+    fn eval_and_slope() {
+        let s = seg();
+        assert_eq!(s.slope(), 1.0);
+        assert_eq!(s.eval(0.0), 2.0);
+        assert_eq!(s.eval(2.0), 4.0);
+        assert_eq!(s.eval(4.0), 6.0);
+        assert_eq!(s.duration(), 4.0);
+    }
+
+    #[test]
+    fn full_integral_is_trapezoid_area() {
+        assert_eq!(seg().integral_full(), 16.0);
+    }
+
+    #[test]
+    fn clipped_integral_inside() {
+        // ∫_1^3 (2+t) dt = [2t + t²/2] = (6+4.5)-(2+0.5) = 8.
+        assert!(approx_eq(seg().integral_clipped(1.0, 3.0), 8.0, 1e-12));
+    }
+
+    #[test]
+    fn clipped_integral_partial_overlap() {
+        // Clip to [3,4]: ∫_3^4 (2+t) dt = 5.5.
+        assert!(approx_eq(seg().integral_clipped(3.0, 10.0), 5.5, 1e-12));
+        // Clip to [0,1]: 2.5.
+        assert!(approx_eq(seg().integral_clipped(-5.0, 1.0), 2.5, 1e-12));
+    }
+
+    #[test]
+    fn clipped_integral_disjoint_is_zero() {
+        assert_eq!(seg().integral_clipped(5.0, 9.0), 0.0);
+        assert_eq!(seg().integral_clipped(-3.0, -1.0), 0.0);
+        assert_eq!(seg().integral_clipped(2.0, 2.0), 0.0); // empty interval
+    }
+
+    #[test]
+    fn eq1_matches_paper_formula() {
+        // Eq (1): ½ (tR − tL)(ℓ(tR) + ℓ(tL)) with tL = max(t1, ti,j) etc.
+        let s = Segment::new(2.0, 1.0, 8.0, 4.0);
+        let (a, b): (f64, f64) = (3.0, 11.0);
+        let tl = a.max(s.t0);
+        let tr = b.min(s.t1);
+        let expect = 0.5 * (tr - tl) * (s.eval(tr) + s.eval(tl));
+        assert!(approx_eq(s.integral_clipped(a, b), expect, 1e-12));
+    }
+
+    #[test]
+    fn abs_integral_positive_segment_equals_signed() {
+        let s = seg();
+        assert!(approx_eq(s.abs_integral_clipped(1.0, 3.0), s.integral_clipped(1.0, 3.0), 1e-12));
+    }
+
+    #[test]
+    fn abs_integral_negative_segment_flips_sign() {
+        let s = Segment::new(0.0, -2.0, 4.0, -6.0);
+        assert!(approx_eq(s.abs_integral_clipped(0.0, 4.0), 16.0, 1e-12));
+        assert!(approx_eq(s.integral_clipped(0.0, 4.0), -16.0, 1e-12));
+    }
+
+    #[test]
+    fn abs_integral_sign_change_splits_at_root() {
+        // From (0,-2) to (4,2): crosses zero at t=2.
+        let s = Segment::new(0.0, -2.0, 4.0, 2.0);
+        assert!(approx_eq(s.integral_clipped(0.0, 4.0), 0.0, 1e-12));
+        // |area| = 2 triangles of area 2 each.
+        assert!(approx_eq(s.abs_integral_clipped(0.0, 4.0), 4.0, 1e-12));
+        // Clipped across the root.
+        assert!(approx_eq(s.abs_integral_clipped(1.0, 3.0), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn time_to_accumulate_flat() {
+        let s = Segment::new(0.0, 2.0, 10.0, 2.0);
+        let t = s.time_to_accumulate(0.0, 6.0).unwrap();
+        assert!(approx_eq(t, 3.0, 1e-12));
+        // From an interior start.
+        let t = s.time_to_accumulate(4.0, 6.0).unwrap();
+        assert!(approx_eq(t, 7.0, 1e-12));
+    }
+
+    #[test]
+    fn time_to_accumulate_not_reached() {
+        let s = Segment::new(0.0, 1.0, 2.0, 1.0); // total area 2
+        assert!(s.time_to_accumulate(0.0, 5.0).is_none());
+        assert!(s.time_to_accumulate(2.0, 0.1).is_none()); // starts at end
+    }
+
+    #[test]
+    fn time_to_accumulate_sloped_matches_integral() {
+        let s = Segment::new(1.0, 0.5, 5.0, 4.5); // slope 1
+        let target = 3.7;
+        let t = s.time_to_accumulate(1.5, target).unwrap();
+        assert!(approx_eq(s.integral_clipped(1.5, t), target, 1e-9), "t={t}");
+    }
+
+    #[test]
+    fn overlaps_checks_positive_measure() {
+        let s = seg();
+        assert!(s.overlaps(3.0, 5.0));
+        assert!(!s.overlaps(4.0, 5.0));
+        assert!(!s.overlaps(-2.0, 0.0));
+    }
+}

@@ -1,0 +1,197 @@
+//! Time-series segmentation: producing piecewise-linear representations.
+//!
+//! The paper assumes "the data has already been converted to a piecewise
+//! linear representation by any segmentation method" (§1) and cites the
+//! standard observations: more segments → better fidelity; adaptive methods
+//! beat fixed-interval ones. This module supplies three such methods so the
+//! workspace is self-contained:
+//!
+//! * [`connect_samples`] — exactly what the paper does to the MesoWest and
+//!   Meme datasets: "we connect all consecutive readings";
+//! * [`uniform_segmentation`] — non-adaptive thinning to a target segment
+//!   count (keeps every `⌈n/target⌉`-th sample);
+//! * [`bottom_up_segmentation`] — the classic adaptive bottom-up merge
+//!   (Keogh et al.), merging the cheapest adjacent pair until the target
+//!   count is reached.
+
+use crate::error::{CurveError, Result};
+use crate::pwl::PiecewiseLinear;
+
+/// Connect consecutive `(time, value)` samples into a PWL curve (no
+/// approximation; `n-1` segments from `n` samples).
+pub fn connect_samples(samples: &[(f64, f64)]) -> Result<PiecewiseLinear> {
+    PiecewiseLinear::from_points(samples)
+}
+
+/// Non-adaptive segmentation: keep every `k`-th sample so that roughly
+/// `target_segments` remain; the first and last samples are always kept.
+pub fn uniform_segmentation(samples: &[(f64, f64)], target_segments: usize) -> Result<PiecewiseLinear> {
+    if samples.len() < 2 {
+        return Err(CurveError::TooFewPoints(samples.len()));
+    }
+    let target_points = target_segments.max(1) + 1;
+    if target_points >= samples.len() {
+        return connect_samples(samples);
+    }
+    let n = samples.len();
+    let mut points = Vec::with_capacity(target_points);
+    // Evenly spaced indices including both endpoints.
+    for i in 0..target_points {
+        let idx = (i as f64 * (n - 1) as f64 / (target_points - 1) as f64).round() as usize;
+        points.push(samples[idx]);
+    }
+    points.dedup_by(|a, b| a.0 == b.0);
+    PiecewiseLinear::from_points(&points)
+}
+
+/// Maximum vertical deviation of the interior samples of
+/// `samples[lo..=hi]` from the chord connecting `samples[lo]` to
+/// `samples[hi]`.
+fn chord_error(samples: &[(f64, f64)], lo: usize, hi: usize) -> f64 {
+    let (t0, v0) = samples[lo];
+    let (t1, v1) = samples[hi];
+    let w = (v1 - v0) / (t1 - t0);
+    samples[lo + 1..hi]
+        .iter()
+        .map(|&(t, v)| (v - (v0 + w * (t - t0))).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Adaptive bottom-up segmentation: start from connect-the-dots and merge
+/// the adjacent segment pair with the smallest chord error until only
+/// `target_segments` remain (or no merge stays below `max_error`, if given).
+///
+/// Returns the kept sample points as a PWL curve. `O(n²)` in the worst case
+/// with small constants — intended for preprocessing, not the query path.
+pub fn bottom_up_segmentation(
+    samples: &[(f64, f64)],
+    target_segments: usize,
+    max_error: Option<f64>,
+) -> Result<PiecewiseLinear> {
+    if samples.len() < 2 {
+        return Err(CurveError::TooFewPoints(samples.len()));
+    }
+    let target_segments = target_segments.max(1);
+    // Indices of currently-kept samples.
+    let mut kept: Vec<usize> = (0..samples.len()).collect();
+    while kept.len() - 1 > target_segments {
+        // Find the interior kept point whose removal has the least cost.
+        let mut best: Option<(usize, f64)> = None;
+        for k in 1..kept.len() - 1 {
+            let err = chord_error(samples, kept[k - 1], kept[k + 1]);
+            if best.map_or(true, |(_, e)| err < e) {
+                best = Some((k, err));
+            }
+        }
+        let (k, err) = best.expect("at least one interior point");
+        if let Some(bound) = max_error {
+            if err > bound {
+                break; // no merge is admissible any more
+            }
+        }
+        kept.remove(k);
+    }
+    let points: Vec<(f64, f64)> = kept.into_iter().map(|i| samples[i]).collect();
+    PiecewiseLinear::from_points(&points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::approx_eq;
+
+    fn ramp(n: usize) -> Vec<(f64, f64)> {
+        (0..n).map(|i| (i as f64, 2.0 * i as f64)).collect()
+    }
+
+    #[test]
+    fn connect_keeps_every_sample() {
+        let s = ramp(10);
+        let c = connect_samples(&s).unwrap();
+        assert_eq!(c.num_segments(), 9);
+        assert_eq!(c.eval(4.5), Some(9.0));
+    }
+
+    #[test]
+    fn uniform_hits_target_count() {
+        let s = ramp(101);
+        let c = uniform_segmentation(&s, 10).unwrap();
+        assert_eq!(c.num_segments(), 10);
+        assert_eq!(c.domain(), (0.0, 100.0));
+        // A straight line survives thinning exactly.
+        assert!(approx_eq(c.integral(0.0, 100.0), 100.0 * 200.0 / 2.0, 1e-9));
+    }
+
+    #[test]
+    fn uniform_with_generous_target_is_lossless() {
+        let s = ramp(5);
+        let c = uniform_segmentation(&s, 100).unwrap();
+        assert_eq!(c.num_segments(), 4);
+    }
+
+    #[test]
+    fn bottom_up_removes_collinear_points_first() {
+        // A spike at t=5 inside an otherwise straight line: adaptive
+        // segmentation must keep the spike.
+        let mut s = ramp(11);
+        s[5].1 = 50.0;
+        let c = bottom_up_segmentation(&s, 4, None).unwrap();
+        assert_eq!(c.num_segments(), 4);
+        assert!(
+            c.times().contains(&5.0),
+            "spike sample must survive adaptive merging, kept: {:?}",
+            c.times()
+        );
+    }
+
+    #[test]
+    fn bottom_up_respects_error_bound() {
+        let mut s = ramp(11);
+        s[5].1 = 50.0;
+        // With a tight error bound nothing near the spike merges; the flat
+        // collinear points (error 0) still can.
+        let c = bottom_up_segmentation(&s, 1, Some(0.0)).unwrap();
+        assert!(c.times().contains(&5.0));
+        assert!(c.num_segments() >= 2);
+    }
+
+    #[test]
+    fn bottom_up_exact_on_line() {
+        let s = ramp(50);
+        let c = bottom_up_segmentation(&s, 1, None).unwrap();
+        assert_eq!(c.num_segments(), 1);
+        assert!(approx_eq(c.integral(0.0, 49.0), 49.0 * 98.0 / 2.0, 1e-9));
+    }
+
+    #[test]
+    fn too_few_samples_is_an_error() {
+        assert!(connect_samples(&[(0.0, 1.0)]).is_err());
+        assert!(uniform_segmentation(&[(0.0, 1.0)], 3).is_err());
+        assert!(bottom_up_segmentation(&[], 3, None).is_err());
+    }
+
+    #[test]
+    fn adaptive_beats_uniform_on_bursty_data() {
+        // Paper §1 observation 2: adaptive segmentation allocates segments
+        // to volatile regions and wins at equal budgets.
+        let mut s: Vec<(f64, f64)> = Vec::new();
+        for i in 0..200 {
+            let t = i as f64;
+            // Flat until t=150, then a sharp triangle wave.
+            let v = if i < 150 { 1.0 } else { if i % 2 == 0 { 10.0 } else { 0.0 } };
+            s.push((t, v));
+        }
+        let budget = 30;
+        let uni = uniform_segmentation(&s, budget).unwrap();
+        let ada = bottom_up_segmentation(&s, budget, None).unwrap();
+        let err = |c: &crate::PiecewiseLinear| -> f64 {
+            s.iter().map(|&(t, v)| (c.eval(t).unwrap_or(0.0) - v).abs()).fold(0.0, f64::max)
+        };
+        assert!(
+            err(&ada) <= err(&uni),
+            "adaptive {} should beat uniform {}",
+            err(&ada),
+            err(&uni)
+        );
+    }
+}

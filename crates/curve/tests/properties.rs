@@ -1,0 +1,133 @@
+//! Property-based tests for the curve model: the integral identities every
+//! method in the paper relies on must hold for arbitrary curves.
+
+use chronorank_curve::numeric::approx_eq;
+use chronorank_curve::{PiecewiseLinear, PiecewisePoly};
+use proptest::prelude::*;
+
+/// Strategy: a valid piecewise-linear curve with 1..=40 segments, times in
+/// [0, 1000], values in [-50, 50].
+fn arb_pwl() -> impl Strategy<Value = PiecewiseLinear> {
+    (2usize..=41).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0.01f64..50.0, n - 1),
+            proptest::collection::vec(-50.0f64..50.0, n),
+            0.0f64..100.0,
+        )
+            .prop_map(|(gaps, values, t0)| {
+                let mut times = Vec::with_capacity(values.len());
+                let mut t = t0;
+                times.push(t);
+                for g in gaps {
+                    t += g;
+                    times.push(t);
+                }
+                PiecewiseLinear::from_times_values(times, values).expect("constructed valid")
+            })
+    })
+}
+
+/// A query interval loosely around a curve's domain.
+fn arb_interval() -> impl Strategy<Value = (f64, f64)> {
+    (-100.0f64..1200.0, 0.0f64..500.0).prop_map(|(a, len)| (a, a + len))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Additivity: σ(a,c) = σ(a,b) + σ(b,c).
+    #[test]
+    fn integral_is_additive(c in arb_pwl(), (a, len) in arb_interval(), frac in 0.0f64..1.0) {
+        let b = a + len * frac;
+        let cc = a + len;
+        let whole = c.integral(a, cc);
+        let parts = c.integral(a, b) + c.integral(b, cc);
+        prop_assert!(approx_eq(whole, parts, 1e-9), "whole={whole} parts={parts}");
+    }
+
+    /// The O(log n) prefix-sum path (Eq. (2)) agrees with direct summation.
+    #[test]
+    fn prefix_integral_matches_direct(c in arb_pwl(), (a, b) in arb_interval()) {
+        let p = c.prefix_sums();
+        let direct = c.integral(a, b);
+        let via = c.integral_prefix(&p, a, b);
+        prop_assert!(approx_eq(direct, via, 1e-9), "direct={direct} via={via}");
+    }
+
+    /// |∫ g| ≤ ∫ |g| with equality for sign-constant curves.
+    #[test]
+    fn abs_integral_dominates(c in arb_pwl(), (a, b) in arb_interval()) {
+        let signed = c.integral(a, b).abs();
+        let abs = c.abs_integral(a, b);
+        prop_assert!(signed <= abs + 1e-9 * (1.0 + abs), "signed={signed} abs={abs}");
+    }
+
+    /// Locate is consistent with segment spans and eval interpolates within
+    /// vertex bounds.
+    #[test]
+    fn locate_and_eval_consistent(c in arb_pwl(), frac in 0.0f64..=1.0) {
+        let (s, e) = c.domain();
+        let t = s + (e - s) * frac;
+        let j = c.locate(t).expect("inside domain");
+        let seg = c.segment(j);
+        prop_assert!(seg.t0 <= t && t <= seg.t1);
+        let v = c.eval(t).unwrap();
+        let lo = seg.v0.min(seg.v1) - 1e-9;
+        let hi = seg.v0.max(seg.v1) + 1e-9;
+        prop_assert!(v >= lo && v <= hi, "eval {v} outside [{lo}, {hi}]");
+    }
+
+    /// Degree-1 piecewise polynomials are numerically identical to PWL.
+    #[test]
+    fn poly_bridge_is_exact(c in arb_pwl(), (a, b) in arb_interval()) {
+        let poly = PiecewisePoly::from_pwl(&c);
+        prop_assert!(approx_eq(poly.integral(a, b), c.integral(a, b), 1e-9));
+    }
+
+    /// Prefix sums are consistent with total and are nondecreasing for
+    /// non-negative curves.
+    #[test]
+    fn prefix_sums_structure(c in arb_pwl()) {
+        let p = c.prefix_sums();
+        prop_assert_eq!(p.len(), c.num_points());
+        prop_assert!(approx_eq(*p.last().unwrap(), c.total(), 1e-9));
+        if c.min_value() >= 0.0 {
+            for w in p.windows(2) {
+                prop_assert!(w[1] >= w[0] - 1e-12);
+            }
+        }
+    }
+
+    /// Appending a point extends the integral by exactly the new trapezoid.
+    #[test]
+    fn append_adds_one_trapezoid(mut c in arb_pwl(), dt in 0.01f64..10.0, v in -50.0f64..50.0) {
+        let before = c.total();
+        let (t_end, v_end) = c.point(c.num_points() - 1);
+        c.append(t_end + dt, v).unwrap();
+        let expect = before + 0.5 * (v_end + v) * dt;
+        prop_assert!(approx_eq(c.total(), expect, 1e-9));
+    }
+
+    /// time_to_accumulate inverts integral on non-negative segments.
+    #[test]
+    fn accumulate_inverts_integral(
+        t0 in 0.0f64..100.0,
+        dur in 0.1f64..50.0,
+        v0 in 0.0f64..20.0,
+        v1 in 0.0f64..20.0,
+        frac in 0.05f64..0.95,
+    ) {
+        let seg = chronorank_curve::Segment::new(t0, v0, t0 + dur, v1);
+        let full = seg.integral_full();
+        prop_assume!(full > 1e-6);
+        let target = full * frac;
+        if let Some(t) = seg.time_to_accumulate(t0, target) {
+            let got = seg.integral_clipped(t0, t);
+            prop_assert!(approx_eq(got, target, 1e-6), "got={got} target={target}");
+        } else {
+            // Only permissible if the accumulation genuinely stalls (zero
+            // values at the start).
+            prop_assert!(v0 == 0.0 && v1 == 0.0);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Storage environments: factories for [`PagedFile`]s that share one IO
+//! counter and one configuration.
+//!
+//! An index structure in this workspace opens all of its files from a single
+//! [`Env`]; the environment's counter then reports the structure's total IO,
+//! mirroring how the paper charges all block transfers of a method to one
+//! budget.
+
+use crate::device::{FileDevice, MemDevice};
+use crate::error::{Result, StorageError};
+use crate::pool::{PagedFile, StoreConfig};
+use crate::stats::{IoCounter, IoStats};
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+/// Where an [`Env`] places its files.
+#[derive(Debug, Clone)]
+pub enum EnvBacking {
+    /// Everything in RAM ([`MemDevice`]); IO counting is identical to disk.
+    Memory,
+    /// One OS file per logical file inside this directory.
+    Directory(PathBuf),
+}
+
+/// A factory for [`PagedFile`]s sharing one [`IoCounter`].
+pub struct Env {
+    backing: EnvBacking,
+    config: StoreConfig,
+    counter: IoCounter,
+    names: RefCell<HashSet<String>>,
+    /// Name prefix (used by [`Env::child`] to give sub-environments their
+    /// own namespace while sharing the counter).
+    prefix: String,
+    children: std::cell::Cell<u32>,
+}
+
+impl Env {
+    /// An in-memory environment (the default for tests and benchmarks).
+    pub fn mem(config: StoreConfig) -> Self {
+        Self {
+            backing: EnvBacking::Memory,
+            config,
+            counter: IoCounter::new(),
+            names: RefCell::new(HashSet::new()),
+            prefix: String::new(),
+            children: std::cell::Cell::new(0),
+        }
+    }
+
+    /// A directory-backed environment; the directory is created if missing.
+    pub fn dir(path: impl Into<PathBuf>, config: StoreConfig) -> Result<Self> {
+        let path = path.into();
+        std::fs::create_dir_all(&path)?;
+        Ok(Self {
+            backing: EnvBacking::Directory(path),
+            config,
+            counter: IoCounter::new(),
+            names: RefCell::new(HashSet::new()),
+            prefix: String::new(),
+            children: std::cell::Cell::new(0),
+        })
+    }
+
+    /// A sub-environment with its own file namespace but **sharing this
+    /// environment's IO counter** — used by composite indexes (e.g. APPX2+
+    /// combines QUERY2 with an EXACT2 forest and reports one IO total).
+    pub fn child(&self) -> Env {
+        let n = self.children.get();
+        self.children.set(n + 1);
+        Env {
+            backing: self.backing.clone(),
+            config: self.config,
+            counter: self.counter.clone(),
+            names: RefCell::new(HashSet::new()),
+            prefix: format!("{}c{n}_", self.prefix),
+            children: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The environment's block size.
+    pub fn block_size(&self) -> usize {
+        self.config.block_size
+    }
+
+    /// The environment's configuration.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Create a new logical file. Names must be unique within the
+    /// environment.
+    pub fn create_file(&self, name: &str) -> Result<PagedFile> {
+        if !self.names.borrow_mut().insert(name.to_string()) {
+            return Err(StorageError::DuplicateFile(name.to_string()));
+        }
+        let device: Box<dyn crate::BlockDevice> = match &self.backing {
+            EnvBacking::Memory => Box::new(MemDevice::new(self.config.block_size)),
+            EnvBacking::Directory(dir) => {
+                let path = dir.join(sanitize(&format!("{}{name}", self.prefix)));
+                Box::new(FileDevice::create(&path, self.config.block_size)?)
+            }
+        };
+        Ok(PagedFile::new(device, self.config, self.counter.clone()))
+    }
+
+    /// The shared counter.
+    pub fn io(&self) -> IoCounter {
+        self.counter.clone()
+    }
+
+    /// Snapshot of the shared counter.
+    pub fn io_stats(&self) -> IoStats {
+        self.counter.snapshot()
+    }
+
+    /// Zero the shared counter.
+    pub fn reset_io(&self) {
+        self.counter.reset()
+    }
+}
+
+/// Keep file names filesystem-safe.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn files_share_the_environment_counter() {
+        let env = Env::mem(StoreConfig { block_size: 128, pool_capacity: 2 });
+        let a = env.create_file("a").unwrap();
+        let b = env.create_file("b").unwrap();
+        let ia = a.allocate(1).unwrap();
+        let ib = b.allocate(1).unwrap();
+        a.write(ia, &vec![1u8; 128]).unwrap();
+        b.write(ib, &vec![2u8; 128]).unwrap();
+        a.drop_cache().unwrap();
+        b.drop_cache().unwrap();
+        let mut buf = vec![0u8; 128];
+        a.read(ia, &mut buf).unwrap();
+        b.read(ib, &mut buf).unwrap();
+        let s = env.io_stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let env = Env::mem(StoreConfig::default());
+        env.create_file("x").unwrap();
+        assert!(matches!(env.create_file("x"), Err(StorageError::DuplicateFile(_))));
+    }
+
+    #[test]
+    fn dir_backed_env_round_trips() {
+        let dir = std::env::temp_dir().join(format!("chronorank-env-{}", std::process::id()));
+        let env = Env::dir(&dir, StoreConfig { block_size: 256, pool_capacity: 2 }).unwrap();
+        let f = env.create_file("weird/name with spaces").unwrap();
+        let id = f.allocate(1).unwrap();
+        f.write(id, &vec![9u8; 256]).unwrap();
+        f.flush().unwrap();
+        let mut buf = vec![0u8; 256];
+        f.drop_cache().unwrap();
+        f.read(id, &mut buf).unwrap();
+        assert_eq!(buf[0], 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reset_io_zeroes_shared_counter() {
+        let env = Env::mem(StoreConfig { block_size: 128, pool_capacity: 2 });
+        let f = env.create_file("f").unwrap();
+        let id = f.allocate(1).unwrap();
+        f.write(id, &vec![0u8; 128]).unwrap();
+        f.flush().unwrap();
+        assert!(env.io_stats().writes > 0);
+        env.reset_io();
+        assert_eq!(env.io_stats(), IoStats::default());
+    }
+}

@@ -1,0 +1,64 @@
+//! # chronorank-storage — block storage engine
+//!
+//! The paper ("Ranking Large Temporal Data", VLDB 2012) implements all of its
+//! index structures on top of TPIE, an external-memory library that moves
+//! data in fixed-size blocks and reports costs in **block IOs**. This crate
+//! is the equivalent substrate for the Rust reproduction:
+//!
+//! * [`BlockDevice`] — a raw array of fixed-size blocks, either in memory
+//!   ([`MemDevice`]) or backed by a file ([`FileDevice`]);
+//! * [`PagedFile`] — a buffer-pool-cached view of a device with clock
+//!   (second-chance) eviction and write-back caching;
+//! * [`IoCounter`] / [`IoStats`] — shared counters that record every block
+//!   transfer between the pool and the device. These counters are the
+//!   quantity reported as "I/Os" in the paper's figures;
+//! * [`Env`] — a factory that hands out [`PagedFile`]s sharing one counter,
+//!   so a multi-structure index (e.g. EXACT2's forest of B+-trees) has a
+//!   single IO budget.
+//!
+//! All structures are single-threaded by design (queries in the paper are
+//! sequential); the pool uses interior mutability so that read paths take
+//! `&self`.
+//!
+//! ## Example
+//!
+//! ```
+//! use chronorank_storage::{Env, StoreConfig};
+//!
+//! let env = Env::mem(StoreConfig::default());
+//! let f = env.create_file("data").unwrap();
+//! let id = f.allocate(1).unwrap();
+//! let mut page = vec![0u8; f.block_size()];
+//! page[..4].copy_from_slice(&42u32.to_le_bytes());
+//! f.write(id, &page).unwrap();
+//! f.flush().unwrap();
+//! f.drop_cache().unwrap();
+//!
+//! let mut out = vec![0u8; f.block_size()];
+//! f.read(id, &mut out).unwrap();
+//! assert_eq!(&out[..4], &42u32.to_le_bytes());
+//! assert!(env.io_stats().reads >= 1);
+//! ```
+
+mod device;
+mod env;
+mod error;
+pub mod page;
+mod pool;
+mod stats;
+
+pub use device::{BlockDevice, FileDevice, MemDevice};
+pub use env::{Env, EnvBacking};
+pub use error::{Result, StorageError};
+pub use pool::{PagedFile, StoreConfig};
+pub use stats::{IoCounter, IoStats};
+
+/// Identifier of a block within one [`BlockDevice`] / [`PagedFile`].
+pub type PageId = u64;
+
+/// The paper's default block size (TPIE was configured with 4 KB blocks).
+pub const DEFAULT_BLOCK_SIZE: usize = 4096;
+
+/// Default number of frames in a buffer pool (4 MB of cache at the default
+/// block size — deliberately small so that cold-query IO counts are honest).
+pub const DEFAULT_POOL_CAPACITY: usize = 1024;

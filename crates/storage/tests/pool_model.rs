@@ -1,0 +1,70 @@
+//! Property test: a [`PagedFile`] under arbitrary read/write/flush/drop
+//! sequences must behave exactly like a plain in-memory array of blocks,
+//! and its IO counters must never exceed the workload's worst case.
+
+use chronorank_storage::{Env, StoreConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u8, u8),
+    Read(u8),
+    Flush,
+    DropCache,
+}
+
+fn arb_op(max_block: u8) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..max_block, any::<u8>()).prop_map(|(b, v)| Op::Write(b, v)),
+        (0..max_block).prop_map(Op::Read),
+        Just(Op::Flush),
+        Just(Op::DropCache),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pool_matches_flat_array_model(
+        ops in proptest::collection::vec(arb_op(12), 1..120),
+        pool_frames in 1usize..6,
+    ) {
+        let block_size = 128usize;
+        let env = Env::mem(StoreConfig { block_size, pool_capacity: pool_frames });
+        let file = env.create_file("model").unwrap();
+        file.allocate(12).unwrap();
+        let mut model = vec![vec![0u8; block_size]; 12];
+        let mut buf = vec![0u8; block_size];
+        let mut logical_accesses = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Write(b, v) => {
+                    buf.fill(v);
+                    file.write(b as u64, &buf).unwrap();
+                    model[b as usize].fill(v);
+                    logical_accesses += 1;
+                }
+                Op::Read(b) => {
+                    file.read(b as u64, &mut buf).unwrap();
+                    prop_assert_eq!(&buf, &model[b as usize], "block {} diverged", b);
+                    logical_accesses += 1;
+                }
+                Op::Flush => file.flush().unwrap(),
+                Op::DropCache => file.drop_cache().unwrap(),
+            }
+        }
+        // Final cold read-back of everything.
+        file.drop_cache().unwrap();
+        for (i, want) in model.iter().enumerate() {
+            file.read(i as u64, &mut buf).unwrap();
+            prop_assert_eq!(&buf, want, "final block {}", i);
+        }
+        // Sanity on the counters: reads can never exceed logical accesses
+        // plus the final read-back; each flush/eviction writes each dirty
+        // block at most once per dirtying.
+        let io = env.io_stats();
+        prop_assert!(io.reads <= logical_accesses + 12);
+        prop_assert!(io.writes <= logical_accesses + 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! CSV import/export for temporal datasets.
+//!
+//! The bridge for running `chronorank` on *real* data (e.g. an actual
+//! MesoWest export): a minimal, dependency-free reader/writer for the
+//! three-column format
+//!
+//! ```csv
+//! object_id,time,value
+//! 0,0.0,281.5
+//! 0,3600.0,282.1
+//! 1,120.0,279.9
+//! ```
+//!
+//! Rows may arrive grouped by object in any object order; within an
+//! object, times must be strictly increasing (the paper's preprocessing —
+//! "connect all consecutive readings" — is applied verbatim). Object ids
+//! are remapped densely in first-appearance order; the mapping is
+//! returned so answers can be translated back.
+
+use crate::DatasetGenerator;
+use chronorank_core::{ObjectId, TemporalObject};
+use chronorank_curve::PiecewiseLinear;
+use std::collections::HashMap;
+use std::io::{BufRead, BufWriter, Write};
+
+/// Errors raised while parsing a dataset CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A malformed row (message includes the 1-based line number).
+    Parse(String),
+    /// A structurally invalid object (too few points, non-increasing
+    /// times).
+    BadObject(String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io: {e}"),
+            CsvError::Parse(m) => write!(f, "csv parse: {m}"),
+            CsvError::BadObject(m) => write!(f, "csv object: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// A dataset parsed from CSV, with the original→dense id mapping.
+#[derive(Debug)]
+pub struct CsvDataset {
+    /// The parsed objects (dense ids).
+    pub objects: Vec<TemporalObject>,
+    /// `original id string → dense ObjectId`.
+    pub id_map: HashMap<String, ObjectId>,
+}
+
+impl DatasetGenerator for CsvDataset {
+    fn generate(&self) -> Vec<TemporalObject> {
+        self.objects.clone()
+    }
+}
+
+/// Read a `object_id,time,value` CSV (header optional) from any reader.
+pub fn read_csv(reader: impl BufRead) -> Result<CsvDataset, CsvError> {
+    let mut per_object: Vec<Vec<(f64, f64)>> = Vec::new();
+    let mut id_map: HashMap<String, ObjectId> = HashMap::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let (id_s, t_s, v_s) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(b), Some(c)) => (a.trim(), b.trim(), c.trim()),
+            _ => {
+                return Err(CsvError::Parse(format!(
+                    "line {}: expected 3 comma-separated fields, got {line:?}",
+                    lineno + 1
+                )))
+            }
+        };
+        // Skip a header row.
+        if lineno == 0 && t_s.parse::<f64>().is_err() {
+            continue;
+        }
+        let t: f64 = t_s.parse().map_err(|_| {
+            CsvError::Parse(format!("line {}: bad time {t_s:?}", lineno + 1))
+        })?;
+        let v: f64 = v_s.parse().map_err(|_| {
+            CsvError::Parse(format!("line {}: bad value {v_s:?}", lineno + 1))
+        })?;
+        let next_id = per_object.len() as ObjectId;
+        let dense = *id_map.entry(id_s.to_string()).or_insert(next_id);
+        if dense as usize == per_object.len() {
+            per_object.push(Vec::new());
+        }
+        per_object[dense as usize].push((t, v));
+    }
+    let mut objects = Vec::with_capacity(per_object.len());
+    for (i, pts) in per_object.into_iter().enumerate() {
+        let curve = PiecewiseLinear::from_points(&pts).map_err(|e| {
+            CsvError::BadObject(format!("object #{i}: {e}"))
+        })?;
+        objects.push(TemporalObject { id: i as ObjectId, curve });
+    }
+    if objects.is_empty() {
+        return Err(CsvError::BadObject("no data rows found".into()));
+    }
+    Ok(CsvDataset { objects, id_map })
+}
+
+/// Read a dataset CSV from a file path.
+pub fn read_csv_file(path: &std::path::Path) -> Result<CsvDataset, CsvError> {
+    read_csv(std::io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Write objects as `object_id,time,value` rows (with header).
+pub fn write_csv(objects: &[TemporalObject], writer: impl Write) -> Result<(), CsvError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "object_id,time,value")?;
+    for o in objects {
+        for j in 0..o.curve.num_points() {
+            let (t, v) = o.curve.point(j);
+            writeln!(w, "{},{t},{v}", o.id)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write objects to a CSV file.
+pub fn write_csv_file(objects: &[TemporalObject], path: &std::path::Path) -> Result<(), CsvError> {
+    write_csv(objects, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TempConfig, TempGenerator};
+
+    #[test]
+    fn parse_simple_csv_with_header() {
+        let data = "object_id,time,value\n\
+                    st-7,0.0,1.0\n\
+                    st-7,1.0,2.0\n\
+                    st-9,0.5,5.0\n\
+                    # comment line\n\
+                    st-9,2.5,5.0\n";
+        let ds = read_csv(data.as_bytes()).unwrap();
+        assert_eq!(ds.objects.len(), 2);
+        assert_eq!(ds.id_map["st-7"], 0);
+        assert_eq!(ds.id_map["st-9"], 1);
+        let set = ds.generate_set();
+        assert_eq!(set.num_segments(), 2);
+        assert!((set.score(1, 0.5, 2.5).unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_headerless_csv() {
+        let data = "0,0.0,1.0\n0,2.0,3.0\n";
+        let ds = read_csv(data.as_bytes()).unwrap();
+        assert_eq!(ds.objects.len(), 1);
+        assert_eq!(ds.objects[0].curve.num_segments(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        // Line 1 may be a header, so malformed rows are probed on line 2.
+        let hdr = "object_id,time,value\n";
+        assert!(matches!(
+            read_csv(format!("{hdr}only,two\n").as_bytes()),
+            Err(CsvError::Parse(_))
+        ));
+        assert!(matches!(
+            read_csv(format!("{hdr}0,abc,1\n").as_bytes()),
+            Err(CsvError::Parse(_))
+        ));
+        assert!(matches!(
+            read_csv(format!("{hdr}0,1.0,xyz\n").as_bytes()),
+            Err(CsvError::Parse(_))
+        ));
+        assert!(matches!(read_csv("".as_bytes()), Err(CsvError::BadObject(_))));
+        // Non-increasing times within an object.
+        assert!(matches!(
+            read_csv("0,5.0,1.0\n0,4.0,1.0\n".as_bytes()),
+            Err(CsvError::BadObject(_))
+        ));
+    }
+
+    #[test]
+    fn roundtrip_generated_dataset() {
+        let objs = TempGenerator::new(TempConfig {
+            objects: 5,
+            avg_segments: 20,
+            seed: 77,
+            dropout: 0.0,
+        })
+        .generate();
+        let mut buf = Vec::new();
+        write_csv(&objs, &mut buf).unwrap();
+        let ds = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(ds.objects.len(), objs.len());
+        for (a, b) in objs.iter().zip(&ds.objects) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.curve.num_points(), b.curve.num_points());
+            for j in 0..a.curve.num_points() {
+                let (ta, va) = a.curve.point(j);
+                let (tb, vb) = b.curve.point(j);
+                assert!((ta - tb).abs() < 1e-9 && (va - vb).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("chronorank-csv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.csv");
+        let objs = TempGenerator::new(TempConfig {
+            objects: 3,
+            avg_segments: 10,
+            seed: 5,
+            dropout: 0.0,
+        })
+        .generate();
+        write_csv_file(&objs, &path).unwrap();
+        let ds = read_csv_file(&path).unwrap();
+        assert_eq!(ds.objects.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,51 @@
+//! # chronorank-workloads — synthetic datasets and query workloads
+//!
+//! The paper evaluates on two large real datasets that are not
+//! redistributable:
+//!
+//! * **Temp** — MesoWest temperature readings (26,383 stations, ~2.6·10⁹
+//!   readings, 1997–2011), preprocessed into one object per station-year
+//!   (`m = 145,628`, `n_avg = 17,833`), piecewise-linear by connecting
+//!   consecutive readings;
+//! * **Meme** — Memetracker phrase/URL records (`m ≈ 1.5·10⁶` URLs,
+//!   `N = 10⁸` records, `n_avg = 67`), scores = number of memes on a page,
+//!   bursty with fast decay.
+//!
+//! This crate generates faithful *synthetic* equivalents (see DESIGN.md §4
+//! for the substitution argument): [`TempGenerator`] produces smooth
+//! seasonal+diurnal curves with weather-front noise; [`MemeGenerator`]
+//! produces short-lived, heavy-tailed burst curves. Both expose the knobs
+//! the paper sweeps (`m`, `n_avg`) and are fully deterministic under a
+//! seed. [`StockGenerator`] supports the introduction's stock-volume
+//! example, and [`RandomWalkGenerator`] is the neutral fallback.
+//!
+//! [`QueryWorkload`] generates the paper's query mix: random intervals of
+//! a given length fraction (default 20 % of `T`) with random `k`.
+
+mod util;
+pub mod csvio;
+mod meme;
+mod query;
+mod randomwalk;
+mod stock;
+mod temp;
+
+pub use csvio::{read_csv, read_csv_file, write_csv, write_csv_file, CsvDataset, CsvError};
+pub use meme::{MemeConfig, MemeGenerator};
+pub use query::{QueryInterval, QueryWorkload, QueryWorkloadConfig};
+pub use randomwalk::{RandomWalkConfig, RandomWalkGenerator};
+pub use stock::{StockConfig, StockGenerator};
+pub use temp::{TempConfig, TempGenerator};
+
+use chronorank_core::{TemporalObject, TemporalSet};
+
+/// Common interface of all dataset generators.
+pub trait DatasetGenerator {
+    /// Generate the configured objects (ids dense from 0).
+    fn generate(&self) -> Vec<TemporalObject>;
+
+    /// Convenience: generate and wrap into a [`TemporalSet`].
+    fn generate_set(&self) -> TemporalSet {
+        TemporalSet::from_objects(self.generate()).expect("generator produced a valid set")
+    }
+}

@@ -1,0 +1,153 @@
+//! Memetracker-style dataset (the paper's **Meme**).
+//!
+//! Objects are URLs whose score at a record time is the number of memes
+//! observed on the page. The defining properties the paper's Figure 19/20
+//! exercise: *huge m, tiny n_avg (67), bursty short-lived scores, heavy-
+//! tailed popularity* ("how different quotes compete for coverage every day
+//! and how some quickly fade while others persist"). Each object is a
+//! spike-and-decay burst train: a Pareto-distributed peak, exponential
+//! decay, and occasional secondary bursts.
+
+use crate::util::{gaussian, pareto};
+use crate::DatasetGenerator;
+use chronorank_core::{ObjectId, TemporalObject};
+use chronorank_curve::PiecewiseLinear;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`MemeGenerator`].
+#[derive(Debug, Clone, Copy)]
+pub struct MemeConfig {
+    /// Number of objects `m` (paper: ~1.5M; scaled here).
+    pub objects: usize,
+    /// Average records per object (paper: 67).
+    pub avg_segments: usize,
+    /// Total time domain length (arbitrary units, think hours).
+    pub span: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MemeConfig {
+    fn default() -> Self {
+        Self { objects: 5000, avg_segments: 67, span: 10_000.0, seed: 42 }
+    }
+}
+
+/// Generates the Meme-like dataset (see module docs).
+#[derive(Debug, Clone)]
+pub struct MemeGenerator {
+    config: MemeConfig,
+}
+
+impl MemeGenerator {
+    /// Create a generator for `config`.
+    pub fn new(config: MemeConfig) -> Self {
+        assert!(config.objects > 0);
+        assert!(config.avg_segments >= 2);
+        assert!(config.span > 1.0);
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> MemeConfig {
+        self.config
+    }
+}
+
+impl DatasetGenerator for MemeGenerator {
+    fn generate(&self) -> Vec<TemporalObject> {
+        let c = self.config;
+        let mut rng = StdRng::seed_from_u64(c.seed);
+        let mut out = Vec::with_capacity(c.objects);
+        for id in 0..c.objects {
+            // Heavy-tailed popularity: most pages hold a couple of memes,
+            // a few hold hundreds.
+            let peak = pareto(&mut rng, 2.0, 1.3);
+            // Lifetime: bursts fade fast; persistent objects are rare.
+            let lifetime = (c.span * 0.01 * pareto(&mut rng, 1.0, 1.2)).min(c.span * 0.9);
+            let birth = rng.random_range(0.0..(c.span - lifetime).max(1.0));
+            let n = ((c.avg_segments as f64) * (0.5 + rng.random_range(0.0..1.0))) as usize;
+            let n = n.max(2);
+            let decay = 3.0 / lifetime;
+            // Records denser right after birth (burst coverage), sparser in
+            // the tail; occasional secondary bursts rekindle the score.
+            let mut points: Vec<(f64, f64)> = Vec::with_capacity(n + 1);
+            let mut t = birth;
+            let mut secondary = 0.0f64;
+            for i in 0..=n {
+                let frac = i as f64 / n as f64;
+                // Quadratic spacing: early records close together.
+                let next_t = birth + lifetime * frac * frac;
+                t = t.max(next_t);
+                if rng.random_range(0.0..1.0) < 0.02 {
+                    secondary += peak * rng.random_range(0.1..0.6);
+                }
+                secondary *= (-(decay * 4.0) * lifetime / n as f64).exp();
+                let base = peak * (-(decay) * (t - birth)).exp();
+                let noise = (1.0 + 0.15 * gaussian(&mut rng)).max(0.2);
+                let v = ((base + secondary) * noise).max(0.0);
+                if points.last().map_or(true, |&(pt, _)| t > pt) {
+                    points.push((t, v));
+                }
+            }
+            if points.len() < 2 {
+                let (t0, v0) = points[0];
+                points.push((t0 + 1.0, v0 * 0.5));
+            }
+            let curve = PiecewiseLinear::from_points(&points).expect("increasing times");
+            out.push(TemporalObject { id: id as ObjectId, curve });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let g = MemeGenerator::new(MemeConfig { objects: 200, avg_segments: 67, ..Default::default() });
+        let set = g.generate_set();
+        assert_eq!(set.num_objects(), 200);
+        let navg = set.num_segments() as f64 / 200.0;
+        assert!((navg - 67.0).abs() < 25.0, "n_avg = {navg}");
+        assert!(!set.has_negative());
+    }
+
+    #[test]
+    fn popularity_is_heavy_tailed() {
+        let g = MemeGenerator::new(MemeConfig { objects: 2000, ..Default::default() });
+        let set = g.generate_set();
+        let mut peaks: Vec<f64> = set.objects().iter().map(|o| o.curve.max_value()).collect();
+        peaks.sort_by(f64::total_cmp);
+        let median = peaks[peaks.len() / 2];
+        let p99 = peaks[peaks.len() * 99 / 100];
+        assert!(
+            p99 > 8.0 * median,
+            "p99 {p99} should dwarf median {median} (heavy tail)"
+        );
+    }
+
+    #[test]
+    fn objects_are_short_lived_relative_to_domain() {
+        let g = MemeGenerator::new(MemeConfig { objects: 500, ..Default::default() });
+        let set = g.generate_set();
+        let span = set.span();
+        let mut short = 0;
+        for o in set.objects() {
+            let life = o.curve.end() - o.curve.start();
+            if life < span * 0.25 {
+                short += 1;
+            }
+        }
+        assert!(short > 350, "most memes must be short-lived, got {short}/500");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = MemeConfig { objects: 20, ..Default::default() };
+        assert_eq!(MemeGenerator::new(cfg).generate(), MemeGenerator::new(cfg).generate());
+    }
+}

@@ -1,0 +1,111 @@
+//! Query workload generation (paper §5 setup: "we generated 100 random
+//! queries and report the average", with query span `(t2 − t1) = 20%·T` by
+//! default).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One `top-k(t1, t2, sum)` query instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryInterval {
+    /// Query start.
+    pub t1: f64,
+    /// Query end.
+    pub t2: f64,
+    /// Requested answer size.
+    pub k: usize,
+}
+
+/// Configuration for [`QueryWorkload`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueryWorkloadConfig {
+    /// Number of queries (paper: 100).
+    pub count: usize,
+    /// Query interval length as a fraction of the data span (paper: 0.2).
+    pub span_fraction: f64,
+    /// The `k` of every query (paper default 50).
+    pub k: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryWorkloadConfig {
+    fn default() -> Self {
+        Self { count: 100, span_fraction: 0.2, k: 50, seed: 7 }
+    }
+}
+
+/// Deterministic random query generator over a given time domain.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    config: QueryWorkloadConfig,
+    t_min: f64,
+    t_max: f64,
+}
+
+impl QueryWorkload {
+    /// Workload over `[t_min, t_max]`.
+    pub fn new(config: QueryWorkloadConfig, t_min: f64, t_max: f64) -> Self {
+        assert!(t_max > t_min, "empty data domain");
+        assert!((0.0..=1.0).contains(&config.span_fraction), "fraction in [0,1]");
+        Self { config, t_min, t_max }
+    }
+
+    /// Generate the configured queries.
+    pub fn generate(&self) -> Vec<QueryInterval> {
+        let c = self.config;
+        let mut rng = StdRng::seed_from_u64(c.seed);
+        let span = self.t_max - self.t_min;
+        let len = span * c.span_fraction;
+        let slack = (span - len).max(0.0);
+        (0..c.count)
+            .map(|_| {
+                let t1 = self.t_min + if slack > 0.0 { rng.random_range(0.0..slack) } else { 0.0 };
+                QueryInterval { t1, t2: t1 + len, k: c.k }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_stay_inside_domain_with_exact_length() {
+        let w = QueryWorkload::new(
+            QueryWorkloadConfig { count: 50, span_fraction: 0.2, k: 10, seed: 1 },
+            100.0,
+            200.0,
+        );
+        let qs = w.generate();
+        assert_eq!(qs.len(), 50);
+        for q in &qs {
+            assert!(q.t1 >= 100.0 && q.t2 <= 200.0 + 1e-9);
+            assert!((q.t2 - q.t1 - 20.0).abs() < 1e-9);
+            assert_eq!(q.k, 10);
+        }
+        // Not all identical.
+        assert!(qs.iter().any(|q| (q.t1 - qs[0].t1).abs() > 1e-6));
+    }
+
+    #[test]
+    fn full_span_fraction_yields_whole_domain() {
+        let w = QueryWorkload::new(
+            QueryWorkloadConfig { count: 3, span_fraction: 1.0, k: 5, seed: 2 },
+            0.0,
+            10.0,
+        );
+        for q in w.generate() {
+            assert_eq!((q.t1, q.t2), (0.0, 10.0));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = QueryWorkloadConfig::default();
+        let a = QueryWorkload::new(cfg, 0.0, 1000.0).generate();
+        let b = QueryWorkload::new(cfg, 0.0, 1000.0).generate();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,160 @@
+//! MesoWest-style temperature dataset (the paper's **Temp**).
+//!
+//! Each object is one station-year of temperature readings connected into a
+//! piecewise-linear curve (exactly the paper's preprocessing). Curves are
+//! smooth, positive, strongly autocorrelated, and near-aligned in time —
+//! the properties the paper's Temp experiments exercise. Components per
+//! station: a latitude-dependent base level, an annual sinusoid, a diurnal
+//! sinusoid, and an Ornstein–Uhlenbeck "weather front" noise process;
+//! readings are hourly with jitter and dropout gaps (Figure 1's texture).
+
+use crate::util::gaussian;
+use crate::DatasetGenerator;
+use chronorank_core::{ObjectId, TemporalObject};
+use chronorank_curve::PiecewiseLinear;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`TempGenerator`].
+#[derive(Debug, Clone, Copy)]
+pub struct TempConfig {
+    /// Number of objects `m` (paper default 50,000; scaled here).
+    pub objects: usize,
+    /// Average segments per object `n_avg` (paper default 1,000).
+    pub avg_segments: usize,
+    /// RNG seed — generation is fully deterministic.
+    pub seed: u64,
+    /// Reading dropout probability (sensor gaps).
+    pub dropout: f64,
+}
+
+impl Default for TempConfig {
+    fn default() -> Self {
+        Self { objects: 1000, avg_segments: 200, seed: 42, dropout: 0.02 }
+    }
+}
+
+/// Generates the Temp-like dataset (see module docs).
+#[derive(Debug, Clone)]
+pub struct TempGenerator {
+    config: TempConfig,
+}
+
+impl TempGenerator {
+    /// Create a generator for `config`.
+    pub fn new(config: TempConfig) -> Self {
+        assert!(config.objects > 0, "need at least one object");
+        assert!(config.avg_segments >= 2, "need at least two segments per object");
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> TempConfig {
+        self.config
+    }
+}
+
+impl DatasetGenerator for TempGenerator {
+    fn generate(&self) -> Vec<TemporalObject> {
+        let c = self.config;
+        let mut rng = StdRng::seed_from_u64(c.seed);
+        // Time unit: hours. The shared domain spans n_avg hours so that
+        // hourly readings yield ~n_avg segments per object.
+        let span = c.avg_segments as f64;
+        let mut out = Vec::with_capacity(c.objects);
+        for id in 0..c.objects {
+            // Station character.
+            let base = 288.0 + 12.0 * gaussian(&mut rng); // Kelvin-ish
+            let annual_amp = (8.0 + 3.0 * gaussian(&mut rng)).abs();
+            let annual_phase = rng.random_range(0.0..std::f64::consts::TAU);
+            let diurnal_amp = (4.0 + 1.5 * gaussian(&mut rng)).abs();
+            let diurnal_phase = rng.random_range(0.0..std::f64::consts::TAU);
+            // OU noise state.
+            let mut front = 0.0f64;
+            let theta = 0.05; // mean reversion per hour
+            let vol = 0.8;
+
+            let n_target =
+                ((c.avg_segments as f64) * (0.8 + 0.4 * rng.random_range(0.0..1.0))) as usize;
+            let n_target = n_target.max(2);
+            let start_jitter = rng.random_range(0.0..2.0);
+            let mut points: Vec<(f64, f64)> = Vec::with_capacity(n_target + 1);
+            let mut t = start_jitter;
+            let step = (span - start_jitter - 1.0).max(1.0) / n_target as f64;
+            while points.len() <= n_target && t < span {
+                front += theta * (-front) + vol * gaussian(&mut rng);
+                if points.is_empty() || rng.random_range(0.0..1.0) >= c.dropout {
+                    let annual =
+                        annual_amp * (std::f64::consts::TAU * t / span + annual_phase).sin();
+                    let diurnal =
+                        diurnal_amp * (std::f64::consts::TAU * t / 24.0 + diurnal_phase).sin();
+                    let v = (base + annual + diurnal + front).max(1.0);
+                    points.push((t, v));
+                }
+                t += step * rng.random_range(0.7..1.3);
+            }
+            // Guarantee a valid curve even under extreme dropout.
+            if points.len() < 2 {
+                points.push((points[0].0 + 1.0, points[0].1));
+            }
+            let curve = PiecewiseLinear::from_points(&points).expect("strictly increasing times");
+            out.push(TemporalObject { id: id as ObjectId, curve });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let g = TempGenerator::new(TempConfig {
+            objects: 50,
+            avg_segments: 100,
+            seed: 1,
+            dropout: 0.02,
+        });
+        let set = g.generate_set();
+        assert_eq!(set.num_objects(), 50);
+        let navg = set.num_segments() as f64 / 50.0;
+        assert!(
+            (navg - 100.0).abs() < 25.0,
+            "n_avg = {navg}, wanted ≈ 100"
+        );
+        assert!(!set.has_negative(), "temperatures are positive");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = TempConfig { objects: 5, avg_segments: 30, seed: 9, dropout: 0.05 };
+        let a = TempGenerator::new(cfg).generate();
+        let b = TempGenerator::new(cfg).generate();
+        assert_eq!(a, b);
+        let c = TempGenerator::new(TempConfig { seed: 10, ..cfg }).generate();
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn values_look_like_temperatures() {
+        let g = TempGenerator::new(TempConfig::default());
+        let set = g.generate_set();
+        for o in set.objects().iter().take(20) {
+            let lo = o.curve.min_value();
+            let hi = o.curve.max_value();
+            assert!(lo > 150.0 && hi < 400.0, "object {} range [{lo}, {hi}]", o.id);
+        }
+    }
+
+    #[test]
+    fn domains_are_near_aligned_but_jittered() {
+        let g = TempGenerator::new(TempConfig { objects: 30, ..Default::default() });
+        let set = g.generate_set();
+        let starts: Vec<f64> = set.objects().iter().map(|o| o.curve.start()).collect();
+        let min = starts.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = starts.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.01, "starts must be jittered");
+        assert!(max < 2.5, "starts stay near the domain origin");
+    }
+}

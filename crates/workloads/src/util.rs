@@ -1,0 +1,50 @@
+//! Small shared sampling helpers (kept local to avoid extra dependencies).
+
+use rand::RngExt;
+
+/// Standard normal via Box–Muller (two uniforms → one gaussian).
+pub(crate) fn gaussian(rng: &mut impl RngExt) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Pareto sample with shape `alpha` and minimum `x_min` (heavy-tailed
+/// popularity, used by the Meme generator).
+pub(crate) fn pareto(rng: &mut impl RngExt, x_min: f64, alpha: f64) -> f64 {
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    x_min / u.powf(1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn pareto_respects_minimum_and_tail() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut above10 = 0;
+        for _ in 0..10_000 {
+            let x = pareto(&mut rng, 2.0, 1.5);
+            assert!(x >= 2.0);
+            if x > 10.0 {
+                above10 += 1;
+            }
+        }
+        // P(X > 10) = (2/10)^1.5 ≈ 0.089.
+        assert!(above10 > 500 && above10 < 1400, "tail count {above10}");
+    }
+}

@@ -1,0 +1,45 @@
+//! # chronorank — ranking large temporal data
+//!
+//! A Rust reproduction of *“Ranking Large Temporal Data”* (Jestes, Phillips,
+//! Li, Tang — PVLDB 5(11), 2012). The library answers **aggregate top-k
+//! queries** on temporal data: given `m` objects whose score attribute is a
+//! piecewise-linear function of time, `top-k(t1, t2, sum)` returns the `k`
+//! objects with the largest `∫_{t1}^{t2} g_i(t) dt`.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`storage`] — block storage engine with a buffer pool and IO counters,
+//! * [`index`] — disk-based B+-tree, interval tree, external sort,
+//! * [`curve`] — piecewise-linear / piecewise-polynomial curve model,
+//! * [`core`] — the paper's exact (`EXACT1..3`) and approximate
+//!   (`APPX1-B/2-B/1/2/2+`) ranking methods,
+//! * [`workloads`] — synthetic MesoWest-Temp / Memetracker-Meme style data
+//!   generators and query workloads.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use chronorank::core::{Exact3, RankMethod, AggKind};
+//! use chronorank::workloads::{DatasetGenerator, TempConfig, TempGenerator};
+//!
+//! // Build a small weather-station style dataset.
+//! let set = TempGenerator::new(TempConfig {
+//!     objects: 50,
+//!     avg_segments: 80,
+//!     seed: 7,
+//!     ..Default::default()
+//! })
+//! .generate_set();
+//!
+//! // Index it with the paper's best exact method and rank.
+//! let exact3 = Exact3::build(&set, Default::default()).unwrap();
+//! let (t1, t2) = (set.t_min() + 0.2 * set.span(), set.t_min() + 0.4 * set.span());
+//! let top = exact3.top_k(t1, t2, 10, AggKind::Sum).unwrap();
+//! assert_eq!(top.len(), 10);
+//! ```
+
+pub use chronorank_core as core;
+pub use chronorank_curve as curve;
+pub use chronorank_index as index;
+pub use chronorank_storage as storage;
+pub use chronorank_workloads as workloads;
