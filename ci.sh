@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate for the chronorank workspace. Usage: ./ci.sh
+#
+# Stages:
+#   1. cargo fmt --check          (style per rustfmt.toml)
+#   2. cargo clippy -D warnings   (whole workspace, all targets)
+#   3. tier-1 gate                (cargo build --release && cargo test -q)
+#
+# The property suites honour PROPTEST_CASES; the fixed default below keeps
+# the whole script comfortably under the ~2 minute tier-1 budget while still
+# running every property at a meaningful case count. Raise it locally
+# (e.g. PROPTEST_CASES=1000 ./ci.sh) for a deeper soak.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export PROPTEST_CASES="${PROPTEST_CASES:-64}"
+
+echo "== [1/3] cargo fmt --check"
+cargo fmt --check
+
+echo "== [2/3] cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== [3/3] tier-1: cargo build --release && cargo test -q (PROPTEST_CASES=$PROPTEST_CASES)"
+cargo build --release
+cargo test -q --workspace
+
+echo "CI OK"

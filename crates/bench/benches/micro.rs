@@ -5,8 +5,8 @@
 
 use chronorank_bench::{meme_dataset, temp_dataset};
 use chronorank_core::{
-    AggKind, ApproxConfig, ApproxIndex, ApproxVariant, B2Construction, Breakpoints, Exact1,
-    Exact2, Exact3, IndexConfig, RankMethod,
+    AggKind, ApproxConfig, ApproxIndex, ApproxVariant, B2Construction, Breakpoints, Exact1, Exact2,
+    Exact3, IndexConfig, RankMethod,
 };
 use chronorank_curve::{PiecewiseLinear, Segment};
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -27,11 +27,11 @@ use chronorank_bench::{
     meme_dataset, queries, temp_dataset, Built, Table,
 };
 use chronorank_core::{
-    ApproxConfig, ApproxIndex, ApproxVariant, B2Construction, Breakpoints, IndexConfig,
-    RankMethod, TemporalSet, TopK,
+    ApproxConfig, ApproxIndex, ApproxVariant, B2Construction, Breakpoints, IndexConfig, RankMethod,
+    TemporalSet, TopK,
 };
-use chronorank_storage::StoreConfig;
 use chronorank_storage::Env;
+use chronorank_storage::StoreConfig;
 use chronorank_workloads::QueryInterval;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -306,12 +306,9 @@ fn fig11(opts: &Opts) {
         tc.row(sizes);
         td.row(times);
     }
-    for (t, n) in [
-        (&ta, "fig11a_eps"),
-        (&tb, "fig11b_bp_time"),
-        (&tc, "fig11c_size"),
-        (&td, "fig11d_build"),
-    ] {
+    for (t, n) in
+        [(&ta, "fig11a_eps"), (&tb, "fig11b_bp_time"), (&tc, "fig11c_size"), (&td, "fig11d_build")]
+    {
         t.print();
         t.write_csv(&opts.out, n).expect("csv");
     }
@@ -413,15 +410,15 @@ fn fig13_14_15(opts: &Opts, axis: SweepAxis) {
     );
     // Figure 15: quality of the approximate methods along the same sweep.
     let quality_header: Vec<String> = std::iter::once(axis_name.to_string())
-        .chain(APPROX_MAIN.iter().flat_map(|v| {
-            [format!("{} prec", v.name()), format!("{} ratio", v.name())]
-        }))
+        .chain(
+            APPROX_MAIN
+                .iter()
+                .flat_map(|v| [format!("{} prec", v.name()), format!("{} ratio", v.name())]),
+        )
         .collect();
     let quality_header_refs: Vec<&str> = quality_header.iter().map(|s| s.as_str()).collect();
-    let mut tq = Table::new(
-        &format!("Figure 15 — precision & ratio vs {axis_name}"),
-        &quality_header_refs,
-    );
+    let mut tq =
+        Table::new(&format!("Figure 15 — precision & ratio vs {axis_name}"), &quality_header_refs);
     for (m, navg) in values {
         let set = temp_dataset(m, navg, 42);
         let qs = queries(&set, opts.queries, 0.2, opts.k);
@@ -492,10 +489,8 @@ fn fig17(opts: &Opts) {
         .iter()
         .map(|&k| k.clamp(1, opts.kmax))
         .collect();
-    let workloads = ks
-        .iter()
-        .map(|&k| (k.to_string(), queries(&set, opts.queries, 0.2, k)))
-        .collect();
+    let workloads =
+        ks.iter().map(|&k| (k.to_string(), queries(&set, opts.queries, 0.2, k))).collect();
     run_query_sweep(opts, &set, "17", "k", workloads);
 }
 
@@ -513,10 +508,8 @@ fn run_query_sweep(
         exacts.iter().copied().chain(APPROX_MAIN.iter().map(|v| v.name())).collect();
     let mut ti =
         Table::new(&format!("Figure {fig}(a) — query IOs vs {axis}"), &prepend(axis, &names));
-    let mut tt = Table::new(
-        &format!("Figure {fig}(b) — query time (ms) vs {axis}"),
-        &prepend(axis, &names),
-    );
+    let mut tt =
+        Table::new(&format!("Figure {fig}(b) — query time (ms) vs {axis}"), &prepend(axis, &names));
     let approx_names: Vec<&str> = APPROX_MAIN.iter().map(|v| v.name()).collect();
     let mut tp = Table::new(
         &format!("Figure {fig}(c) — precision/recall vs {axis}"),
@@ -604,12 +597,9 @@ fn fig18(opts: &Opts) {
         ti.row(ioses);
         tt.row(times);
     }
-    for (t, n) in [
-        (&ts, "fig18a_size"),
-        (&tb, "fig18b_build"),
-        (&ti, "fig18c_ios"),
-        (&tt, "fig18d_time"),
-    ] {
+    for (t, n) in
+        [(&ts, "fig18a_size"), (&tb, "fig18b_build"), (&ti, "fig18c_ios"), (&tt, "fig18d_time")]
+    {
         t.print();
         t.write_csv(&opts.out, n).expect("csv");
     }
@@ -659,18 +649,13 @@ fn fig19_20(opts: &Opts) {
             format!("{:.1}", s.avg_ios),
             format!("{:.3}", s.avg_ms),
         ]);
-        t20.row(vec![
-            built.name.clone(),
-            format!("{:.3}", s.precision),
-            format!("{:.4}", s.ratio),
-        ]);
+        t20.row(vec![built.name.clone(), format!("{:.3}", s.precision), format!("{:.4}", s.ratio)]);
     }
     t19.print();
     t19.write_csv(&opts.out, "fig19_meme").expect("csv");
     t20.print();
     t20.write_csv(&opts.out, "fig20_meme_quality").expect("csv");
 }
-
 
 // ---------------------------------------------------------------------------
 // Ablations: the substrate design knobs (DESIGN.md §5)

@@ -18,8 +18,8 @@ use chronorank_core::{
     IndexConfig, RankMethod, TemporalSet, TopK,
 };
 use chronorank_workloads::{
-    DatasetGenerator, MemeConfig, MemeGenerator, QueryInterval, QueryWorkload,
-    QueryWorkloadConfig, TempConfig, TempGenerator,
+    DatasetGenerator, MemeConfig, MemeGenerator, QueryInterval, QueryWorkload, QueryWorkloadConfig,
+    TempConfig, TempGenerator,
 };
 use std::io::Write;
 use std::path::Path;

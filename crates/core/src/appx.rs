@@ -219,8 +219,7 @@ impl ApproxIndex {
         if set.total_mass() < 2.0 * self.built_mass {
             return Ok(false);
         }
-        let rebuilt =
-            Self::build(set, self.variant, self.config)?;
+        let rebuilt = Self::build(set, self.variant, self.config)?;
         *self = rebuilt;
         Ok(true)
     }

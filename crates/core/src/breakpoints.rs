@@ -213,7 +213,7 @@ impl Breakpoints {
 }
 
 fn check_eps(eps: f64) -> Result<()> {
-    if !(eps > 0.0) || !eps.is_finite() {
+    if eps <= 0.0 || !eps.is_finite() {
         return Err(CoreError::BadQuery(format!("ε must be positive and finite, got {eps}")));
     }
     Ok(())
@@ -435,10 +435,10 @@ fn sweep_b2(set: &TemporalSet, tau: f64, construction: B2Construction) -> Result
     }
 
     let commit = |b_star: f64,
-                      st: &mut Vec<ObjState>,
-                      heap: &mut BinaryHeap<Reverse<(OrdF64, u32, u64)>>,
-                      points: &mut Vec<f64>,
-                      b_cur: &mut f64| {
+                  st: &mut Vec<ObjState>,
+                  heap: &mut BinaryHeap<Reverse<(OrdF64, u32, u64)>>,
+                  points: &mut Vec<f64>,
+                  b_cur: &mut f64| {
         points.push(b_star);
         *b_cur = b_star;
         let epoch = points.len() - 1;
@@ -547,12 +547,8 @@ mod tests {
             let (a, b) = (w[0], w[1]);
             match bp.kind() {
                 BreakpointsKind::B1 => {
-                    let total: f64 =
-                        set.objects().iter().map(|o| o.curve.abs_integral(a, b)).sum();
-                    assert!(
-                        total <= tau * slack,
-                        "B1 gap [{a},{b}] holds {total} > τ = {tau}"
-                    );
+                    let total: f64 = set.objects().iter().map(|o| o.curve.abs_integral(a, b)).sum();
+                    assert!(total <= tau * slack, "B1 gap [{a},{b}] holds {total} > τ = {tau}");
                 }
                 BreakpointsKind::B2 => {
                     for o in set.objects() {
@@ -573,11 +569,7 @@ mod tests {
         let set = small_set();
         for &r in &[5usize, 10, 25, 60] {
             let bp = Breakpoints::b1_with_count(&set, r).unwrap();
-            assert!(
-                (bp.len() as i64 - r as i64).abs() <= 2,
-                "requested {r}, got {}",
-                bp.len()
-            );
+            assert!((bp.len() as i64 - r as i64).abs() <= 2, "requested {r}, got {}", bp.len());
             assert_gap_property(&set, &bp);
         }
     }
@@ -590,8 +582,7 @@ mod tests {
         // All interior gaps carry exactly τ of global mass.
         let pts = bp.points();
         for w in pts.windows(2).take(pts.len() - 2) {
-            let total: f64 =
-                set.objects().iter().map(|o| o.curve.abs_integral(w[0], w[1])).sum();
+            let total: f64 = set.objects().iter().map(|o| o.curve.abs_integral(w[0], w[1])).sum();
             assert!(
                 approx_eq(total, tau, 1e-6),
                 "gap [{}, {}] carries {total}, want {tau}",
@@ -607,12 +598,7 @@ mod tests {
         let eps = 0.02;
         let b1 = Breakpoints::b1_with_eps(&set, eps).unwrap();
         let b2 = Breakpoints::b2_with_eps(&set, eps, B2Construction::Efficient).unwrap();
-        assert!(
-            b2.len() <= b1.len(),
-            "B2 ({}) must not exceed B1 ({})",
-            b2.len(),
-            b1.len()
-        );
+        assert!(b2.len() <= b1.len(), "B2 ({}) must not exceed B1 ({})", b2.len(), b1.len());
         assert_gap_property(&set, &b1);
         assert_gap_property(&set, &b2);
     }
@@ -651,12 +637,7 @@ mod tests {
         let r = 20;
         let b1 = Breakpoints::b1_with_count(&set, r).unwrap();
         let b2 = Breakpoints::b2_with_count(&set, r, B2Construction::Efficient).unwrap();
-        assert!(
-            b2.eps() < b1.eps(),
-            "ε_B2 = {} must be below ε_B1 = {}",
-            b2.eps(),
-            b1.eps()
-        );
+        assert!(b2.eps() < b1.eps(), "ε_B2 = {} must be below ε_B1 = {}", b2.eps(), b1.eps());
     }
 
     #[test]
@@ -691,8 +672,7 @@ mod tests {
 
     #[test]
     fn negative_scores_use_absolute_mass() {
-        let c0 =
-            PiecewiseLinear::from_points(&[(0.0, -4.0), (10.0, 4.0), (20.0, -4.0)]).unwrap();
+        let c0 = PiecewiseLinear::from_points(&[(0.0, -4.0), (10.0, 4.0), (20.0, -4.0)]).unwrap();
         let c1 = PiecewiseLinear::from_points(&[(0.0, 1.0), (20.0, 1.0)]).unwrap();
         let set = TemporalSet::from_curves(vec![c0, c1]).unwrap();
         assert!(set.has_negative());

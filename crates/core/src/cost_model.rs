@@ -70,8 +70,7 @@ mod entry {
 /// Predict cold query IOs for every method under `p`.
 pub fn query_cost(p: &CostParams) -> QueryCost {
     let seg_per_block1 = (p.block / (entry::EXACT1)).max(1) as f64;
-    let exact1 = p.log_b(p.n_total)
-        + (p.overlap_frac * p.n_total as f64) / seg_per_block1;
+    let exact1 = p.log_b(p.n_total) + (p.overlap_frac * p.n_total as f64) / seg_per_block1;
 
     let exact2 = p.m as f64 * (1.0 + p.log_b(p.n_avg)) * 2.0;
 
@@ -119,7 +118,9 @@ pub fn size_cost(p: &CostParams) -> SizeCost {
 mod tests {
     use super::*;
     use crate::test_support::small_set;
-    use crate::{AggKind, ApproxConfig, ApproxIndex, ApproxVariant, Exact3, IndexConfig, RankMethod};
+    use crate::{
+        AggKind, ApproxConfig, ApproxIndex, ApproxVariant, Exact3, IndexConfig, RankMethod,
+    };
 
     fn params_for(set: &crate::TemporalSet, r: u64, kmax: u64, k: u64, frac: f64) -> CostParams {
         CostParams {
@@ -194,10 +195,7 @@ mod tests {
         let measured = idx.io_stats().reads as f64;
         let p = params_for(&set, idx.breakpoints().len() as u64, 8, 4, 0.8);
         let predicted = query_cost(&p).appx2;
-        assert!(
-            measured <= predicted * 4.0 + 4.0,
-            "measured {measured} vs predicted {predicted}"
-        );
+        assert!(measured <= predicted * 4.0 + 4.0, "measured {measured} vs predicted {predicted}");
     }
 
     #[test]

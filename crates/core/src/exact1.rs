@@ -134,10 +134,7 @@ impl RankMethod for Exact1 {
             sums[obj as usize] += seg.integral_clipped(t1, t2);
             cur.advance()?;
         }
-        let top = top_k_from_scores(
-            sums.iter().enumerate().map(|(i, &s)| (i as ObjectId, s)),
-            k,
-        );
+        let top = top_k_from_scores(sums.iter().enumerate().map(|(i, &s)| (i as ObjectId, s)), k);
         Ok(match agg {
             AggKind::Sum => top,
             AggKind::Avg if t2 > t1 => top.into_avg(t2 - t1),

@@ -92,13 +92,7 @@ impl Exact3 {
             .iter()
             .map(|o| ObjMeta { start: o.curve.start(), end: o.curve.end(), total: o.curve.total() })
             .collect();
-        Ok(Self {
-            env,
-            store,
-            tree,
-            meta: RefCell::new(meta),
-            generation: std::cell::Cell::new(0),
-        })
+        Ok(Self { env, store, tree, meta: RefCell::new(meta), generation: std::cell::Cell::new(0) })
     }
 
     fn build_tree(env: &Env, set: &TemporalSet, generation: u32) -> Result<IntervalTree> {
@@ -166,9 +160,7 @@ impl Exact3 {
     /// update (`O(log_B N)` in the paper's accounting).
     pub fn append_segment(&self, obj: ObjectId, seg: Segment) -> Result<()> {
         let mut meta = self.meta.borrow_mut();
-        let m = meta
-            .get_mut(obj as usize)
-            .ok_or(crate::CoreError::NoSuchObject(obj))?;
+        let m = meta.get_mut(obj as usize).ok_or(crate::CoreError::NoSuchObject(obj))?;
         let prefix = m.total + seg.integral_full();
         self.tree.append(seg.t0, seg.t1, &encode_payload(obj, seg.v0, seg.v1, prefix))?;
         m.total = prefix;
@@ -220,10 +212,7 @@ impl RankMethod for Exact3 {
         self.cumulative_all(t1, &mut cum1)?;
         self.cumulative_all(t2, &mut cum2)?;
         let top = top_k_from_scores(
-            cum1.iter()
-                .zip(cum2.iter())
-                .enumerate()
-                .map(|(i, (&a, &b))| (i as ObjectId, b - a)),
+            cum1.iter().zip(cum2.iter()).enumerate().map(|(i, (&a, &b))| (i as ObjectId, b - a)),
             k,
         );
         Ok(match agg {

@@ -73,14 +73,8 @@ pub use query2::Query2Index;
 pub use topk::{RankMethod, TopK};
 
 /// Default index configuration shared by all methods.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct IndexConfig {
     /// Block size / buffer-pool settings for the method's storage.
     pub store: chronorank_storage::StoreConfig,
-}
-
-impl Default for IndexConfig {
-    fn default() -> Self {
-        Self { store: chronorank_storage::StoreConfig::default() }
-    }
 }

@@ -94,9 +94,8 @@ mod tests {
     fn inflated_scores_show_in_ratio() {
         let set = small_set();
         let exact = set.top_k_bruteforce(2.0, 10.0, 2);
-        let doubled = TopK::from_ranked(
-            exact.entries().iter().map(|&(id, s)| (id, 2.0 * s)).collect(),
-        );
+        let doubled =
+            TopK::from_ranked(exact.entries().iter().map(|&(id, s)| (id, 2.0 * s)).collect());
         let stats = approximation_ratio(&set, &doubled, 2.0, 10.0);
         assert!((stats.mean - 2.0).abs() < 1e-9);
     }
@@ -106,7 +105,7 @@ mod tests {
         let set = small_set();
         // Object 5 is the all-zero curve.
         let fake = TopK::from_ranked(vec![(5, 0.5)]);
-        let stats = approximation_ratio(&set, &fake, 2.0, 10.0, );
+        let stats = approximation_ratio(&set, &fake, 2.0, 10.0);
         assert_eq!(stats.skipped, 1);
         assert_eq!(stats.mean, 1.0);
     }

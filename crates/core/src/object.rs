@@ -152,8 +152,7 @@ impl TemporalSet {
     /// the paper's EXACT1 semantics without any index; `O(m log n + Σ q_i)`
     /// compute. Used as the oracle in tests and quality metrics.
     pub fn top_k_bruteforce(&self, t1: f64, t2: f64, k: usize) -> crate::TopK {
-        let scores =
-            self.objects.iter().map(|o| (o.id, o.curve.integral(t1, t2)));
+        let scores = self.objects.iter().map(|o| (o.id, o.curve.integral(t1, t2)));
         crate::topk::top_k_from_scores(scores, k)
     }
 
@@ -242,8 +241,7 @@ mod tests {
             (10.0, 6.0),
         ])
         .unwrap();
-        let o3 =
-            PiecewiseLinear::from_points(&[(0.0, 8.0), (6.0, 8.0), (10.0, 1.9)]).unwrap();
+        let o3 = PiecewiseLinear::from_points(&[(0.0, 8.0), (6.0, 8.0), (10.0, 1.9)]).unwrap();
         let s = TemporalSet::from_curves(vec![o1, o2, o3]).unwrap();
         // Over [1, 6] (the figure's [t1, t2]): o3 = 40, o1 = 25, o2 ≈ 15.6.
         let top = s.top_k_bruteforce(1.0, 6.0, 2);

@@ -48,7 +48,12 @@ pub struct Query1Index {
 impl Query1Index {
     /// Build over `set` with the given breakpoints, storing the top-`kmax`
     /// list for each of the `r(r−1)/2` breakpoint pairs.
-    pub fn build(env: Env, set: &TemporalSet, breakpoints: Breakpoints, kmax: usize) -> Result<Self> {
+    pub fn build(
+        env: Env,
+        set: &TemporalSet,
+        breakpoints: Breakpoints,
+        kmax: usize,
+    ) -> Result<Self> {
         if kmax == 0 {
             return Err(CoreError::BadQuery("kmax must be at least 1".into()));
         }
@@ -338,7 +343,7 @@ mod tests {
     }
 
     #[test]
-    fn query_costs_constant_ios(){
+    fn query_costs_constant_ios() {
         let (_, idx) = build(32, 8);
         idx.drop_caches().unwrap();
         idx.reset_io();

@@ -68,7 +68,12 @@ pub struct Query2Index {
 
 impl Query2Index {
     /// Build over `set` with the given breakpoints.
-    pub fn build(env: Env, set: &TemporalSet, breakpoints: Breakpoints, kmax: usize) -> Result<Self> {
+    pub fn build(
+        env: Env,
+        set: &TemporalSet,
+        breakpoints: Breakpoints,
+        kmax: usize,
+    ) -> Result<Self> {
         if kmax == 0 {
             return Err(CoreError::BadQuery("kmax must be at least 1".into()));
         }
@@ -192,12 +197,8 @@ impl Query2Index {
             if node.list_start == NO_LIST {
                 continue;
             }
-            let entries = crate::query1::read_list(
-                &self.lists,
-                node.list_start,
-                self.blocks_per_list,
-                k,
-            )?;
+            let entries =
+                crate::query1::read_list(&self.lists, node.list_start, self.blocks_per_list, k)?;
             for (id, s) in entries {
                 *cand.entry(id).or_insert(0.0) += s;
             }
@@ -240,7 +241,7 @@ fn canonical_cover(nodes: &[Node], idx: usize, g1: u32, g2: u32, out: &mut Vec<u
 /// The padded `[a, b)` gap span of heap node `idx` in a tree with
 /// `total = 2·pad − 1` nodes.
 fn padded_span(total: usize, idx: usize) -> (u32, u32) {
-    let pad = (total + 1) / 2;
+    let pad = total.div_ceil(2);
     // depth and offset of idx in the implicit heap
     let depth = (idx + 1).ilog2();
     let first_at_depth = (1usize << depth) - 1;
@@ -357,7 +358,7 @@ mod tests {
     }
 
     #[test]
-    fn guarantee_eps_2logr(){
+    fn guarantee_eps_2logr() {
         // Definition 2 with α = 2 log r: σ̃_j ≥ σ_A(j)/α − εM and
         // σ̃_j ≤ σ_A(j) + εM at every rank.
         let (set, idx) = build(24, 6);
@@ -375,10 +376,7 @@ mod tests {
                     sa >= se / alpha - em - slack,
                     "[{a},{b}] rank {j}: {sa} < {se}/{alpha} − εM({em})"
                 );
-                assert!(
-                    sa <= se + em + slack,
-                    "[{a},{b}] rank {j}: {sa} > {se} + εM({em})"
-                );
+                assert!(sa <= se + em + slack, "[{a},{b}] rank {j}: {sa} > {se} + εM({em})");
             }
         }
     }

@@ -59,8 +59,7 @@ pub fn small_set() -> TemporalSet {
         // o8: constant 2 on a sub-domain
         PiecewiseLinear::from_points(&[(5.0, 2.0), (12.0, 2.0)]).unwrap(),
         // o9: long flat then a late spike
-        PiecewiseLinear::from_points(&[(0.0, 0.5), (17.0, 0.5), (18.0, 9.0), (19.0, 0.5)])
-            .unwrap(),
+        PiecewiseLinear::from_points(&[(0.0, 0.5), (17.0, 0.5), (18.0, 9.0), (19.0, 0.5)]).unwrap(),
     ];
     TemporalSet::from_curves(curves).unwrap()
 }
@@ -80,10 +79,8 @@ pub fn assert_same_answer(want: &TopK, got: &TopK, ctx: &str) {
         // Ids must match unless the adjacent scores tie (permutations among
         // equal scores are legal).
         if wid != gid {
-            let tied_in_want = want
-                .entries()
-                .iter()
-                .any(|&(id, s)| id == gid && (s - ws).abs() <= 1e-7 * scale);
+            let tied_in_want =
+                want.entries().iter().any(|&(id, s)| id == gid && (s - ws).abs() <= 1e-7 * scale);
             assert!(
                 tied_in_want,
                 "{ctx}: rank {j} id mismatch without a tie: want {wid} ({ws}), got {gid} ({gs})"

@@ -84,10 +84,7 @@ impl Ord for WorstFirst {
 /// Select the top `k` scores from an iterator with a size-`k` min-heap —
 /// the `O(x log k)` priority-queue step every method in the paper ends
 /// with. Deterministic: score ties are broken by smaller object id.
-pub(crate) fn top_k_from_scores(
-    scores: impl Iterator<Item = (ObjectId, f64)>,
-    k: usize,
-) -> TopK {
+pub(crate) fn top_k_from_scores(scores: impl Iterator<Item = (ObjectId, f64)>, k: usize) -> TopK {
     if k == 0 {
         return TopK { entries: Vec::new() };
     }
@@ -112,12 +109,7 @@ pub(crate) fn top_k_from_scores(
 
 /// Push into a size-capped top-k heap (used by the QUERY1/QUERY2 builders
 /// to maintain one top-`kmax` list per materialized interval).
-pub(crate) fn capped_push(
-    heap: &mut BinaryHeap<WorstFirst>,
-    cap: usize,
-    score: f64,
-    id: ObjectId,
-) {
+pub(crate) fn capped_push(heap: &mut BinaryHeap<WorstFirst>, cap: usize, score: f64, id: ObjectId) {
     if cap == 0 {
         return;
     }
@@ -134,8 +126,7 @@ pub(crate) fn capped_push(
 /// Drain a capped heap into `(id, score)` pairs sorted by descending score
 /// (ties: ascending id).
 pub(crate) fn heap_into_desc(heap: BinaryHeap<WorstFirst>) -> Vec<(ObjectId, f64)> {
-    let mut v: Vec<(ObjectId, f64)> =
-        heap.into_iter().map(|WorstFirst(s, id)| (id, s)).collect();
+    let mut v: Vec<(ObjectId, f64)> = heap.into_iter().map(|WorstFirst(s, id)| (id, s)).collect();
     v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     v
 }

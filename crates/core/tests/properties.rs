@@ -4,8 +4,8 @@
 //! approximate methods must satisfy Definition 2.
 
 use chronorank_core::{
-    AggKind, ApproxConfig, ApproxIndex, ApproxVariant, B2Construction, Breakpoints, Exact1,
-    Exact2, Exact3, IndexConfig, RankMethod, TemporalSet,
+    AggKind, ApproxConfig, ApproxIndex, ApproxVariant, B2Construction, Breakpoints, Exact1, Exact2,
+    Exact3, IndexConfig, RankMethod, TemporalSet,
 };
 use chronorank_curve::PiecewiseLinear;
 use proptest::prelude::*;
@@ -16,9 +16,9 @@ fn arb_set(allow_negative: bool) -> impl Strategy<Value = TemporalSet> {
     let lo = if allow_negative { -10.0 } else { 0.0 };
     proptest::collection::vec(
         (
-            2usize..14,          // points per curve
-            0.0f64..40.0,        // start offset
-            0.2f64..8.0,         // step scale
+            2usize..14,   // points per curve
+            0.0f64..40.0, // start offset
+            0.2f64..8.0,  // step scale
             proptest::collection::vec(lo..10.0f64, 14),
         ),
         2..=8,
@@ -39,8 +39,7 @@ fn arb_set(allow_negative: bool) -> impl Strategy<Value = TemporalSet> {
 
 /// A query interval loosely around the generated sets' domains.
 fn arb_query() -> impl Strategy<Value = (f64, f64, usize)> {
-    (-10.0f64..160.0, 0.0f64..120.0, 1usize..6)
-        .prop_map(|(a, len, k)| (a, a + len, k))
+    (-10.0f64..160.0, 0.0f64..120.0, 1usize..6).prop_map(|(a, len, k)| (a, a + len, k))
 }
 
 fn scores_close(a: f64, b: f64) -> bool {

@@ -27,7 +27,7 @@ impl PolySegment {
         if coeffs.is_empty() {
             return Err(CurveError::BadPolySegment("empty coefficient vector".into()));
         }
-        if !(t1 > t0) || !t0.is_finite() || !t1.is_finite() {
+        if t1 <= t0 || !t0.is_finite() || !t1.is_finite() {
             return Err(CurveError::BadPolySegment(format!(
                 "non-positive or non-finite span [{t0}, {t1}]"
             )));
@@ -254,9 +254,8 @@ mod tests {
 
     #[test]
     fn from_pwl_preserves_integrals() {
-        let pwl =
-            PiecewiseLinear::from_points(&[(0.0, 0.0), (2.0, 4.0), (5.0, 1.0), (6.0, 1.0)])
-                .unwrap();
+        let pwl = PiecewiseLinear::from_points(&[(0.0, 0.0), (2.0, 4.0), (5.0, 1.0), (6.0, 1.0)])
+            .unwrap();
         let poly = PiecewisePoly::from_pwl(&pwl);
         assert_eq!(poly.num_segments(), 3);
         for &(a, b) in &[(0.0, 6.0), (1.0, 3.0), (-2.0, 2.5), (5.5, 9.0)] {

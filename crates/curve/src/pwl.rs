@@ -373,15 +373,9 @@ mod tests {
     fn integral_prefix_agrees_with_direct_integral() {
         let c = curve();
         let p = c.prefix_sums();
-        for &(a, b) in &[
-            (0.0, 6.0),
-            (1.0, 3.0),
-            (2.0, 2.5),
-            (-1.0, 4.0),
-            (5.9, 8.0),
-            (0.0, 0.0),
-            (3.0, 1.0),
-        ] {
+        for &(a, b) in
+            &[(0.0, 6.0), (1.0, 3.0), (2.0, 2.5), (-1.0, 4.0), (5.9, 8.0), (0.0, 0.0), (3.0, 1.0)]
+        {
             assert!(
                 approx_eq(c.integral_prefix(&p, a, b), c.integral(a, b), 1e-12),
                 "interval [{a}, {b}]"
@@ -401,10 +395,7 @@ mod tests {
     #[test]
     fn append_extends_and_validates() {
         let mut c = curve();
-        assert!(matches!(
-            c.append(6.0, 0.0),
-            Err(CurveError::AppendNotAfterEnd { .. })
-        ));
+        assert!(matches!(c.append(6.0, 0.0), Err(CurveError::AppendNotAfterEnd { .. })));
         assert!(matches!(c.append(7.0, f64::INFINITY), Err(CurveError::NonFinite { .. })));
         c.append(8.0, 3.0).unwrap();
         assert_eq!(c.num_segments(), 4);
@@ -424,7 +415,7 @@ mod tests {
     #[test]
     fn time_to_accumulate_walks_segments() {
         let c = curve(); // total 12.5, prefix [0, 4, 11.5, 12.5]
-        // target 4 from 0 → exactly the first vertex t=2.
+                         // target 4 from 0 → exactly the first vertex t=2.
         let t = c.time_to_accumulate(0.0, 4.0).unwrap();
         assert!(approx_eq(c.integral(0.0, t), 4.0, 1e-9), "t={t}");
         // target inside second segment.

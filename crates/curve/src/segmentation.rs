@@ -25,7 +25,10 @@ pub fn connect_samples(samples: &[(f64, f64)]) -> Result<PiecewiseLinear> {
 
 /// Non-adaptive segmentation: keep every `k`-th sample so that roughly
 /// `target_segments` remain; the first and last samples are always kept.
-pub fn uniform_segmentation(samples: &[(f64, f64)], target_segments: usize) -> Result<PiecewiseLinear> {
+pub fn uniform_segmentation(
+    samples: &[(f64, f64)],
+    target_segments: usize,
+) -> Result<PiecewiseLinear> {
     if samples.len() < 2 {
         return Err(CurveError::TooFewPoints(samples.len()));
     }
@@ -51,10 +54,7 @@ fn chord_error(samples: &[(f64, f64)], lo: usize, hi: usize) -> f64 {
     let (t0, v0) = samples[lo];
     let (t1, v1) = samples[hi];
     let w = (v1 - v0) / (t1 - t0);
-    samples[lo + 1..hi]
-        .iter()
-        .map(|&(t, v)| (v - (v0 + w * (t - t0))).abs())
-        .fold(0.0, f64::max)
+    samples[lo + 1..hi].iter().map(|&(t, v)| (v - (v0 + w * (t - t0))).abs()).fold(0.0, f64::max)
 }
 
 /// Adaptive bottom-up segmentation: start from connect-the-dots and merge
@@ -79,7 +79,7 @@ pub fn bottom_up_segmentation(
         let mut best: Option<(usize, f64)> = None;
         for k in 1..kept.len() - 1 {
             let err = chord_error(samples, kept[k - 1], kept[k + 1]);
-            if best.map_or(true, |(_, e)| err < e) {
+            if best.is_none_or(|(_, e)| err < e) {
                 best = Some((k, err));
             }
         }
@@ -178,7 +178,15 @@ mod tests {
         for i in 0..200 {
             let t = i as f64;
             // Flat until t=150, then a sharp triangle wave.
-            let v = if i < 150 { 1.0 } else { if i % 2 == 0 { 10.0 } else { 0.0 } };
+            let v = if i < 150 {
+                1.0
+            } else {
+                if i % 2 == 0 {
+                    10.0
+                } else {
+                    0.0
+                }
+            };
             s.push((t, v));
         }
         let budget = 30;
@@ -187,11 +195,6 @@ mod tests {
         let err = |c: &crate::PiecewiseLinear| -> f64 {
             s.iter().map(|&(t, v)| (c.eval(t).unwrap_or(0.0) - v).abs()).fold(0.0, f64::max)
         };
-        assert!(
-            err(&ada) <= err(&uni),
-            "adaptive {} should beat uniform {}",
-            err(&ada),
-            err(&uni)
-        );
+        assert!(err(&ada) <= err(&uni), "adaptive {} should beat uniform {}", err(&ada), err(&uni));
     }
 }

@@ -350,7 +350,7 @@ impl BPlusTree {
             return Ok(None);
         }
         // Split the leaf: left keeps `half`, right takes the rest.
-        let half = (n + 1) / 2;
+        let half = n.div_ceil(2);
         let right_id = self.file.allocate(1)?;
         let next = get_u64(buf, 8);
         let mut entries: Vec<(f64, Vec<u8>)> = (0..n)
@@ -639,9 +639,7 @@ fn encode_internal(buf: &mut [u8], children: &[u64], keys: &[f64]) {
 fn check_magic(buf: &[u8], want: u32) -> Result<()> {
     let got = get_u32(buf, 0);
     if got != want {
-        return Err(IndexError::Corrupt(format!(
-            "expected page magic {want:#x}, found {got:#x}"
-        )));
+        return Err(IndexError::Corrupt(format!("expected page magic {want:#x}, found {got:#x}")));
     }
     Ok(())
 }

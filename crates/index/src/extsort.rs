@@ -82,8 +82,8 @@ impl RunCursor {
         if block_idx != self.cur_block {
             file.read(self.run.start + block_idx, &mut self.buf)?;
             let count = get_u32(&self.buf, 0) as u64;
-            let expected = (self.run.records - block_idx * self.per_block as u64)
-                .min(self.per_block as u64);
+            let expected =
+                (self.run.records - block_idx * self.per_block as u64).min(self.per_block as u64);
             if count != expected {
                 return Err(IndexError::Corrupt(format!(
                     "run block holds {count} records, expected {expected}"
@@ -396,8 +396,7 @@ mod tests {
     #[test]
     fn sorts_random_input_across_many_runs() {
         let e = env();
-        let mut s =
-            ExternalSorter::new(e.create_file("runs").unwrap(), 12, 50, key_of).unwrap();
+        let mut s = ExternalSorter::new(e.create_file("runs").unwrap(), 12, 50, key_of).unwrap();
         // Deterministic pseudo-random keys.
         let mut x = 123456789u64;
         let mut keys = Vec::new();
@@ -432,8 +431,7 @@ mod tests {
     #[test]
     fn single_run_in_memory_only() {
         let e = env();
-        let mut s =
-            ExternalSorter::new(e.create_file("runs").unwrap(), 12, 1000, key_of).unwrap();
+        let mut s = ExternalSorter::new(e.create_file("runs").unwrap(), 12, 1000, key_of).unwrap();
         for k in [5.0, 1.0, 3.0] {
             s.push(&rec(k, 0)).unwrap();
         }
@@ -449,8 +447,7 @@ mod tests {
     #[test]
     fn sorter_rejects_bad_input() {
         let e = env();
-        let mut s =
-            ExternalSorter::new(e.create_file("runs").unwrap(), 12, 50, key_of).unwrap();
+        let mut s = ExternalSorter::new(e.create_file("runs").unwrap(), 12, 50, key_of).unwrap();
         assert!(s.push(&[0u8; 5]).is_err());
         assert!(s.push(&rec(f64::NAN, 0)).is_err());
         assert!(ExternalSorter::new(e.create_file("r2").unwrap(), 0, 50, key_of).is_err());
@@ -460,8 +457,7 @@ mod tests {
     #[test]
     fn duplicate_keys_are_all_preserved() {
         let e = env();
-        let mut s =
-            ExternalSorter::new(e.create_file("runs").unwrap(), 12, 20, key_of).unwrap();
+        let mut s = ExternalSorter::new(e.create_file("runs").unwrap(), 12, 20, key_of).unwrap();
         for i in 0..100u32 {
             s.push(&rec(7.0, i)).unwrap();
         }

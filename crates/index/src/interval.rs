@@ -165,7 +165,11 @@ impl IntervalTree {
         let mut buf = vec![0u8; block];
         let mut blk = 0u64;
         let mut within = 0usize;
-        let write_entry = |e: &IntervalEntry, buf: &mut Vec<u8>, blk: &mut u64, within: &mut usize| -> Result<()> {
+        let write_entry = |e: &IntervalEntry,
+                           buf: &mut Vec<u8>,
+                           blk: &mut u64,
+                           within: &mut usize|
+         -> Result<()> {
             if *within == epb {
                 self.file.write(list_start + *blk, buf)?;
                 buf.fill(0);
@@ -427,8 +431,7 @@ mod tests {
 
     fn stab_tags(tree: &IntervalTree, t: f64) -> Vec<u32> {
         let mut out = Vec::new();
-        tree.stab(t, &mut |_, _, p| out.push(u32::from_le_bytes(p.try_into().unwrap())))
-            .unwrap();
+        tree.stab(t, &mut |_, _, p| out.push(u32::from_le_bytes(p.try_into().unwrap()))).unwrap();
         out.sort();
         out
     }

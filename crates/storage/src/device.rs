@@ -114,12 +114,8 @@ impl FileDevice {
     /// Create (truncate) a device file at `path`.
     pub fn create(path: &Path, block_size: usize) -> Result<Self> {
         assert!(block_size >= 64, "block size unreasonably small");
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         Ok(Self { file, block_size, num_blocks: 0 })
     }
 
@@ -224,16 +220,10 @@ mod tests {
     fn out_of_bounds_is_an_error() {
         let mut dev = MemDevice::new(128);
         let mut buf = vec![0u8; 128];
-        assert!(matches!(
-            dev.read(0, &mut buf),
-            Err(StorageError::OutOfBounds { .. })
-        ));
+        assert!(matches!(dev.read(0, &mut buf), Err(StorageError::OutOfBounds { .. })));
         dev.allocate(1).unwrap();
         assert!(dev.read(0, &mut buf).is_ok());
-        assert!(matches!(
-            dev.write(5, &buf),
-            Err(StorageError::OutOfBounds { .. })
-        ));
+        assert!(matches!(dev.write(5, &buf), Err(StorageError::OutOfBounds { .. })));
     }
 
     #[test]
@@ -241,10 +231,7 @@ mod tests {
         let mut dev = MemDevice::new(128);
         dev.allocate(1).unwrap();
         let mut small = vec![0u8; 64];
-        assert!(matches!(
-            dev.read(0, &mut small),
-            Err(StorageError::BadBufferLen { .. })
-        ));
+        assert!(matches!(dev.read(0, &mut small), Err(StorageError::BadBufferLen { .. })));
     }
 
     #[test]
@@ -253,10 +240,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ragged.blk");
         std::fs::write(&path, vec![0u8; 300]).unwrap();
-        assert!(matches!(
-            FileDevice::open(&path, 256),
-            Err(StorageError::Corrupt(_))
-        ));
+        assert!(matches!(FileDevice::open(&path, 256), Err(StorageError::Corrupt(_))));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

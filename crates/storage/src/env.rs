@@ -123,7 +123,9 @@ impl Env {
 /// Keep file names filesystem-safe.
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' { c } else { '_' })
+        .map(
+            |c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' { c } else { '_' },
+        )
         .collect()
 }
 
@@ -138,8 +140,8 @@ mod tests {
         let b = env.create_file("b").unwrap();
         let ia = a.allocate(1).unwrap();
         let ib = b.allocate(1).unwrap();
-        a.write(ia, &vec![1u8; 128]).unwrap();
-        b.write(ib, &vec![2u8; 128]).unwrap();
+        a.write(ia, &[1u8; 128]).unwrap();
+        b.write(ib, &[2u8; 128]).unwrap();
         a.drop_cache().unwrap();
         b.drop_cache().unwrap();
         let mut buf = vec![0u8; 128];
@@ -177,7 +179,7 @@ mod tests {
         let env = Env::mem(StoreConfig { block_size: 128, pool_capacity: 2 });
         let f = env.create_file("f").unwrap();
         let id = f.allocate(1).unwrap();
-        f.write(id, &vec![0u8; 128]).unwrap();
+        f.write(id, &[0u8; 128]).unwrap();
         f.flush().unwrap();
         assert!(env.io_stats().writes > 0);
         env.reset_io();

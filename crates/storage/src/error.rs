@@ -81,7 +81,7 @@ mod tests {
 
     #[test]
     fn io_error_source_is_preserved() {
-        let inner = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let inner = std::io::Error::other("boom");
         let e = StorageError::from(inner);
         assert!(std::error::Error::source(&e).is_some());
     }

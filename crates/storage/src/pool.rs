@@ -28,10 +28,7 @@ pub struct StoreConfig {
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        Self {
-            block_size: crate::DEFAULT_BLOCK_SIZE,
-            pool_capacity: crate::DEFAULT_POOL_CAPACITY,
-        }
+        Self { block_size: crate::DEFAULT_BLOCK_SIZE, pool_capacity: crate::DEFAULT_POOL_CAPACITY }
     }
 }
 
@@ -263,8 +260,8 @@ mod tests {
     fn drop_cache_counts_cold_reads() {
         let f = file(4);
         let id = f.allocate(2).unwrap();
-        f.write(id, &vec![1u8; 128]).unwrap();
-        f.write(id + 1, &vec![2u8; 128]).unwrap();
+        f.write(id, &[1u8; 128]).unwrap();
+        f.write(id + 1, &[2u8; 128]).unwrap();
         f.drop_cache().unwrap();
         assert_eq!(f.io().snapshot().writes, 2);
         f.io().reset();
@@ -285,7 +282,7 @@ mod tests {
         let f = file(2);
         let first = f.allocate(4).unwrap();
         for i in 0..4u64 {
-            f.write(first + i, &vec![i as u8 + 1; 128]).unwrap();
+            f.write(first + i, &[i as u8 + 1; 128]).unwrap();
         }
         // Pool holds 2 frames, so at least 2 dirty evictions must have hit
         // the device by now.
@@ -344,7 +341,7 @@ mod tests {
         let f = file(1);
         let first = f.allocate(8).unwrap();
         for i in 0..8u64 {
-            f.write(first + i, &vec![i as u8; 128]).unwrap();
+            f.write(first + i, &[i as u8; 128]).unwrap();
         }
         f.drop_cache().unwrap();
         let mut out = vec![0u8; 128];

@@ -37,10 +37,7 @@ impl IoStats {
 impl std::ops::Add for IoStats {
     type Output = IoStats;
     fn add(self, rhs: IoStats) -> IoStats {
-        IoStats {
-            reads: self.reads + rhs.reads,
-            writes: self.writes + rhs.writes,
-        }
+        IoStats { reads: self.reads + rhs.reads, writes: self.writes + rhs.writes }
     }
 }
 

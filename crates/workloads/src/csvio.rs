@@ -92,12 +92,12 @@ pub fn read_csv(reader: impl BufRead) -> Result<CsvDataset, CsvError> {
         if lineno == 0 && t_s.parse::<f64>().is_err() {
             continue;
         }
-        let t: f64 = t_s.parse().map_err(|_| {
-            CsvError::Parse(format!("line {}: bad time {t_s:?}", lineno + 1))
-        })?;
-        let v: f64 = v_s.parse().map_err(|_| {
-            CsvError::Parse(format!("line {}: bad value {v_s:?}", lineno + 1))
-        })?;
+        let t: f64 = t_s
+            .parse()
+            .map_err(|_| CsvError::Parse(format!("line {}: bad time {t_s:?}", lineno + 1)))?;
+        let v: f64 = v_s
+            .parse()
+            .map_err(|_| CsvError::Parse(format!("line {}: bad value {v_s:?}", lineno + 1)))?;
         let next_id = per_object.len() as ObjectId;
         let dense = *id_map.entry(id_s.to_string()).or_insert(next_id);
         if dense as usize == per_object.len() {
@@ -107,9 +107,8 @@ pub fn read_csv(reader: impl BufRead) -> Result<CsvDataset, CsvError> {
     }
     let mut objects = Vec::with_capacity(per_object.len());
     for (i, pts) in per_object.into_iter().enumerate() {
-        let curve = PiecewiseLinear::from_points(&pts).map_err(|e| {
-            CsvError::BadObject(format!("object #{i}: {e}"))
-        })?;
+        let curve = PiecewiseLinear::from_points(&pts)
+            .map_err(|e| CsvError::BadObject(format!("object #{i}: {e}")))?;
         objects.push(TemporalObject { id: i as ObjectId, curve });
     }
     if objects.is_empty() {
@@ -176,14 +175,8 @@ mod tests {
     fn rejects_malformed_rows() {
         // Line 1 may be a header, so malformed rows are probed on line 2.
         let hdr = "object_id,time,value\n";
-        assert!(matches!(
-            read_csv(format!("{hdr}only,two\n").as_bytes()),
-            Err(CsvError::Parse(_))
-        ));
-        assert!(matches!(
-            read_csv(format!("{hdr}0,abc,1\n").as_bytes()),
-            Err(CsvError::Parse(_))
-        ));
+        assert!(matches!(read_csv(format!("{hdr}only,two\n").as_bytes()), Err(CsvError::Parse(_))));
+        assert!(matches!(read_csv(format!("{hdr}0,abc,1\n").as_bytes()), Err(CsvError::Parse(_))));
         assert!(matches!(
             read_csv(format!("{hdr}0,1.0,xyz\n").as_bytes()),
             Err(CsvError::Parse(_))
@@ -198,13 +191,9 @@ mod tests {
 
     #[test]
     fn roundtrip_generated_dataset() {
-        let objs = TempGenerator::new(TempConfig {
-            objects: 5,
-            avg_segments: 20,
-            seed: 77,
-            dropout: 0.0,
-        })
-        .generate();
+        let objs =
+            TempGenerator::new(TempConfig { objects: 5, avg_segments: 20, seed: 77, dropout: 0.0 })
+                .generate();
         let mut buf = Vec::new();
         write_csv(&objs, &mut buf).unwrap();
         let ds = read_csv(buf.as_slice()).unwrap();
@@ -225,13 +214,9 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("chronorank-csv-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("data.csv");
-        let objs = TempGenerator::new(TempConfig {
-            objects: 3,
-            avg_segments: 10,
-            seed: 5,
-            dropout: 0.0,
-        })
-        .generate();
+        let objs =
+            TempGenerator::new(TempConfig { objects: 3, avg_segments: 10, seed: 5, dropout: 0.0 })
+                .generate();
         write_csv_file(&objs, &path).unwrap();
         let ds = read_csv_file(&path).unwrap();
         assert_eq!(ds.objects.len(), 3);

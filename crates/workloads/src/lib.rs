@@ -22,13 +22,13 @@
 //! [`QueryWorkload`] generates the paper's query mix: random intervals of
 //! a given length fraction (default 20 % of `T`) with random `k`.
 
-mod util;
 pub mod csvio;
 mod meme;
 mod query;
 mod randomwalk;
 mod stock;
 mod temp;
+mod util;
 
 pub use csvio::{read_csv, read_csv_file, write_csv, write_csv_file, CsvDataset, CsvError};
 pub use meme::{MemeConfig, MemeGenerator};

@@ -87,7 +87,7 @@ impl DatasetGenerator for MemeGenerator {
                 let base = peak * (-(decay) * (t - birth)).exp();
                 let noise = (1.0 + 0.15 * gaussian(&mut rng)).max(0.2);
                 let v = ((base + secondary) * noise).max(0.0);
-                if points.last().map_or(true, |&(pt, _)| t > pt) {
+                if points.last().is_none_or(|&(pt, _)| t > pt) {
                     points.push((t, v));
                 }
             }
@@ -108,7 +108,8 @@ mod tests {
 
     #[test]
     fn generates_requested_shape() {
-        let g = MemeGenerator::new(MemeConfig { objects: 200, avg_segments: 67, ..Default::default() });
+        let g =
+            MemeGenerator::new(MemeConfig { objects: 200, avg_segments: 67, ..Default::default() });
         let set = g.generate_set();
         assert_eq!(set.num_objects(), 200);
         let navg = set.num_segments() as f64 / 200.0;
@@ -124,10 +125,7 @@ mod tests {
         peaks.sort_by(f64::total_cmp);
         let median = peaks[peaks.len() / 2];
         let p99 = peaks[peaks.len() * 99 / 100];
-        assert!(
-            p99 > 8.0 * median,
-            "p99 {p99} should dwarf median {median} (heavy tail)"
-        );
+        assert!(p99 > 8.0 * median, "p99 {p99} should dwarf median {median} (heavy tail)");
     }
 
     #[test]

@@ -67,8 +67,7 @@ impl DatasetGenerator for StockGenerator {
             // Lognormal base liquidity: a few mega-caps dominate.
             let base = (10.0 + 1.8 * gaussian(&mut rng)).exp() / 1e3;
             let mut daily_level = 1.0f64;
-            let mut points: Vec<(f64, f64)> =
-                Vec::with_capacity(c.days * c.readings_per_day + 1);
+            let mut points: Vec<(f64, f64)> = Vec::with_capacity(c.days * c.readings_per_day + 1);
             for day in 0..c.days {
                 // Volume persistence + occasional news spike.
                 daily_level = (0.8 * daily_level + 0.2 * (1.0 + 0.3 * gaussian(&mut rng))).abs();
@@ -118,8 +117,7 @@ mod tests {
     fn liquidity_is_heavy_tailed_across_tickers() {
         let g = StockGenerator::new(StockConfig::default());
         let set = g.generate_set();
-        let mut totals: Vec<f64> =
-            set.objects().iter().map(|o| o.curve.total()).collect();
+        let mut totals: Vec<f64> = set.objects().iter().map(|o| o.curve.total()).collect();
         totals.sort_by(f64::total_cmp);
         let median = totals[totals.len() / 2];
         let top = totals[totals.len() - 1];
@@ -128,12 +126,8 @@ mod tests {
 
     #[test]
     fn intraday_u_shape_visible() {
-        let g = StockGenerator::new(StockConfig {
-            objects: 1,
-            days: 1,
-            readings_per_day: 9,
-            seed: 11,
-        });
+        let g =
+            StockGenerator::new(StockConfig { objects: 1, days: 1, readings_per_day: 9, seed: 11 });
         let objs = g.generate();
         let c = &objs[0].curve;
         // Open and close readings should on average beat midday.

@@ -119,10 +119,7 @@ mod tests {
         let set = g.generate_set();
         assert_eq!(set.num_objects(), 50);
         let navg = set.num_segments() as f64 / 50.0;
-        assert!(
-            (navg - 100.0).abs() < 25.0,
-            "n_avg = {navg}, wanted ≈ 100"
-        );
+        assert!((navg - 100.0).abs() < 25.0, "n_avg = {navg}, wanted ≈ 100");
         assert!(!set.has_negative(), "temperatures are positive");
     }
 

@@ -78,6 +78,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         1.0,
         1.0
     );
-    println!("\nAPPX* answer from KiB-scale indexes in a handful of IOs; EXACT3 pays m/B per stab.");
+    println!(
+        "\nAPPX* answer from KiB-scale indexes in a handful of IOs; EXACT3 pays m/B per stab."
+    );
     Ok(())
 }

@@ -37,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. "Top-10 stations by average temperature over the middle fifth of
     //    the observation window."
-    let (t1, t2) = (
-        set.t_min() + 0.4 * set.span(),
-        set.t_min() + 0.6 * set.span(),
-    );
+    let (t1, t2) = (set.t_min() + 0.4 * set.span(), set.t_min() + 0.6 * set.span());
     let k = 10;
 
     exact3.drop_caches()?;

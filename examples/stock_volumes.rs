@@ -12,12 +12,8 @@ use chronorank::workloads::{DatasetGenerator, StockConfig, StockGenerator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1,000 tickers × 60 trading days, 8 intraday readings each.
-    let gen = StockGenerator::new(StockConfig {
-        objects: 1000,
-        days: 60,
-        readings_per_day: 8,
-        seed: 11,
-    });
+    let gen =
+        StockGenerator::new(StockConfig { objects: 1000, days: 60, readings_per_day: 8, seed: 11 });
     let mut set = gen.generate_set();
     let exact3 = Exact3::build(&set, IndexConfig::default())?;
 

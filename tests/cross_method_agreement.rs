@@ -147,13 +147,9 @@ fn avg_aggregate_consistent_across_methods() {
 fn io_accounting_shows_the_paper_ordering() {
     // The headline result: EXACT3 ≪ EXACT1/EXACT2 in query IOs at large m,
     // and APPX* ≪ EXACT3.
-    let set = TempGenerator::new(TempConfig {
-        objects: 400,
-        avg_segments: 120,
-        seed: 9,
-        dropout: 0.02,
-    })
-    .generate_set();
+    let set =
+        TempGenerator::new(TempConfig { objects: 400, avg_segments: 120, seed: 9, dropout: 0.02 })
+            .generate_set();
     let e1 = Exact1::build(&set, IndexConfig::default()).unwrap();
     let e2 = Exact2::build(&set, IndexConfig::default()).unwrap();
     let e3 = Exact3::build(&set, IndexConfig::default()).unwrap();

@@ -1,0 +1,41 @@
+//! Smoke coverage for the `examples/` directory: every example target must
+//! compile, and `quickstart` must run to completion and print its report.
+//!
+//! The child `cargo` processes use a dedicated target directory
+//! (`target/examples-smoke`): the parent `cargo test` invocation may hold
+//! the main build-directory lock for as long as it runs, and sharing it
+//! would deadlock.
+
+use std::process::Command;
+
+fn cargo() -> Command {
+    let mut c = Command::new(env!("CARGO"));
+    c.current_dir(env!("CARGO_MANIFEST_DIR"));
+    c.env("CARGO_TARGET_DIR", concat!(env!("CARGO_MANIFEST_DIR"), "/target/examples-smoke"));
+    c
+}
+
+#[test]
+fn all_examples_build() {
+    let out = cargo().args(["build", "--examples"]).output().expect("spawn cargo");
+    assert!(
+        out.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    let out = cargo().args(["run", "--example", "quickstart"]).output().expect("spawn cargo");
+    assert!(
+        out.status.success(),
+        "quickstart exited nonzero:\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["dataset: m = ", "IO cost", "precision/recall"] {
+        assert!(stdout.contains(needle), "quickstart output missing {needle:?}:\n{stdout}");
+    }
+}

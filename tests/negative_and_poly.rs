@@ -121,11 +121,7 @@ fn polynomial_prefix_sum_ranking() {
             })
             .collect();
         let approx: Vec<f64> = as_pwl.iter().map(|c| c.integral(1.5, 8.5)).collect();
-        let max_err = direct
-            .iter()
-            .zip(&approx)
-            .map(|(d, a)| (d - a).abs())
-            .fold(0.0, f64::max);
+        let max_err = direct.iter().zip(&approx).map(|(d, a)| (d - a).abs()).fold(0.0, f64::max);
         errors.push(max_err);
         if budget >= 128 {
             assert!(max_err < 0.1, "128-segment PWL should track polynomials, err {max_err}");
@@ -135,10 +131,7 @@ fn polynomial_prefix_sum_ranking() {
             assert_eq!(approx_rank, want_rank, "converged ranking must agree");
         }
     }
-    assert!(
-        errors[2] < errors[0],
-        "error must shrink as the segment budget grows: {errors:?}"
-    );
+    assert!(errors[2] < errors[0], "error must shrink as the segment budget grows: {errors:?}");
 }
 
 #[test]

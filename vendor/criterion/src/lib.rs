@@ -1,0 +1,273 @@
+//! Offline shim for the `criterion` benchmark harness, implemented from
+//! scratch. Supports the subset the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each bench warms up, then runs timed batches until it
+//! accumulates `measure_ms` of wall clock (or `sample_size` batches,
+//! whichever comes first) and reports the mean per-iteration time. Pass
+//! `--quick` (as in `cargo bench -- --quick`) for a ~10x shorter budget.
+//!
+//! Results print as a fixed-width table; when `CHRONORANK_BENCH_JSON` names
+//! a path, a machine-readable summary is also written there (this is how
+//! `BENCH_BASELINE.json` is produced).
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+/// The top-level harness state.
+#[derive(Default)]
+pub struct Criterion {
+    quick: bool,
+    filter: Option<String>,
+    results: Vec<Sample>,
+}
+
+impl Criterion {
+    /// Build from `cargo bench` CLI arguments (recognizes `--quick` and a
+    /// positional substring filter; ignores the flags cargo itself adds).
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => c.quick = true,
+                "--bench" | "--test" => {}
+                s if s.starts_with('-') => {} // unknown flags: ignore
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+    }
+
+    /// Top-level single benchmark (id is the bare name, as upstream).
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let quick = self.quick;
+        self.record(name.into(), quick, 100, f);
+        self
+    }
+
+    fn record(
+        &mut self,
+        id: String,
+        quick: bool,
+        sample_size: usize,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            measure_budget: if quick {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(200)
+            },
+            max_batches: sample_size.max(1) as u64,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        eprintln!("{id:<44} {:>14} {:>10} iters", fmt_ns(b.mean_ns), b.iters);
+        self.results.push(Sample { id, mean_ns: b.mean_ns, iters: b.iters });
+    }
+
+    /// Print the final table and write the JSON summary if requested.
+    pub fn final_summary(&self) {
+        eprintln!("\n== bench summary ({} benchmarks)", self.results.len());
+        for s in &self.results {
+            eprintln!("{:<44} {:>14}", s.id, fmt_ns(s.mean_ns));
+        }
+        if let Ok(path) = std::env::var("CHRONORANK_BENCH_JSON") {
+            if let Err(e) = self.write_json(&path) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("wrote JSON summary to {path}");
+            }
+        }
+    }
+
+    fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{{")?;
+        writeln!(f, "  \"harness\": \"criterion-shim\",")?;
+        writeln!(f, "  \"quick\": {},", self.quick)?;
+        writeln!(f, "  \"benchmarks\": [")?;
+        for (i, s) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            writeln!(
+                f,
+                "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}{comma}",
+                s.id, s.mean_ns, s.iters
+            )?;
+        }
+        writeln!(f, "  ]")?;
+        writeln!(f, "}}")?;
+        Ok(())
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Cap the number of timed batches (upstream: number of samples).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Measure one function.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name.into());
+        let quick = self.criterion.quick;
+        let sample_size = self.sample_size;
+        self.criterion.record(id, quick, sample_size, f);
+        self
+    }
+
+    /// End the group (no-op beyond matching the upstream API).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    measure_budget: Duration,
+    max_batches: u64,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean per-iteration cost.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup + batch sizing: grow until one batch costs >= ~1ms.
+        let mut batch = 1u64;
+        let per_iter_est = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break dt.as_nanos() as f64 / batch as f64;
+            }
+            batch *= 4;
+        };
+        // Measured phase.
+        let mut total_ns = 0.0f64;
+        let mut total_iters = 0u64;
+        let mut batches = 0u64;
+        let deadline = Instant::now() + self.measure_budget;
+        while batches < self.max_batches && Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total_ns += t0.elapsed().as_nanos() as f64;
+            total_iters += batch;
+            batches += 1;
+        }
+        self.mean_ns = if total_iters > 0 { total_ns / total_iters as f64 } else { per_iter_est };
+        self.iters = total_iters.max(batch);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Group benchmark functions under one callable, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { quick: true, filter: None, results: Vec::new() };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].mean_ns >= 0.0);
+        assert!(c.results[0].iters > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { quick: true, filter: Some("wanted".into()), results: Vec::new() };
+        c.bench_function("other", |b| b.iter(|| 0));
+        assert!(c.results.is_empty());
+        c.bench_function("wanted_one", |b| b.iter(|| 0));
+        assert_eq!(c.results.len(), 1);
+    }
+
+    #[test]
+    fn json_summary_roundtrips() {
+        let mut c = Criterion { quick: true, filter: None, results: Vec::new() };
+        c.results.push(Sample { id: "g/f".into(), mean_ns: 12.5, iters: 1000 });
+        let dir = std::env::temp_dir().join(format!("criterion-shim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        c.write_json(path.to_str().unwrap()).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.contains("\"id\": \"g/f\""));
+        assert!(s.contains("\"mean_ns\": 12.5"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
