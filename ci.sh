@@ -5,6 +5,9 @@
 #   1. cargo fmt --check          (style per rustfmt.toml)
 #   2. cargo clippy -D warnings   (whole workspace, all targets)
 #   3. tier-1 gate                (cargo build --release && cargo test -q)
+#   4. serve scenario smoke       (paper-bench serve --quick; the committed
+#                                  BENCH_SERVE.json is the full-scale run,
+#                                  so the smoke writes under target/)
 #
 # The property suites honour PROPTEST_CASES; the fixed default below keeps
 # the whole script comfortably under the ~2 minute tier-1 budget while still
@@ -15,14 +18,21 @@ cd "$(dirname "$0")"
 
 export PROPTEST_CASES="${PROPTEST_CASES:-64}"
 
-echo "== [1/3] cargo fmt --check"
+echo "== [1/4] cargo fmt --check"
 cargo fmt --check
 
-echo "== [2/3] cargo clippy --workspace --all-targets -- -D warnings"
+echo "== [2/4] cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== [3/3] tier-1: cargo build --release && cargo test -q (PROPTEST_CASES=$PROPTEST_CASES)"
+echo "== [3/4] tier-1: cargo build --release && cargo test -q (PROPTEST_CASES=$PROPTEST_CASES)"
 cargo build --release
 cargo test -q --workspace
+
+echo "== [4/4] serve scenario smoke (paper-bench serve --quick)"
+# Smoke artifacts go under target/ so the committed full-scale
+# BENCH_SERVE.json and results/ CSVs are never clobbered by quick numbers.
+CHRONORANK_SERVE_JSON=target/BENCH_SERVE_ci.json \
+  cargo run --release -q -p chronorank-bench --bin paper_bench -- serve --quick \
+  --out target/paper-bench-smoke
 
 echo "CI OK"

@@ -4,7 +4,8 @@
 //! ```text
 //! paper-bench <figure> [options]
 //!
-//! figures: fig3 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 all
+//! figures: fig3 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20
+//!          ablation serve all
 //! options:
 //!   --m N         base object count            (default 800)
 //!   --navg N      base segments per object     (default 250)
@@ -46,6 +47,7 @@ struct Opts {
     queries: usize,
     meme_m: usize,
     out: PathBuf,
+    quick: bool,
 }
 
 impl Default for Opts {
@@ -59,6 +61,7 @@ impl Default for Opts {
             queries: 40,
             meme_m: 20_000,
             out: PathBuf::from("results"),
+            quick: false,
         }
     }
 }
@@ -106,6 +109,7 @@ fn main() {
                 opts.k = 8;
                 opts.queries = 8;
                 opts.meme_m = 2000;
+                opts.quick = true;
             }
             other => {
                 eprintln!("unknown option {other}");
@@ -130,6 +134,7 @@ fn main() {
         "fig18" => fig18(&opts),
         "fig19" | "fig20" => fig19_20(&opts),
         "ablation" => ablation(&opts),
+        "serve" => serve(&opts),
         "all" => {
             fig3(&opts);
             fig11(&opts);
@@ -141,6 +146,7 @@ fn main() {
             fig18(&opts);
             fig19_20(&opts);
             ablation(&opts);
+            serve(&opts);
         }
         other => {
             eprintln!("unknown figure {other}");
@@ -724,6 +730,180 @@ fn ablation(opts: &Opts) {
     }
     tb.print();
     tb.write_csv(&opts.out, "ablation_pool").expect("csv");
+}
+
+// ---------------------------------------------------------------------------
+// Serve: the sharded, cost-routed serving engine (BENCH_SERVE.json)
+// ---------------------------------------------------------------------------
+
+/// Benchmark `chronorank-serve` at W ∈ {1, 2, 4} on a skewed stream.
+///
+/// Three measurements per W:
+///
+/// * **io-bound** — exact-routed Zipf stream under an emulated SSD
+///   (`simulated_read_latency` per block read, the paper's cost unit made
+///   wall time). Sharding multiplies aggregate buffer-pool memory, so
+///   from some W the per-shard working set fits its pool and queries stop
+///   touching the device: throughput scales superlinearly even on one
+///   core. This is the headline serving number.
+/// * **in-memory** — the same stream with no device model: on a
+///   single-core host scatter-gather sharding cannot beat W = 1 (the same
+///   entries are scanned either way), reported for transparency.
+/// * **zipf-cache** — an approximate-tolerance hot stream: shard-local
+///   result caches answer repeated snapped intervals without touching any
+///   index.
+///
+/// Writes `BENCH_SERVE.json` (cwd, or `$CHRONORANK_SERVE_JSON`) plus a
+/// CSV under `--out`.
+fn serve(opts: &Opts) {
+    use chronorank_serve::{ServeConfig, ServeEngine, ServeQuery};
+    use chronorank_workloads::{IntervalPattern, QueryWorkload, QueryWorkloadConfig};
+    use std::io::Write as _;
+    use std::time::Duration;
+
+    // Workload shapes, named once so the emitted JSON metadata can never
+    // drift from the streams actually generated.
+    const EXACT_PATTERN: IntervalPattern =
+        IntervalPattern::Zipf { hotspots: 64, exponent: 1.0, background: 0.05 };
+    const ZIPF_PATTERN: IntervalPattern =
+        IntervalPattern::Zipf { hotspots: 8, exponent: 1.0, background: 0.1 };
+    const EPS_BUDGET: f64 = 0.2;
+
+    // Scenario scale: the full index must overflow one worker's pool while
+    // a quarter shard fits (see the doc comment); `--quick` shrinks
+    // everything proportionally.
+    let (m, navg, exact_count, zipf_count, latency_us, pool) =
+        if opts.quick { (600, 40, 120, 240, 50, 128) } else { (2000, 60, 400, 800, 100, 1024) };
+    let k = 20.min(opts.kmax.max(8));
+    let set = temp_dataset(m, navg, 42);
+    let store = StoreConfig { block_size: 4096, pool_capacity: pool };
+    println!(
+        "# serve scenario: m = {m}, N = {} segments, pool = {} frames × {} B, \
+         emulated device = {latency_us} µs/block read",
+        set.num_segments(),
+        store.pool_capacity,
+        store.block_size
+    );
+
+    // Exact-routed skewed stream: 64 hotspots spread the block working set
+    // past one worker's pool; 5% uniform background keeps it honest.
+    let exact_workload = QueryWorkload::new(
+        QueryWorkloadConfig {
+            count: exact_count,
+            span_fraction: 0.2,
+            k,
+            seed: 7,
+            pattern: EXACT_PATTERN,
+        },
+        set.t_min(),
+        set.t_max(),
+    );
+    let exact_stream: Vec<ServeQuery> =
+        exact_workload.generate().iter().map(|q| ServeQuery::exact(q.t1, q.t2, q.k)).collect();
+    // Approximate hot stream for the result cache: few hotspots, loose ε.
+    let zipf_workload = QueryWorkload::new(
+        QueryWorkloadConfig {
+            count: zipf_count,
+            span_fraction: 0.2,
+            k,
+            seed: 9,
+            pattern: ZIPF_PATTERN,
+        },
+        set.t_min(),
+        set.t_max(),
+    );
+    let zipf_stream: Vec<ServeQuery> = zipf_workload
+        .generate()
+        .iter()
+        .map(|q| ServeQuery::approx(q.t1, q.t2, q.k, EPS_BUDGET))
+        .collect();
+    // Warmup stream: every hotspot once (steady-state serving).
+    let warmup: Vec<ServeQuery> =
+        exact_workload.hotspots().iter().map(|q| ServeQuery::exact(q.t1, q.t2, q.k)).collect();
+
+    let mut table = Table::new(
+        "Serve — sharded engine at W workers (skewed stream)",
+        &["W", "io-bound q/s", "reads/q", "in-memory q/s", "zipf q/s", "cache hit %", "route"],
+    );
+    let mut rows_json = Vec::new();
+    let mut io_qps_by_w = Vec::new();
+    for workers in [1usize, 2, 4] {
+        // One engine per W: measured in-memory first, then switched to the
+        // emulated device with the live latency toggle (same indexes, same
+        // warm pools — only the device model changes).
+        let cfg =
+            ServeConfig { workers, store, simulated_read_latency: None, ..Default::default() };
+        let mut engine = ServeEngine::new(&set, cfg).expect("build engine");
+        let route = engine.route_for(&exact_stream[0]).name();
+        engine.run_stream(&warmup).expect("warmup");
+
+        // (a) In-memory: no device model.
+        let mem_qps = engine.run_stream(&exact_stream).expect("exact stream").qps();
+
+        // (b) Cache: the approximate hot stream.
+        let zipf_outcome = engine.run_stream(&zipf_stream).expect("zipf stream");
+        let hit_rate = engine.report().cache_hit_rate();
+
+        // (c) IO-bound: emulated device latency per block read.
+        engine.set_simulated_read_latency(Some(Duration::from_micros(latency_us))).expect("toggle");
+        let before = engine.report().io;
+        let outcome = engine.run_stream(&exact_stream).expect("exact stream");
+        let reads_per_query =
+            engine.report().io.since(before).reads as f64 / exact_stream.len() as f64;
+        let io_qps = outcome.qps();
+
+        table.row(vec![
+            workers.to_string(),
+            format!("{io_qps:.0}"),
+            format!("{reads_per_query:.1}"),
+            format!("{mem_qps:.0}"),
+            format!("{:.0}", zipf_outcome.qps()),
+            format!("{:.1}", 100.0 * hit_rate),
+            route.to_string(),
+        ]);
+        io_qps_by_w.push((workers, io_qps));
+        rows_json.push(format!(
+            "    {{\"workers\": {workers}, \"io_bound_qps\": {io_qps:.1}, \
+             \"reads_per_query\": {reads_per_query:.2}, \"in_memory_qps\": {mem_qps:.1}, \
+             \"zipf_qps\": {:.1}, \"cache_hit_rate\": {hit_rate:.4}, \
+             \"exact_route\": \"{route}\"}}",
+            zipf_outcome.qps(),
+        ));
+    }
+    table.print();
+    table.write_csv(&opts.out, "serve_scaling").expect("csv");
+
+    let pattern_json = |p: IntervalPattern, count: usize| match p {
+        IntervalPattern::Uniform => format!("{{\"queries\": {count}, \"pattern\": \"uniform\"}}"),
+        IntervalPattern::Zipf { hotspots, exponent, background } => format!(
+            "{{\"queries\": {count}, \"hotspots\": {hotspots}, \"exponent\": {exponent}, \
+             \"background\": {background}}}"
+        ),
+    };
+    let speedup = io_qps_by_w[2].1 / io_qps_by_w[0].1.max(1e-9);
+    println!("\nW=4 over W=1 io-bound speedup: {speedup:.2}x");
+    let json_path =
+        std::env::var("CHRONORANK_SERVE_JSON").unwrap_or_else(|_| "BENCH_SERVE.json".to_string());
+    let json = format!(
+        "{{\n  \"harness\": \"chronorank-serve-bench\",\n  \"quick\": {},\n  \"scenario\": {{\n    \
+         \"dataset\": \"temp\", \"m\": {m}, \"n_segments\": {}, \"k\": {k},\n    \
+         \"pool_frames\": {}, \"block_bytes\": {},\n    \
+         \"emulated_read_latency_us\": {latency_us},\n    \
+         \"exact_stream\": {},\n    \
+         \"zipf_stream\": {{\"eps_budget\": {EPS_BUDGET}, \"base\": {}}}\n  }},\n  \
+         \"note\": \"io_bound emulates the paper's cost unit (one block read = {latency_us} us); sharding multiplies aggregate pool memory, so shards fit and stop reading. in_memory shows the same stream without a device model on a single-core host.\",\n  \
+         \"results\": [\n{}\n  ],\n  \"speedup_w4_over_w1_io_bound\": {speedup:.2}\n}}\n",
+        opts.quick,
+        set.num_segments(),
+        store.pool_capacity,
+        store.block_size,
+        pattern_json(EXACT_PATTERN, exact_stream.len()),
+        pattern_json(ZIPF_PATTERN, zipf_stream.len()),
+        rows_json.join(",\n"),
+    );
+    let mut f = std::fs::File::create(&json_path).expect("create BENCH_SERVE.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_SERVE.json");
+    println!("wrote {json_path}");
 }
 
 fn prepend<'a>(first: &'a str, rest: &[&'a str]) -> Vec<&'a str> {

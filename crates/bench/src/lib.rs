@@ -42,7 +42,7 @@ pub fn meme_dataset(m: usize, navg: usize, seed: u64) -> TemporalSet {
 /// `span_frac` of the domain, top-`k` each.
 pub fn queries(set: &TemporalSet, count: usize, span_frac: f64, k: usize) -> Vec<QueryInterval> {
     QueryWorkload::new(
-        QueryWorkloadConfig { count, span_fraction: span_frac, k, seed: 7 },
+        QueryWorkloadConfig { count, span_fraction: span_frac, k, seed: 7, ..Default::default() },
         set.t_min(),
         set.t_max(),
     )

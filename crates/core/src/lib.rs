@@ -52,6 +52,7 @@ mod error;
 mod exact1;
 mod exact2;
 mod exact3;
+mod method;
 pub mod metrics;
 mod object;
 mod query1;
@@ -67,6 +68,7 @@ pub use error::{CoreError, Result};
 pub use exact1::Exact1;
 pub use exact2::Exact2;
 pub use exact3::Exact3;
+pub use method::{MethodProfile, TopKMethod};
 pub use object::{ObjectId, TemporalObject, TemporalSet};
 pub use query1::Query1Index;
 pub use query2::Query2Index;

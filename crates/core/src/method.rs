@@ -1,0 +1,123 @@
+//! Object-safe unification of all ranking methods for dynamic dispatch.
+//!
+//! [`RankMethod`] gives every method the same *query* interface; a serving
+//! layer additionally needs to know, per built index, **what it is allowed
+//! to route there**: is the method exact, what `(ε, α)` guarantee does it
+//! carry, and up to which `k` can it answer. [`TopKMethod`] adds exactly
+//! that — a [`MethodProfile`] — so a cost-based planner can hold a
+//! heterogeneous `Box<dyn TopKMethod>` collection (EXACT1..3, any
+//! [`crate::ApproxVariant`]) and dispatch per query.
+
+use crate::appx::{ApproxIndex, QueryKind};
+use crate::exact1::Exact1;
+use crate::exact2::Exact2;
+use crate::exact3::Exact3;
+use crate::topk::RankMethod;
+
+/// What a built method guarantees, in the paper's `(ε, α)` vocabulary
+/// (Definition 2): answers are within additive error `εM` of the true
+/// scores, and the `j`-th returned object ranks among the true top
+/// `j + α − 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodProfile {
+    /// `None` for exact methods; `Some(ε)` for `(ε, α)`-approximate ones
+    /// (the *achieved* ε of the built breakpoints, not the requested one).
+    pub eps: Option<f64>,
+    /// True when every returned rank is individually `εM`-tight (`α = 1`):
+    /// exact methods trivially, QUERY1-backed variants by Lemma 2, and the
+    /// `+` variants through exact re-scoring (near-exact in practice,
+    /// paper §3.3 / Fig. 12). Plain QUERY2 variants (`α = 2 log r`) are
+    /// not.
+    pub tight_ranks: bool,
+    /// Largest answerable `k` (`None` = unbounded; approximate indexes are
+    /// built for a fixed `kmax`).
+    pub max_k: Option<usize>,
+}
+
+impl MethodProfile {
+    /// Profile shared by all three exact methods.
+    pub const EXACT: Self = Self { eps: None, tight_ranks: true, max_k: None };
+
+    /// True for exact methods.
+    pub fn is_exact(&self) -> bool {
+        self.eps.is_none()
+    }
+}
+
+/// The object-safe interface a query planner dispatches through: the common
+/// query surface of [`RankMethod`] plus the method's [`MethodProfile`].
+pub trait TopKMethod: RankMethod {
+    /// The guarantee and limits of this built index.
+    fn profile(&self) -> MethodProfile;
+}
+
+impl TopKMethod for Exact1 {
+    fn profile(&self) -> MethodProfile {
+        MethodProfile::EXACT
+    }
+}
+
+impl TopKMethod for Exact2 {
+    fn profile(&self) -> MethodProfile {
+        MethodProfile::EXACT
+    }
+}
+
+impl TopKMethod for Exact3 {
+    fn profile(&self) -> MethodProfile {
+        MethodProfile::EXACT
+    }
+}
+
+impl TopKMethod for ApproxIndex {
+    fn profile(&self) -> MethodProfile {
+        let v = self.variant();
+        MethodProfile {
+            eps: Some(self.breakpoints().eps()),
+            tight_ranks: v.query == QueryKind::Q1 || v.plus,
+            max_k: Some(self.kmax()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::small_set;
+    use crate::{AggKind, ApproxConfig, ApproxVariant, IndexConfig};
+
+    #[test]
+    fn exact_methods_report_exact_profiles() {
+        let set = small_set();
+        let methods: Vec<Box<dyn TopKMethod>> = vec![
+            Box::new(Exact1::build(&set, IndexConfig::default()).unwrap()),
+            Box::new(Exact2::build(&set, IndexConfig::default()).unwrap()),
+            Box::new(Exact3::build(&set, IndexConfig::default()).unwrap()),
+        ];
+        for m in &methods {
+            let p = m.profile();
+            assert!(p.is_exact(), "{}", m.name());
+            assert!(p.tight_ranks && p.max_k.is_none(), "{}", m.name());
+            // Dispatch through the trait object must keep answering.
+            assert_eq!(m.top_k(2.0, 12.0, 2, AggKind::Sum).unwrap().len(), 2);
+        }
+    }
+
+    #[test]
+    fn approx_profiles_expose_eps_alpha_and_kmax() {
+        let set = small_set();
+        let cfg = ApproxConfig { r: 16, kmax: 4, ..Default::default() };
+        for (v, tight) in [
+            (ApproxVariant::APPX1, true),
+            (ApproxVariant::APPX2, false),
+            (ApproxVariant::APPX2_PLUS, true),
+        ] {
+            let idx = ApproxIndex::build(&set, v, cfg).unwrap();
+            let p = idx.profile();
+            assert!(!p.is_exact());
+            assert!(p.eps.unwrap() > 0.0, "{}", v.name());
+            assert_eq!(p.tight_ranks, tight, "{}", v.name());
+            assert_eq!(p.max_k, Some(4));
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! A small intrusive-list LRU cache for shard-local result caching.
+//!
+//! Each worker owns one [`LruCache`] mapping a *snapped* query key to the
+//! shard's ranked answer (see [`crate::shard`]); `get`/`insert` are `O(1)`.
+//! Hit/miss counters live in the cache so workers report them for free.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "LRU capacity must be at least 1");
+        Self {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Look up `key`, marking the entry most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.unlink(idx);
+                self.push_front(idx);
+                Some(&self.nodes[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) `key`, evicting the least-recently-used entry
+    /// when full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.nodes[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            self.map.remove(&self.nodes[victim].key);
+            self.free.push(victim);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node { key: key.clone(), value, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.nodes.push(Node { key: key.clone(), value, prev: NIL, next: NIL });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    /// Drop every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // a is now MRU
+        c.insert("c", 3); // evicts b
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replace_updates_value_without_growth() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("a", 9);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&"a"), Some(&9));
+    }
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let mut c = LruCache::new(4);
+        assert!(c.get(&"x").is_none());
+        c.insert("x", 0);
+        assert!(c.get(&"x").is_some());
+        assert!(c.get(&"x").is_some());
+        assert_eq!((c.hits(), c.misses()), (2, 1));
+    }
+
+    #[test]
+    fn capacity_one_works() {
+        let mut c = LruCache::new(1);
+        c.insert(1u32, "one");
+        c.insert(2u32, "two");
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&1).is_none());
+        assert_eq!(c.get(&2), Some(&"two"));
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let mut c = LruCache::new(3);
+        c.insert(1u8, 1);
+        c.get(&1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.hits(), 1);
+        c.insert(2u8, 2); // reusable after clear
+        assert_eq!(c.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn heavy_churn_is_consistent() {
+        let mut c = LruCache::new(8);
+        for i in 0..1000u32 {
+            c.insert(i % 13, i);
+            let probe = (i * 7) % 13;
+            if let Some(&v) = c.get(&probe) {
+                assert_eq!(v % 13, probe % 13);
+            }
+            assert!(c.len() <= 8);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Engine configuration.
+
+use crate::planner::MethodSet;
+use chronorank_core::ApproxConfig;
+use chronorank_storage::StoreConfig;
+use std::time::Duration;
+
+/// Configuration of a [`crate::ServeEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker (shard) count `W`; clamped to `[1, m]`.
+    pub workers: usize,
+    /// Which methods every shard builds (EXACT3 always; see [`MethodSet`]).
+    pub methods: MethodSet,
+    /// Parameters of the shard-local approximate indexes (`r`, `kmax`,
+    /// BREAKPOINTS2 construction). The `store` field inside is ignored —
+    /// [`ServeConfig::store`] applies to every index the engine builds.
+    pub approx: ApproxConfig,
+    /// Storage settings (block size, per-file buffer-pool frames) for all
+    /// shard-local indexes.
+    pub store: StoreConfig,
+    /// Entries per shard-local result cache; `0` disables caching.
+    pub cache_capacity: usize,
+    /// When set, every shard sleeps this long per block *read* its index
+    /// performs — emulating an IO-bound storage device so that serving
+    /// experiments measure the paper's cost unit (block IOs) as wall time.
+    /// `None` (the default) measures raw in-memory speed.
+    pub simulated_read_latency: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            methods: MethodSet::default(),
+            approx: ApproxConfig::default(),
+            store: StoreConfig::default(),
+            cache_capacity: 1024,
+            simulated_read_latency: None,
+        }
+    }
+}

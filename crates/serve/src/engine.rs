@@ -1,0 +1,417 @@
+//! The serving engine: partition, scatter, gather, merge.
+
+use crate::config::ServeConfig;
+use crate::planner::{merge_profiles, Planner, PlannerParams, Route};
+use crate::query::ServeQuery;
+use crate::report::{RouteStats, ServeReport};
+use crate::shard::{worker_main, QueryJob, ToWorker, WorkerReply};
+use chronorank_core::{ObjectId, TemporalObject, TemporalSet, TopK};
+use chronorank_storage::IoStats;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A worker thread could not be spawned.
+    Spawn(String),
+    /// A shard failed to build its indexes.
+    Build {
+        /// Which shard failed.
+        shard: usize,
+        /// The underlying build error.
+        message: String,
+    },
+    /// A worker failed to answer a query.
+    Query(String),
+    /// A worker thread died (channel closed).
+    WorkerGone,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Spawn(e) => write!(f, "failed to spawn worker: {e}"),
+            ServeError::Build { shard, message } => {
+                write!(f, "shard {shard} failed to build: {message}")
+            }
+            ServeError::Query(e) => write!(f, "query failed: {e}"),
+            ServeError::WorkerGone => write!(f, "a worker thread terminated unexpectedly"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Result of [`ServeEngine::run_stream`].
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// One merged answer per input query, input order.
+    pub answers: Vec<TopK>,
+    /// Wall time for the whole (pipelined) stream.
+    pub elapsed_secs: f64,
+}
+
+impl StreamOutcome {
+    /// Stream throughput in queries per second.
+    pub fn qps(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.answers.len() as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+struct Worker {
+    tx: Sender<ToWorker>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The sharded, cost-routed serving engine (see crate docs).
+///
+/// Owns `W` worker threads, each holding one object partition with its own
+/// indexes, buffer pools, and result cache. Every query is routed once by
+/// the [`Planner`], scattered to all shards, and the shard-local top-k
+/// lists are k-way merged into the global answer.
+pub struct ServeEngine {
+    workers: Vec<Worker>,
+    reply_rx: Receiver<WorkerReply>,
+    planner: Planner,
+    next_qid: u64,
+    // --- accumulated statistics ---
+    routes: [RouteStats; 5],
+    shard_io: Vec<IoStats>,
+    cache_hits: u64,
+    cache_lookups: u64,
+    queries: u64,
+    elapsed_secs: f64,
+    index_bytes: u64,
+    build_secs: f64,
+}
+
+impl ServeEngine {
+    /// Partition `set` across `config.workers` shards (round-robin by
+    /// object id), build every shard's indexes concurrently, and return
+    /// the ready-to-serve engine.
+    pub fn new(set: &TemporalSet, config: ServeConfig) -> Result<Self, ServeError> {
+        let t0 = Instant::now();
+        let w = config.workers.clamp(1, set.num_objects());
+        let (reply_tx, reply_rx) = channel();
+        let (build_tx, build_rx) = channel();
+        let mut workers = Vec::with_capacity(w);
+        for (shard, (subset, global_ids)) in partition(set, w).into_iter().enumerate() {
+            let (tx, rx) = channel();
+            let (btx, rtx) = (build_tx.clone(), reply_tx.clone());
+            let handle = std::thread::Builder::new()
+                .name(format!("chronorank-serve-{shard}"))
+                .spawn(move || worker_main(shard, subset, global_ids, config, rx, btx, rtx))
+                .map_err(|e| ServeError::Spawn(e.to_string()))?;
+            workers.push(Worker { tx, handle: Some(handle) });
+        }
+        drop(build_tx);
+        drop(reply_tx);
+
+        // Build handshake: every shard reports its built methods'
+        // `MethodProfile`s (the object-safe `TopKMethod` surface) and its
+        // size; the planner routes against the worst case across shards.
+        let (mut max_m, mut max_n, mut index_bytes) = (0u64, 0u64, 0u64);
+        let mut shard_profiles = Vec::with_capacity(w);
+        for _ in 0..w {
+            let outcome = build_rx.recv().map_err(|_| ServeError::WorkerGone)?;
+            match outcome.result {
+                Ok(info) => {
+                    max_m = max_m.max(info.m);
+                    max_n = max_n.max(info.n);
+                    index_bytes += info.size_bytes;
+                    shard_profiles.push(info.profiles);
+                }
+                Err(message) => {
+                    return Err(ServeError::Build { shard: outcome.shard, message });
+                }
+            }
+        }
+        let planner = Planner::new(
+            PlannerParams {
+                shard_m: max_m,
+                shard_n: max_n,
+                block: config.store.block_size as u64,
+                r: config.approx.r as u64,
+                span: set.span(),
+            },
+            merge_profiles(&shard_profiles),
+        );
+        Ok(Self {
+            workers,
+            reply_rx,
+            planner,
+            next_qid: 0,
+            routes: [RouteStats::default(); 5],
+            shard_io: vec![IoStats::default(); w],
+            cache_hits: 0,
+            cache_lookups: 0,
+            queries: 0,
+            elapsed_secs: 0.0,
+            index_bytes,
+            build_secs: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Number of worker shards actually running.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The planner's routing decision for `q` (without executing it).
+    pub fn route_for(&self, q: &ServeQuery) -> Route {
+        self.planner.route(q)
+    }
+
+    /// Re-configure the emulated per-block-read device latency on every
+    /// shard (see [`crate::ServeConfig::simulated_read_latency`]). Takes
+    /// effect for all queries submitted after this call.
+    pub fn set_simulated_read_latency(
+        &mut self,
+        latency: Option<std::time::Duration>,
+    ) -> Result<(), ServeError> {
+        for worker in &self.workers {
+            worker.tx.send(ToWorker::SetLatency(latency)).map_err(|_| ServeError::WorkerGone)?;
+        }
+        Ok(())
+    }
+
+    /// Answer one query: route, scatter to all shards, k-way merge.
+    pub fn query(&mut self, q: ServeQuery) -> Result<TopK, ServeError> {
+        let t0 = Instant::now();
+        let route = self.planner.route(&q);
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        self.scatter(QueryJob { qid, query: q, route })?;
+
+        let w = self.workers.len();
+        let mut lists = Vec::with_capacity(w);
+        let mut first_err = None;
+        for _ in 0..w {
+            let reply = self.reply_rx.recv().map_err(|_| ServeError::WorkerGone)?;
+            debug_assert_eq!(reply.qid, qid);
+            self.absorb(&reply);
+            match reply.result {
+                Ok(entries) => lists.push(entries),
+                Err(e) => first_err = Some(e),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(ServeError::Query(e));
+        }
+        let top = merge_ranked(&lists, q.k);
+        let dt = t0.elapsed().as_secs_f64();
+        self.routes[route.idx()].queries += 1;
+        self.routes[route.idx()].secs += dt;
+        self.queries += 1;
+        self.elapsed_secs += dt;
+        Ok(top)
+    }
+
+    /// Answer a whole query stream, pipelined: every query is scattered up
+    /// front and the shards drain their queues independently, so the wall
+    /// time measures serving throughput rather than per-query round trips.
+    pub fn run_stream(&mut self, queries: &[ServeQuery]) -> Result<StreamOutcome, ServeError> {
+        if queries.is_empty() {
+            return Ok(StreamOutcome { answers: Vec::new(), elapsed_secs: 0.0 });
+        }
+        let t0 = Instant::now();
+        let routes: Vec<Route> = queries.iter().map(|q| self.planner.route(q)).collect();
+        let base = self.next_qid;
+        self.next_qid += queries.len() as u64;
+        for (i, (q, route)) in queries.iter().zip(&routes).enumerate() {
+            self.scatter(QueryJob { qid: base + i as u64, query: *q, route: *route })?;
+        }
+
+        let w = self.workers.len();
+        let mut partial: Vec<Vec<Vec<(ObjectId, f64)>>> = vec![Vec::new(); queries.len()];
+        let mut answers: Vec<Option<TopK>> = (0..queries.len()).map(|_| None).collect();
+        let mut first_err = None;
+        for _ in 0..queries.len() * w {
+            let reply = self.reply_rx.recv().map_err(|_| ServeError::WorkerGone)?;
+            let i = (reply.qid - base) as usize;
+            self.absorb(&reply);
+            match reply.result {
+                Ok(entries) => {
+                    partial[i].push(entries);
+                    if partial[i].len() == w {
+                        answers[i] = Some(merge_ranked(&partial[i], queries[i].k));
+                        partial[i] = Vec::new();
+                    }
+                }
+                Err(e) => first_err = Some(e),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(ServeError::Query(e));
+        }
+        let elapsed_secs = t0.elapsed().as_secs_f64();
+        let per_query = elapsed_secs / queries.len() as f64;
+        for route in &routes {
+            self.routes[route.idx()].queries += 1;
+            self.routes[route.idx()].secs += per_query;
+        }
+        self.queries += queries.len() as u64;
+        self.elapsed_secs += elapsed_secs;
+        let answers =
+            answers.into_iter().map(|a| a.expect("all shards replied")).collect::<Vec<_>>();
+        Ok(StreamOutcome { answers, elapsed_secs })
+    }
+
+    /// A snapshot of everything served so far.
+    pub fn report(&self) -> ServeReport {
+        ServeReport {
+            workers: self.workers.len(),
+            queries: self.queries,
+            elapsed_secs: self.elapsed_secs,
+            routes: self.routes,
+            cache_hits: self.cache_hits,
+            cache_lookups: self.cache_lookups,
+            io: self.shard_io.iter().sum(),
+            index_bytes: self.index_bytes,
+            build_secs: self.build_secs,
+        }
+    }
+
+    fn scatter(&self, job: QueryJob) -> Result<(), ServeError> {
+        for worker in &self.workers {
+            worker.tx.send(ToWorker::Query(job)).map_err(|_| ServeError::WorkerGone)?;
+        }
+        Ok(())
+    }
+
+    fn absorb(&mut self, reply: &WorkerReply) {
+        self.shard_io[reply.shard] = reply.io;
+        if let Some(hit) = reply.cache {
+            self.cache_lookups += 1;
+            self.cache_hits += hit as u64;
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        for worker in &self.workers {
+            worker.tx.send(ToWorker::Shutdown).ok();
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                handle.join().ok();
+            }
+        }
+    }
+}
+
+/// Round-robin object partition: shard `s` holds every object with
+/// `id % w == s`, re-numbered densely, with the local → global id map.
+fn partition(set: &TemporalSet, w: usize) -> Vec<(TemporalSet, Vec<ObjectId>)> {
+    let mut objects: Vec<Vec<TemporalObject>> = vec![Vec::new(); w];
+    let mut global_ids: Vec<Vec<ObjectId>> = vec![Vec::new(); w];
+    for o in set.objects() {
+        let s = o.id as usize % w;
+        let local = objects[s].len() as ObjectId;
+        objects[s].push(TemporalObject { id: local, curve: o.curve.clone() });
+        global_ids[s].push(o.id);
+    }
+    objects
+        .into_iter()
+        .zip(global_ids)
+        .map(|(objs, ids)| {
+            let subset =
+                TemporalSet::from_objects(objs).expect("w ≤ m guarantees every shard is non-empty");
+            (subset, ids)
+        })
+        .collect()
+}
+
+/// Item of the k-way merge heap: best-first (highest score, then smallest
+/// id — the same deterministic order every method uses).
+struct Best(f64, ObjectId, usize);
+
+impl PartialEq for Best {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Best {}
+impl PartialOrd for Best {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Best {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(other.1.cmp(&self.1))
+    }
+}
+
+/// K-way merge of per-shard ranked lists (each descending score, ties by
+/// ascending id) into the global top-`k`. Shards partition the objects, so
+/// no deduplication is needed.
+pub(crate) fn merge_ranked(lists: &[Vec<(ObjectId, f64)>], k: usize) -> TopK {
+    let mut heap = std::collections::BinaryHeap::with_capacity(lists.len());
+    let mut cursors = vec![0usize; lists.len()];
+    for (s, list) in lists.iter().enumerate() {
+        if let Some(&(id, score)) = list.first() {
+            heap.push(Best(score, id, s));
+        }
+    }
+    let mut merged = Vec::with_capacity(k.min(lists.iter().map(Vec::len).sum()));
+    while merged.len() < k {
+        let Some(Best(score, id, s)) = heap.pop() else { break };
+        merged.push((id, score));
+        cursors[s] += 1;
+        if let Some(&(nid, nscore)) = lists[s].get(cursors[s]) {
+            heap.push(Best(nscore, nid, s));
+        }
+    }
+    TopK::from_ranked(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_interleaves_and_breaks_ties_by_id() {
+        let lists = vec![
+            vec![(0u32, 9.0), (2, 5.0), (4, 1.0)],
+            vec![(1u32, 9.0), (3, 5.0)],
+            vec![(5u32, 7.0)],
+        ];
+        let top = merge_ranked(&lists, 4);
+        assert_eq!(top.entries(), &[(0, 9.0), (1, 9.0), (5, 7.0), (2, 5.0)]);
+    }
+
+    #[test]
+    fn merge_handles_short_and_empty_lists() {
+        let lists = vec![vec![], vec![(7u32, 3.0)]];
+        let top = merge_ranked(&lists, 5);
+        assert_eq!(top.entries(), &[(7, 3.0)]);
+        assert!(merge_ranked(&[], 3).is_empty());
+        assert!(merge_ranked(&lists, 0).is_empty());
+    }
+
+    #[test]
+    fn merge_equals_flat_sort() {
+        // Cross-check the heap merge against the obvious oracle.
+        let lists: Vec<Vec<(ObjectId, f64)>> = (0..4)
+            .map(|s| {
+                let mut l: Vec<(ObjectId, f64)> = (0u32..20)
+                    .map(|i| (4 * i + s as u32, ((s * 31 + i as usize * 17) % 23) as f64))
+                    .collect();
+                l.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                l
+            })
+            .collect();
+        let mut flat: Vec<(ObjectId, f64)> = lists.iter().flatten().copied().collect();
+        flat.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        flat.truncate(7);
+        assert_eq!(merge_ranked(&lists, 7).entries(), &flat[..]);
+    }
+}

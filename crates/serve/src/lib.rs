@@ -1,0 +1,76 @@
+//! # chronorank-serve — sharded, cost-routed query serving with result caching
+//!
+//! The paper's evaluation (§5) is about answering aggregate top-k queries
+//! over large temporal data (`m ≈ 1.5M`, `N = 10⁸`); this crate is the
+//! layer that serves a *stream* of such queries: a [`ServeEngine`] that
+//!
+//! 1. **shards** a [`TemporalSet`] across `W` worker threads (round-robin
+//!    by object id). Each worker owns its own single-threaded index
+//!    structures — the storage layer's `Rc<Cell<_>>` IO counters never
+//!    cross a thread — and every query is answered scatter-gather with a
+//!    k-way merge of the shard-local top-k lists (exact: because shards
+//!    partition the objects, the global top-k is a subset of the union of
+//!    shard top-k's);
+//! 2. **routes** each query with a cost-based [`Planner`] built on
+//!    [`chronorank_core::cost_model`] (the paper's Figure-3 table as
+//!    executable formulas). Per query `(t1, t2, k, tolerance)` it picks:
+//!
+//!    | tolerance | route | paper cost (Fig. 3) |
+//!    |-----------|-------|---------------------|
+//!    | exact, short interval | EXACT1 (§2) | `O(log_B N + Σ qᵢ/B)` |
+//!    | exact, otherwise | EXACT3 (§2) | `O(log_B N + m/B)` |
+//!    | `ε`-budget, `α = 1` ranks | APPX1 (§3.2) | `O(k/B + log_B r)` |
+//!    | `ε`-budget, loose ranks | APPX2 (§3.2) | `O(k log r)` |
+//!    | `ε`-budget, tight ranks, no APPX1 | APPX2+ (§3.3) | `O(k log r log_B n)` |
+//!
+//!    with an exact fallback whenever the budget is unsatisfiable (`ε`
+//!    below the achieved breakpoint `ε`, or `k > kmax`);
+//! 3. **caches** approximate answers in a shard-local [`LruCache`] keyed
+//!    on the *snapped* breakpoint pair `(B(t1), B(t2), k)` — sound
+//!    precisely for the routes whose answers depend only on the snapped
+//!    interval (APPX1/APPX2; APPX2+ re-scores over the raw interval and is
+//!    deliberately not cached) — so hot intervals are answered without
+//!    touching any index;
+//! 4. **reports** per-route throughput and latency, cache hit rates, and
+//!    cross-thread aggregated [`chronorank_storage::IoStats`] snapshots in
+//!    a [`ServeReport`].
+//!
+//! ## Example
+//!
+//! ```
+//! use chronorank_serve::{ServeConfig, ServeEngine, ServeQuery};
+//! use chronorank_core::TemporalSet;
+//! use chronorank_curve::PiecewiseLinear;
+//!
+//! let curves: Vec<_> = (0..32)
+//!     .map(|i| {
+//!         PiecewiseLinear::from_points(&[(0.0, i as f64), (100.0, (32 - i) as f64)]).unwrap()
+//!     })
+//!     .collect();
+//! let set = TemporalSet::from_curves(curves).unwrap();
+//! let mut engine =
+//!     ServeEngine::new(&set, ServeConfig { workers: 4, ..Default::default() }).unwrap();
+//! // An exact query and an approximate one (ε-budget 5% of total mass).
+//! let exact = engine.query(ServeQuery::exact(10.0, 60.0, 5)).unwrap();
+//! let appx = engine.query(ServeQuery::approx(10.0, 60.0, 5, 0.05)).unwrap();
+//! assert_eq!(exact.len(), 5);
+//! assert_eq!(appx.len(), 5);
+//! println!("{}", engine.report());
+//! ```
+//!
+//! [`TemporalSet`]: chronorank_core::TemporalSet
+
+pub mod cache;
+mod config;
+mod engine;
+mod planner;
+mod query;
+mod report;
+mod shard;
+
+pub use cache::LruCache;
+pub use config::ServeConfig;
+pub use engine::{ServeEngine, ServeError, StreamOutcome};
+pub use planner::{merge_profiles, MethodSet, Planner, PlannerParams, Route, RouteProfiles};
+pub use query::{ServeQuery, Tolerance};
+pub use report::{RouteStats, ServeReport};

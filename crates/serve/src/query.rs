@@ -1,0 +1,71 @@
+//! `Send`-able query descriptors for the serving layer.
+
+/// How much error a query is willing to accept, in the paper's `(ε, α)`
+/// vocabulary: scores within an additive `ε·M` of the truth, and (when
+/// `tight_ranks`) every returned rank individually `εM`-tight (`α = 1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Acceptable additive error as a fraction `ε` of the total mass `M`.
+    /// The planner only routes to an approximate index whose *achieved* ε
+    /// is at or below this budget.
+    pub eps: f64,
+    /// Require an `α = 1`-grade answer (APPX1's Lemma-2 guarantee, or
+    /// APPX2+'s exact re-scoring); plain APPX2 (`α = 2 log r`) is then
+    /// ineligible.
+    pub tight_ranks: bool,
+}
+
+/// One serving-layer query: `top-k(t1, t2, sum)` plus the client's error
+/// tolerance. Plain `Copy` data, so it crosses worker-thread channels
+/// freely (unlike the `Rc`-based index structures, which never leave their
+/// worker).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeQuery {
+    /// Query interval start.
+    pub t1: f64,
+    /// Query interval end.
+    pub t2: f64,
+    /// Number of objects to return.
+    pub k: usize,
+    /// `None` demands an exact answer; `Some` permits cost-based routing
+    /// to an approximate index within the budget.
+    pub tolerance: Option<Tolerance>,
+}
+
+impl ServeQuery {
+    /// A query that must be answered exactly.
+    pub fn exact(t1: f64, t2: f64, k: usize) -> Self {
+        Self { t1, t2, k, tolerance: None }
+    }
+
+    /// A query accepting `(ε, 2 log r)`-grade answers.
+    pub fn approx(t1: f64, t2: f64, k: usize, eps: f64) -> Self {
+        Self { t1, t2, k, tolerance: Some(Tolerance { eps, tight_ranks: false }) }
+    }
+
+    /// A query accepting approximate scores but demanding `α = 1`-grade
+    /// ranks (routes to APPX1 or APPX2+).
+    pub fn approx_tight(t1: f64, t2: f64, k: usize, eps: f64) -> Self {
+        Self { t1, t2, k, tolerance: Some(Tolerance { eps, tight_ranks: true }) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_tolerance() {
+        assert_eq!(ServeQuery::exact(0.0, 1.0, 5).tolerance, None);
+        let q = ServeQuery::approx(0.0, 1.0, 5, 0.01);
+        assert_eq!(q.tolerance, Some(Tolerance { eps: 0.01, tight_ranks: false }));
+        assert!(ServeQuery::approx_tight(0.0, 1.0, 5, 0.01).tolerance.unwrap().tight_ranks);
+    }
+
+    #[test]
+    fn descriptors_are_send() {
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<ServeQuery>();
+        assert_send::<Tolerance>();
+    }
+}

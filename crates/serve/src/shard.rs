@@ -1,0 +1,261 @@
+//! The shard worker: one thread owning one partition of the data and its
+//! own single-threaded index structures.
+//!
+//! The storage layer's `Rc<Cell<_>>` IO counters make every index
+//! `!Send` by design — so indexes are **built inside** the worker thread
+//! and never cross it. Only plain data crosses the channels: the
+//! [`ServeQuery`] descriptor going in, `(ObjectId, f64)` answer lists and
+//! [`IoStats`] snapshots coming out.
+
+use crate::cache::LruCache;
+use crate::config::ServeConfig;
+use crate::planner::{Route, RouteProfiles};
+use crate::query::ServeQuery;
+use chronorank_core::{
+    AggKind, ApproxConfig, ApproxIndex, ApproxVariant, Breakpoints, Exact1, Exact3, IndexConfig,
+    ObjectId, TemporalSet, TopKMethod,
+};
+use chronorank_storage::{Env, IoStats};
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Duration;
+
+/// A shard-local ranked answer (global ids) or an error message.
+pub(crate) type ShardAnswer = Result<Vec<(ObjectId, f64)>, String>;
+
+/// One routed query, as sent to every worker.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueryJob {
+    pub qid: u64,
+    pub query: ServeQuery,
+    pub route: Route,
+}
+
+/// Coordinator → worker messages.
+pub(crate) enum ToWorker {
+    Query(QueryJob),
+    /// Re-configure the emulated device latency (applies to every later
+    /// query; channels are FIFO, so no acknowledgement is needed).
+    SetLatency(Option<Duration>),
+    Shutdown,
+}
+
+/// Worker → coordinator answer for one query.
+pub(crate) struct WorkerReply {
+    pub qid: u64,
+    pub shard: usize,
+    /// Shard-local top-k with **global** object ids, descending score.
+    pub result: ShardAnswer,
+    /// `None`: the route was not cacheable (or caching is off);
+    /// `Some(hit)`: a cache lookup happened.
+    pub cache: Option<bool>,
+    /// Cumulative IO of all this shard's indexes (snapshot).
+    pub io: IoStats,
+}
+
+/// Worker → coordinator build handshake.
+pub(crate) struct BuildOutcome {
+    pub shard: usize,
+    pub result: Result<BuildInfo, String>,
+}
+
+/// Per-shard facts the coordinator folds into the planner and report.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BuildInfo {
+    pub m: u64,
+    pub n: u64,
+    /// Profile of every built method, per route — the object-safe
+    /// [`TopKMethod::profile`] surface the planner dispatches on.
+    pub profiles: RouteProfiles,
+    pub size_bytes: u64,
+}
+
+/// Key of the shard-local result cache: the **snapped** interval (as
+/// breakpoint indexes), `k`, and the route. Valid precisely because the
+/// cacheable routes ([`Route::cacheable`]) answer from the snapped
+/// interval alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    b1: u32,
+    b2: u32,
+    k: u32,
+    route: Route,
+}
+
+/// Everything a worker owns. Lives (and dies) on the worker thread.
+struct ShardState {
+    methods: [Option<Box<dyn TopKMethod>>; 5],
+    breakpoints: Option<Breakpoints>,
+    cache: Option<LruCache<CacheKey, Vec<(ObjectId, f64)>>>,
+    /// Local dense id → global id.
+    global_ids: Vec<ObjectId>,
+    latency: Option<Duration>,
+}
+
+impl ShardState {
+    fn build(
+        set: &TemporalSet,
+        global_ids: Vec<ObjectId>,
+        cfg: &ServeConfig,
+    ) -> chronorank_core::Result<(Self, BuildInfo)> {
+        let store = cfg.store;
+        let mut methods: [Option<Box<dyn TopKMethod>>; 5] = std::array::from_fn(|_| None);
+        if cfg.methods.exact1 {
+            methods[Route::Exact1.idx()] =
+                Some(Box::new(Exact1::build(set, IndexConfig { store })?));
+        }
+        methods[Route::Exact3.idx()] = Some(Box::new(Exact3::build(set, IndexConfig { store })?));
+
+        let approx = ApproxConfig { store, ..cfg.approx };
+        let breakpoints = if cfg.methods.any_approx() {
+            Some(match approx.eps {
+                Some(eps) => Breakpoints::b2_with_eps(set, eps, approx.b2)?,
+                None => Breakpoints::b2_with_count(set, approx.r, approx.b2)?,
+            })
+        } else {
+            None
+        };
+        for (flag, route, variant) in [
+            (cfg.methods.appx1, Route::Appx1, ApproxVariant::APPX1),
+            (cfg.methods.appx2, Route::Appx2, ApproxVariant::APPX2),
+            (cfg.methods.appx2_plus, Route::Appx2Plus, ApproxVariant::APPX2_PLUS),
+        ] {
+            if flag {
+                let bp = breakpoints.clone().expect("breakpoints exist when any approx is built");
+                let idx =
+                    ApproxIndex::build_with_breakpoints(Env::mem(store), set, variant, approx, bp)?;
+                methods[route.idx()] = Some(Box::new(idx));
+            }
+        }
+
+        let size_bytes = methods.iter().flatten().map(|m| m.size_bytes()).sum();
+        let info = BuildInfo {
+            m: set.num_objects() as u64,
+            n: set.num_segments(),
+            profiles: std::array::from_fn(|i| methods[i].as_ref().map(|m| m.profile())),
+            size_bytes,
+        };
+        let cache = (cfg.cache_capacity > 0).then(|| LruCache::new(cfg.cache_capacity));
+        let state =
+            Self { methods, breakpoints, cache, global_ids, latency: cfg.simulated_read_latency };
+        Ok((state, info))
+    }
+
+    /// Answer one routed query, consulting the result cache when the route
+    /// permits. Returns the answer and `Some(hit)` if a lookup happened.
+    fn answer(&mut self, job: &QueryJob) -> (ShardAnswer, Option<bool>) {
+        let q = job.query;
+        let key = match (&self.breakpoints, &self.cache) {
+            (Some(bp), Some(_)) if job.route.cacheable() => Some(CacheKey {
+                b1: bp.snap_idx(q.t1) as u32,
+                b2: bp.snap_idx(q.t2) as u32,
+                k: q.k as u32,
+                route: job.route,
+            }),
+            _ => None,
+        };
+        if let Some(key) = key {
+            if let Some(hit) = self.cache.as_mut().expect("key implies cache").get(&key) {
+                return (Ok(hit.clone()), Some(true));
+            }
+            let res = self.probe(job.route, q);
+            if let Ok(entries) = &res {
+                self.cache.as_mut().expect("key implies cache").insert(key, entries.clone());
+            }
+            (res, Some(false))
+        } else {
+            (self.probe(job.route, q), None)
+        }
+    }
+
+    /// Run the routed index probe and translate ids to the global space.
+    fn probe(&self, route: Route, q: ServeQuery) -> ShardAnswer {
+        let method = self.methods[route.idx()]
+            .as_ref()
+            .ok_or_else(|| format!("route {} not built on this shard", route.name()))?;
+        let before = method.io_stats();
+        let top = method.top_k(q.t1, q.t2, q.k, AggKind::Sum).map_err(|e| e.to_string())?;
+        if let Some(latency) = self.latency {
+            let reads = method.io_stats().since(before).reads;
+            if reads > 0 {
+                std::thread::sleep(latency.saturating_mul(reads.min(u32::MAX as u64) as u32));
+            }
+        }
+        Ok(top.entries().iter().map(|&(id, s)| (self.global_ids[id as usize], s)).collect())
+    }
+
+    /// Cumulative IO across all of this shard's indexes.
+    fn io_total(&self) -> IoStats {
+        self.methods.iter().flatten().map(|m| m.io_stats()).sum()
+    }
+}
+
+/// Render a `catch_unwind` payload into a readable error message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// Thread body of one worker: build, handshake, then serve until shutdown.
+///
+/// Panic-safe by contract with the coordinator: the build sender is
+/// dropped right after the handshake and query-time panics are converted
+/// into `Err` replies, so a buggy index can never leave the coordinator
+/// blocked on a reply that will not come.
+pub(crate) fn worker_main(
+    shard: usize,
+    set: TemporalSet,
+    global_ids: Vec<ObjectId>,
+    cfg: ServeConfig,
+    rx: Receiver<ToWorker>,
+    build_tx: Sender<BuildOutcome>,
+    reply_tx: Sender<WorkerReply>,
+) {
+    let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        ShardState::build(&set, global_ids, &cfg)
+    }));
+    let mut state = match built {
+        Ok(Ok((state, info))) => {
+            let alive = build_tx.send(BuildOutcome { shard, result: Ok(info) }).is_ok();
+            // Release the handshake channel: the coordinator detects a
+            // dead sibling worker by its sender dropping, which only works
+            // if healthy workers do not hold clones forever.
+            drop(build_tx);
+            if !alive {
+                return;
+            }
+            state
+        }
+        Ok(Err(e)) => {
+            build_tx.send(BuildOutcome { shard, result: Err(e.to_string()) }).ok();
+            return;
+        }
+        Err(payload) => {
+            let message = format!("build panicked: {}", panic_message(&*payload));
+            build_tx.send(BuildOutcome { shard, result: Err(message) }).ok();
+            return;
+        }
+    };
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToWorker::Query(job) => {
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.answer(&job)));
+                let (result, cache) = outcome.unwrap_or_else(|payload| {
+                    (Err(format!("query panicked: {}", panic_message(&*payload))), None)
+                });
+                let reply =
+                    WorkerReply { qid: job.qid, shard, result, cache, io: state.io_total() };
+                if reply_tx.send(reply).is_err() {
+                    return;
+                }
+            }
+            ToWorker::SetLatency(latency) => state.latency = latency,
+            ToWorker::Shutdown => return,
+        }
+    }
+}

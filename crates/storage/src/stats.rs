@@ -41,6 +41,25 @@ impl std::ops::Add for IoStats {
     }
 }
 
+impl std::ops::AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+    }
+}
+
+impl std::iter::Sum for IoStats {
+    fn sum<I: Iterator<Item = IoStats>>(iter: I) -> IoStats {
+        iter.fold(IoStats::default(), |acc, s| acc + s)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a IoStats> for IoStats {
+    fn sum<I: Iterator<Item = &'a IoStats>>(iter: I) -> IoStats {
+        iter.copied().sum()
+    }
+}
+
 /// A cheaply clonable, shared IO counter (single-threaded: `Rc<Cell<_>>`).
 #[derive(Debug, Clone, Default)]
 pub struct IoCounter {
@@ -113,5 +132,20 @@ mod tests {
         let a = IoStats { reads: 1, writes: 2 };
         let b = IoStats { reads: 3, writes: 4 };
         assert_eq!(a + b, IoStats { reads: 4, writes: 6 });
+        let mut c = a;
+        c += b;
+        assert_eq!(c, IoStats { reads: 4, writes: 6 });
+    }
+
+    #[test]
+    fn sum_aggregates_shard_snapshots() {
+        // The serve layer sums one snapshot per shard into a report total.
+        let shards =
+            [IoStats { reads: 5, writes: 1 }, IoStats::default(), IoStats { reads: 2, writes: 7 }];
+        let by_value: IoStats = shards.iter().copied().sum();
+        let by_ref: IoStats = shards.iter().sum();
+        assert_eq!(by_value, IoStats { reads: 7, writes: 8 });
+        assert_eq!(by_ref, by_value);
+        assert_eq!(std::iter::empty::<IoStats>().sum::<IoStats>(), IoStats::default());
     }
 }

@@ -32,7 +32,7 @@ mod util;
 
 pub use csvio::{read_csv, read_csv_file, write_csv, write_csv_file, CsvDataset, CsvError};
 pub use meme::{MemeConfig, MemeGenerator};
-pub use query::{QueryInterval, QueryWorkload, QueryWorkloadConfig};
+pub use query::{IntervalPattern, QueryInterval, QueryWorkload, QueryWorkloadConfig};
 pub use randomwalk::{RandomWalkConfig, RandomWalkGenerator};
 pub use stock::{StockConfig, StockGenerator};
 pub use temp::{TempConfig, TempGenerator};

@@ -14,7 +14,9 @@
 //! * [`core`] — the paper's exact (`EXACT1..3`) and approximate
 //!   (`APPX1-B/2-B/1/2/2+`) ranking methods,
 //! * [`workloads`] — synthetic MesoWest-Temp / Memetracker-Meme style data
-//!   generators and query workloads.
+//!   generators and query workloads,
+//! * [`serve`] — the sharded, cost-routed query-serving engine with
+//!   shard-local result caching.
 //!
 //! ## Quickstart
 //!
@@ -41,5 +43,6 @@
 pub use chronorank_core as core;
 pub use chronorank_curve as curve;
 pub use chronorank_index as index;
+pub use chronorank_serve as serve;
 pub use chronorank_storage as storage;
 pub use chronorank_workloads as workloads;

@@ -60,7 +60,13 @@ fn exact_methods_agree_with_bruteforce_everywhere() {
         let e2 = Exact2::build(&set, IndexConfig::default()).unwrap();
         let e3 = Exact3::build(&set, IndexConfig::default()).unwrap();
         let queries = QueryWorkload::new(
-            QueryWorkloadConfig { count: 12, span_fraction: 0.25, k: 10, seed: 5 },
+            QueryWorkloadConfig {
+                count: 12,
+                span_fraction: 0.25,
+                k: 10,
+                seed: 5,
+                ..Default::default()
+            },
             set.t_min(),
             set.t_max(),
         )
@@ -96,7 +102,13 @@ fn approx_methods_satisfy_their_guarantees() {
                 chronorank::core::QueryKind::Q2 => 2.0 * r.log2().max(1.0),
             };
             let queries = QueryWorkload::new(
-                QueryWorkloadConfig { count: 8, span_fraction: 0.3, k: 8, seed: 6 },
+                QueryWorkloadConfig {
+                    count: 8,
+                    span_fraction: 0.3,
+                    k: 8,
+                    seed: 6,
+                    ..Default::default()
+                },
                 set.t_min(),
                 set.t_max(),
             )
