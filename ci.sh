@@ -8,6 +8,8 @@
 #   4. serve scenario smoke       (paper-bench serve --quick; the committed
 #                                  BENCH_SERVE.json is the full-scale run,
 #                                  so the smoke writes under target/)
+#   5. live scenario smoke        (paper-bench live --quick; same deal for
+#                                  the committed BENCH_LIVE.json)
 #
 # The property suites honour PROPTEST_CASES; the fixed default below keeps
 # the whole script comfortably under the ~2 minute tier-1 budget while still
@@ -18,21 +20,26 @@ cd "$(dirname "$0")"
 
 export PROPTEST_CASES="${PROPTEST_CASES:-64}"
 
-echo "== [1/4] cargo fmt --check"
+echo "== [1/5] cargo fmt --check"
 cargo fmt --check
 
-echo "== [2/4] cargo clippy --workspace --all-targets -- -D warnings"
+echo "== [2/5] cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== [3/4] tier-1: cargo build --release && cargo test -q (PROPTEST_CASES=$PROPTEST_CASES)"
+echo "== [3/5] tier-1: cargo build --release && cargo test -q (PROPTEST_CASES=$PROPTEST_CASES)"
 cargo build --release
 cargo test -q --workspace
 
-echo "== [4/4] serve scenario smoke (paper-bench serve --quick)"
+echo "== [4/5] serve scenario smoke (paper-bench serve --quick)"
 # Smoke artifacts go under target/ so the committed full-scale
 # BENCH_SERVE.json and results/ CSVs are never clobbered by quick numbers.
 CHRONORANK_SERVE_JSON=target/BENCH_SERVE_ci.json \
   cargo run --release -q -p chronorank-bench --bin paper_bench -- serve --quick \
+  --out target/paper-bench-smoke
+
+echo "== [5/5] live scenario smoke (paper-bench live --quick)"
+CHRONORANK_LIVE_JSON=target/BENCH_LIVE_ci.json \
+  cargo run --release -q -p chronorank-bench --bin paper_bench -- live --quick \
   --out target/paper-bench-smoke
 
 echo "CI OK"

@@ -5,7 +5,7 @@
 //! paper-bench <figure> [options]
 //!
 //! figures: fig3 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20
-//!          ablation serve all
+//!          ablation serve live all
 //! options:
 //!   --m N         base object count            (default 800)
 //!   --navg N      base segments per object     (default 250)
@@ -70,7 +70,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: paper-bench <fig3|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|ablation|all> \
+            "usage: paper-bench <fig3|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|ablation|serve|live|all> \
              [--m N] [--navg N] [--r N] [--kmax N] [--k N] [--queries N] [--meme-m N] [--out DIR] [--quick]"
         );
         std::process::exit(2);
@@ -135,6 +135,7 @@ fn main() {
         "fig19" | "fig20" => fig19_20(&opts),
         "ablation" => ablation(&opts),
         "serve" => serve(&opts),
+        "live" => live(&opts),
         "all" => {
             fig3(&opts);
             fig11(&opts);
@@ -147,6 +148,7 @@ fn main() {
             fig19_20(&opts);
             ablation(&opts);
             serve(&opts);
+            live(&opts);
         }
         other => {
             eprintln!("unknown figure {other}");
@@ -903,6 +905,187 @@ fn serve(opts: &Opts) {
     );
     let mut f = std::fs::File::create(&json_path).expect("create BENCH_SERVE.json");
     f.write_all(json.as_bytes()).expect("write BENCH_SERVE.json");
+    println!("wrote {json_path}");
+}
+
+// ---------------------------------------------------------------------------
+// Live: WAL-backed streaming ingestion under query traffic (BENCH_LIVE.json)
+// ---------------------------------------------------------------------------
+
+/// Benchmark `chronorank-live` at W ∈ {1, 2, 4}: replay a stock-volume
+/// dataset's second half as a durable append stream with hot-spot queries
+/// interleaved after every batch.
+///
+/// Per W, two passes over the same trace:
+///
+/// * **exact** — every query demands exactness (frozen candidates ∪ tail,
+///   exactly rescored). Reports ingest throughput, query QPS *during*
+///   ingest, completed rebuilds with the swap-pause histogram, and the
+///   queries answered while a rebuild was in flight — the non-blocking
+///   readers evidence.
+/// * **tolerance** — the same trace with an ε-budget, exercising the
+///   snapped approximate routes and the staleness-audited result cache
+///   (hits vs ε-invalidations).
+///
+/// Staleness is reported as the final mass growth past the built
+/// generations (`ΔM/M_built` — what §4's doubling policy bounds) plus the
+/// tail length at the end of the run.
+///
+/// Writes `BENCH_LIVE.json` (cwd, or `$CHRONORANK_LIVE_JSON`) plus a CSV
+/// under `--out`.
+fn live(opts: &Opts) {
+    use chronorank_live::{IngestEngine, LiveConfig, RebuildPolicy};
+    use chronorank_workloads::{
+        AppendStream, AppendStreamConfig, IntervalPattern, QueryWorkloadConfig, StockConfig,
+        StockGenerator,
+    };
+    use std::io::Write as _;
+
+    const EPS_BUDGET: f64 = 0.2;
+    let (tickers, days, batch, queries_per_batch) =
+        if opts.quick { (120, 10, 32, 1) } else { (600, 24, 64, 2) };
+    let generator =
+        StockGenerator::new(StockConfig { objects: tickers, days, readings_per_day: 8, seed: 42 });
+    let stream = AppendStream::from_generator(
+        &generator,
+        AppendStreamConfig { base_fraction: 0.5, batch, skew: 0.0, seed: 7 },
+    );
+    let seed = stream.base_set();
+    let query_cfg = QueryWorkloadConfig {
+        span_fraction: 0.15,
+        k: opts.k.min(opts.kmax),
+        seed: 9,
+        pattern: IntervalPattern::Zipf { hotspots: 8, exponent: 1.0, background: 0.1 },
+        ..Default::default()
+    };
+    let ops = stream.hotspot(query_cfg, queries_per_batch);
+    println!(
+        "# live scenario: {} tickers, {} base segments, {} appends in batches of {}, \
+         {} interleaved hot-spot queries",
+        seed.num_objects(),
+        seed.num_segments(),
+        stream.records().len(),
+        batch,
+        ops.len() - stream.records().len().div_ceil(batch),
+    );
+
+    let mut table = Table::new(
+        "Live — WAL-backed ingest under query traffic at W workers",
+        &[
+            "W",
+            "ticks/s",
+            "q/s",
+            "rebuilds",
+            "max pause µs",
+            "q mid-rebuild",
+            "wal flushes",
+            "tol q/s",
+            "cache hit %",
+            "ε-invalid",
+        ],
+    );
+    let mut rows_json = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let config = LiveConfig {
+            workers,
+            rebuild: RebuildPolicy { mass_factor: 1.5, max_tail_segments: 4096 },
+            ..Default::default()
+        };
+        // Pass 1: exact queries.
+        let mut engine = IngestEngine::new(&seed, config.clone()).expect("build live engine");
+        let outcome = engine.run_ops(&ops).expect("exact trace");
+        // Drain: steady-state traffic keeps flowing until the in-flight
+        // generation builds publish — this is where the swap-pause
+        // histogram fills and rebuild completion becomes observable.
+        let full = stream.full_set();
+        let drain_q = chronorank_serve::ServeQuery::exact(
+            full.t_min() + 0.2 * full.span(),
+            full.t_min() + 0.4 * full.span(),
+            query_cfg.k,
+        );
+        let drain_t0 = Instant::now();
+        let mut drain_queries = 0u64;
+        while engine.report().rebuilds_in_flight > 0 && drain_t0.elapsed().as_secs_f64() < 60.0 {
+            engine.query(drain_q).expect("drain query");
+            drain_queries += 1;
+        }
+        let drain_secs = drain_t0.elapsed().as_secs_f64();
+        let report = engine.report();
+        drop(engine);
+        // Pass 2: ε-tolerance queries (fresh engine, same trace).
+        let mut engine = IngestEngine::new(&seed, config).expect("build live engine");
+        let tol = engine.run_ops_with_tolerance(&ops, EPS_BUDGET).expect("tolerance trace");
+        let tol_report = engine.report();
+        drop(engine);
+
+        table.row(vec![
+            workers.to_string(),
+            format!("{:.0}", outcome.ingest_rate()),
+            format!("{:.0}", outcome.qps()),
+            report.rebuilds.to_string(),
+            report.swap_pause.max_us.to_string(),
+            report.queries_during_rebuild.to_string(),
+            report.wal.wal_writes.to_string(),
+            format!("{:.0}", tol.qps()),
+            format!("{:.1}", 100.0 * tol_report.cache_hit_rate()),
+            tol_report.cache_invalidations.to_string(),
+        ]);
+        let buckets: Vec<String> =
+            report.swap_pause.buckets.iter().map(|b| b.to_string()).collect();
+        rows_json.push(format!(
+            "    {{\"workers\": {workers}, \"ingest_ticks_per_sec\": {:.1}, \
+             \"query_qps_during_ingest\": {:.1}, \"rebuilds\": {}, \
+             \"rebuild_build_secs\": {:.3}, \
+             \"swap_pause_histogram_us\": {{\"bounds\": [50, 200, 1000, 5000, 20000], \
+             \"counts\": [{}], \"max_us\": {}}}, \
+             \"queries_during_rebuild\": {}, \
+             \"drain\": {{\"queries\": {drain_queries}, \"secs\": {drain_secs:.3}}}, \
+             \"wal_writes\": {}, \"wal_bytes\": {}, \
+             \"staleness\": {{\"final_mass_growth\": {:.4}, \"final_tail_segments\": {}}}, \
+             \"tolerance\": {{\"eps\": {EPS_BUDGET}, \"qps\": {:.1}, \
+             \"cache_hit_rate\": {:.4}, \"eps_invalidations\": {}}}}}",
+            outcome.ingest_rate(),
+            outcome.qps(),
+            report.rebuilds,
+            report.build_secs,
+            buckets.join(", "),
+            report.swap_pause.max_us,
+            report.queries_during_rebuild,
+            report.wal.wal_writes,
+            report.wal.wal_bytes,
+            report.mass_growth(),
+            report.tail_segments,
+            tol.qps(),
+            tol_report.cache_hit_rate(),
+            tol_report.cache_invalidations,
+        ));
+    }
+    table.print();
+    table.write_csv(&opts.out, "live_ingest").expect("csv");
+
+    let json_path =
+        std::env::var("CHRONORANK_LIVE_JSON").unwrap_or_else(|_| "BENCH_LIVE.json".to_string());
+    let json = format!(
+        "{{\n  \"harness\": \"chronorank-live-bench\",\n  \"quick\": {},\n  \"scenario\": {{\n    \
+         \"dataset\": \"stock\", \"tickers\": {tickers}, \"days\": {days},\n    \
+         \"base_segments\": {}, \"appended_ticks\": {}, \"batch\": {batch},\n    \
+         \"queries_per_batch\": {queries_per_batch}, \"k\": {}, \
+         \"rebuild_mass_factor\": 1.5\n  }},\n  \
+         \"note\": \"queries_during_rebuild > 0 with nonzero query_qps_during_ingest is the \
+         non-blocking-reader evidence: generation builds run off-thread and publish via an \
+         epoch swap whose pause histogram is in microseconds. The drain phase keeps the \
+         query stream flowing after the trace until in-flight builds publish (steady-state \
+         serving), which is where swaps land. wal_writes/wal_bytes attribute the ingest \
+         path's own IO separately from index reads.\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        opts.quick,
+        seed.num_segments(),
+        stream.records().len(),
+        query_cfg.k,
+        rows_json.join(",\n"),
+    );
+    let mut f = std::fs::File::create(&json_path).expect("create BENCH_LIVE.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_LIVE.json");
     println!("wrote {json_path}");
 }
 

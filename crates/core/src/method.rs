@@ -42,6 +42,55 @@ impl MethodProfile {
     pub fn is_exact(&self) -> bool {
         self.eps.is_none()
     }
+
+    /// §4 ε re-validation: the breakpoints behind an approximate index were
+    /// built for an *absolute* threshold `τ = ε·M_built`; once right-edge
+    /// appends have grown the live mass to `M_live ≥ M_built`, that same
+    /// absolute bound is the fraction `ε·M_built / M_live` of the current
+    /// mass. Returns the profile restated against `live_mass`, which is
+    /// what a planner must compare a client's ε-budget to. Exact profiles
+    /// are unchanged; so is everything when `live_mass` is not a usable
+    /// scale (≤ 0, or below the built mass — a shrunk mass would *loosen*
+    /// the restated bound, and appends can only grow it).
+    pub fn revalidate(self, built_mass: f64, live_mass: f64) -> Self {
+        match self.eps {
+            Some(eps) if live_mass > 0.0 && built_mass > 0.0 && live_mass >= built_mass => {
+                Self { eps: Some(eps * built_mass / live_mass), ..self }
+            }
+            _ => self,
+        }
+    }
+}
+
+/// A [`MethodProfile`] pinned to one published index *generation* of a
+/// live, append-receiving system: which epoch it belongs to and the total
+/// mass `M` the structures were built over. [`GenerationProfile::current`]
+/// restates the guarantee against the live mass (ε re-validation), which
+/// is what makes cached approximate answers auditable between rebuilds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationProfile {
+    /// Epoch counter: bumped on every epoch swap.
+    pub generation: u64,
+    /// `M` at build time (`TemporalSet::total_mass` of the snapshot).
+    pub built_mass: f64,
+    /// The built method's profile, stated against `built_mass`.
+    pub profile: MethodProfile,
+}
+
+impl GenerationProfile {
+    /// The profile restated against the current live mass (see
+    /// [`MethodProfile::revalidate`]).
+    pub fn current(&self, live_mass: f64) -> MethodProfile {
+        self.profile.revalidate(self.built_mass, live_mass)
+    }
+
+    /// The absolute additive error bound `ε·M_built` carried by this
+    /// generation's approximate answers (`0` for exact methods). Constant
+    /// across appends — the quantity a staleness check adds appended mass
+    /// on top of.
+    pub fn eps_abs(&self) -> f64 {
+        self.profile.eps.map_or(0.0, |e| e * self.built_mass)
+    }
 }
 
 /// The object-safe interface a query planner dispatches through: the common
@@ -101,6 +150,37 @@ mod tests {
             // Dispatch through the trait object must keep answering.
             assert_eq!(m.top_k(2.0, 12.0, 2, AggKind::Sum).unwrap().len(), 2);
         }
+    }
+
+    #[test]
+    fn revalidation_tightens_eps_as_mass_grows() {
+        let p = MethodProfile { eps: Some(0.04), tight_ranks: false, max_k: Some(32) };
+        // Mass doubled: the same absolute bound is half the fraction.
+        let r = p.revalidate(100.0, 200.0);
+        assert!((r.eps.unwrap() - 0.02).abs() < 1e-12);
+        assert_eq!((r.tight_ranks, r.max_k), (false, Some(32)));
+        // No growth → unchanged; degenerate masses → unchanged.
+        assert_eq!(p.revalidate(100.0, 100.0), p);
+        assert_eq!(p.revalidate(100.0, 50.0), p);
+        assert_eq!(p.revalidate(0.0, 10.0), p);
+        // Exact profiles are immune.
+        assert_eq!(MethodProfile::EXACT.revalidate(1.0, 9.0), MethodProfile::EXACT);
+    }
+
+    #[test]
+    fn generation_profiles_restate_against_live_mass() {
+        let g = GenerationProfile {
+            generation: 3,
+            built_mass: 50.0,
+            profile: MethodProfile { eps: Some(0.1), tight_ranks: true, max_k: Some(8) },
+        };
+        assert!((g.eps_abs() - 5.0).abs() < 1e-12);
+        let now = g.current(100.0);
+        assert!((now.eps.unwrap() - 0.05).abs() < 1e-12);
+        let exact =
+            GenerationProfile { generation: 0, built_mass: 50.0, profile: MethodProfile::EXACT };
+        assert_eq!(exact.eps_abs(), 0.0);
+        assert_eq!(exact.current(500.0), MethodProfile::EXACT);
     }
 
     #[test]

@@ -15,6 +15,48 @@ pub struct TemporalObject {
     pub curve: PiecewiseLinear,
 }
 
+/// One §4 update: a new reading `(t, v)` extending `object` at its right
+/// time edge (the segment from the object's previous endpoint to `(t, v)`).
+///
+/// This is the unit the live ingest path moves around — appended to the
+/// write-ahead log, shipped to shards, replayed on recovery — so it is
+/// plain `Copy` data with a fixed-width byte encoding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppendRecord {
+    /// The object being extended.
+    pub object: ObjectId,
+    /// New right edge (must exceed the object's current end time).
+    pub t: f64,
+    /// Score value at `t`.
+    pub v: f64,
+}
+
+impl AppendRecord {
+    /// Byte length of [`AppendRecord::encode`]'s output.
+    pub const ENCODED_LEN: usize = 20;
+
+    /// Fixed-width little-endian encoding (object, t, v).
+    pub fn encode(&self) -> [u8; Self::ENCODED_LEN] {
+        let mut out = [0u8; Self::ENCODED_LEN];
+        out[..4].copy_from_slice(&self.object.to_le_bytes());
+        out[4..12].copy_from_slice(&self.t.to_bits().to_le_bytes());
+        out[12..20].copy_from_slice(&self.v.to_bits().to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`AppendRecord::encode`]; `None` on a length mismatch.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::ENCODED_LEN {
+            return None;
+        }
+        Some(Self {
+            object: ObjectId::from_le_bytes(bytes[..4].try_into().ok()?),
+            t: f64::from_bits(u64::from_le_bytes(bytes[4..12].try_into().ok()?)),
+            v: f64::from_bits(u64::from_le_bytes(bytes[12..20].try_into().ok()?)),
+        })
+    }
+}
+
 /// The temporal database: `m` objects over a common time domain `[0, T]`
 /// (objects need not individually span the whole domain, nor align their
 /// segment boundaries — the paper explicitly permits heterogeneous
@@ -176,6 +218,12 @@ impl TemporalSet {
         self.has_negative |= v < 0.0;
         Ok(())
     }
+
+    /// Apply one [`AppendRecord`] (the §4 update model as shipped by the
+    /// live ingest path).
+    pub fn apply(&mut self, rec: AppendRecord) -> Result<()> {
+        self.append_segment(rec.object, rec.t, rec.v)
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +320,25 @@ mod tests {
         assert_eq!(s.t_max(), 20.0);
         assert!(s.append_segment(9, 30.0, 0.0).is_err());
         assert!(s.append_segment(0, 1.0, 0.0).is_err(), "must extend rightward");
+    }
+
+    #[test]
+    fn append_record_roundtrips_bit_exactly() {
+        let rec = AppendRecord { object: 7, t: 123.456789e-3, v: -0.1 };
+        let bytes = rec.encode();
+        assert_eq!(bytes.len(), AppendRecord::ENCODED_LEN);
+        let back = AppendRecord::decode(&bytes).unwrap();
+        assert_eq!(back.object, rec.object);
+        assert_eq!(back.t.to_bits(), rec.t.to_bits());
+        assert_eq!(back.v.to_bits(), rec.v.to_bits());
+        assert!(AppendRecord::decode(&bytes[..10]).is_none());
+        // apply == append_segment.
+        let mut a = set();
+        let mut b = set();
+        a.apply(AppendRecord { object: 0, t: 14.0, v: 3.0 }).unwrap();
+        b.append_segment(0, 14.0, 3.0).unwrap();
+        assert_eq!(a.total_mass().to_bits(), b.total_mass().to_bits());
+        assert!(a.apply(AppendRecord { object: 99, t: 1.0, v: 0.0 }).is_err());
     }
 
     #[test]

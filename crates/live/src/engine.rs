@@ -1,0 +1,604 @@
+//! The ingest engine: durable appends in, fresh answers out.
+
+use crate::config::LiveConfig;
+use crate::report::{LiveReport, PauseHistogram};
+use crate::shard::{shard_main, LiveJob, ShardChannels, ShardReply, ShardStatus, ToShard};
+use chronorank_core::{AppendRecord, ObjectId, TemporalObject, TemporalSet, TopK};
+use chronorank_serve::{
+    merge_profiles, merge_ranked, partition, Freshness, Planner, PlannerParams, Route, ServeQuery,
+};
+use chronorank_storage::{FileDevice, IoCounter, StorageError, WriteAheadLog};
+use chronorank_workloads::LiveOp;
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Errors surfaced by the live layer.
+#[derive(Debug)]
+pub enum LiveError {
+    /// A thread could not be spawned.
+    Spawn(String),
+    /// A shard failed its bootstrap build.
+    Build {
+        /// Which shard failed.
+        shard: usize,
+        /// The underlying build error.
+        message: String,
+    },
+    /// A query failed on some shard.
+    Query(String),
+    /// A shard thread died (channel closed).
+    WorkerGone,
+    /// WAL / snapshot storage failure.
+    Storage(StorageError),
+    /// An append was rejected (unknown object, non-monotone time, …).
+    Append(String),
+    /// Snapshot IO failure during checkpoint or recovery.
+    Snapshot(String),
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::Spawn(e) => write!(f, "failed to spawn worker: {e}"),
+            LiveError::Build { shard, message } => {
+                write!(f, "shard {shard} failed to build: {message}")
+            }
+            LiveError::Query(e) => write!(f, "query failed: {e}"),
+            LiveError::WorkerGone => write!(f, "a shard thread terminated unexpectedly"),
+            LiveError::Storage(e) => write!(f, "wal: {e}"),
+            LiveError::Append(e) => write!(f, "append rejected: {e}"),
+            LiveError::Snapshot(e) => write!(f, "snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+impl From<StorageError> for LiveError {
+    fn from(e: StorageError) -> Self {
+        LiveError::Storage(e)
+    }
+}
+
+/// Result of [`IngestEngine::run_ops`]: a mixed append/query trace executed
+/// pipelined (appends are fire-and-forget past the WAL sync, queries are
+/// gathered at the end), so wall time measures live serving throughput.
+#[derive(Debug)]
+pub struct LiveOutcome {
+    /// One merged answer per [`LiveOp::Query`], trace order.
+    pub answers: Vec<TopK>,
+    /// Records appended by the trace.
+    pub appends: u64,
+    /// Wall time for the whole trace.
+    pub elapsed_secs: f64,
+}
+
+impl LiveOutcome {
+    /// Queries per second over the mixed trace.
+    pub fn qps(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.answers.len() as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Appended records per second over the mixed trace.
+    pub fn ingest_rate(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.appends as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+struct Worker {
+    tx: Sender<ToShard>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Bookkeeping for one pipelined trace: replies can be absorbed at any
+/// moment (opportunistically during the trace, exhaustively at the end),
+/// and `expected()` says when every scattered query is fully answered.
+struct TraceGather {
+    base_qid: u64,
+    w: usize,
+    /// `k` of each scattered query, scatter order.
+    ks: Vec<usize>,
+    /// Per-query shard answers collected so far.
+    partial: Vec<Vec<Vec<(ObjectId, f64)>>>,
+    /// Merged answers (filled once all `w` shards replied).
+    answers: Vec<Option<TopK>>,
+    received: usize,
+    first_err: Option<String>,
+}
+
+impl TraceGather {
+    fn new(base_qid: u64, w: usize) -> Self {
+        Self {
+            base_qid,
+            w,
+            ks: Vec::new(),
+            partial: Vec::new(),
+            answers: Vec::new(),
+            received: 0,
+            first_err: None,
+        }
+    }
+
+    /// Register one scattered query.
+    fn scattered(&mut self, k: usize) {
+        self.ks.push(k);
+        self.partial.push(Vec::new());
+        self.answers.push(None);
+    }
+
+    /// Replies owed by the shards for everything scattered so far.
+    fn expected(&self) -> usize {
+        self.ks.len() * self.w
+    }
+
+    /// Fold one shard reply in (merging the query once complete).
+    fn absorb(&mut self, reply: ShardReply) {
+        let i = (reply.qid - self.base_qid) as usize;
+        self.received += 1;
+        match reply.result {
+            Ok(entries) => {
+                self.partial[i].push(entries);
+                if self.partial[i].len() == self.w {
+                    self.answers[i] = Some(merge_ranked(&self.partial[i], self.ks[i]));
+                    self.partial[i] = Vec::new();
+                }
+            }
+            Err(e) => {
+                if self.first_err.is_none() {
+                    self.first_err = Some(e);
+                }
+            }
+        }
+    }
+}
+
+/// The WAL-backed live ingest/serving engine (see crate docs).
+///
+/// Owns the write-ahead log, a master copy of the live [`TemporalSet`]
+/// (the checkpoint/recovery source of truth), and `W` ingest shards that
+/// each pair a mutable tail with an epoch-swapped frozen generation.
+pub struct IngestEngine {
+    master: TemporalSet,
+    wal: WriteAheadLog,
+    snapshot_path: Option<PathBuf>,
+    workers: Vec<Worker>,
+    reply_rx: Receiver<ShardReply>,
+    statuses: Vec<ShardStatus>,
+    params: PlannerParams,
+    next_qid: u64,
+    // --- accumulated statistics ---
+    appends: u64,
+    batches: u64,
+    queries: u64,
+    elapsed_secs: f64,
+    checkpoints: u64,
+}
+
+impl IngestEngine {
+    /// Boot the engine over `seed`, **recovering first** when the
+    /// configured WAL directory already holds state: the base set is the
+    /// latest checkpoint snapshot (or `seed` if none), every durable WAL
+    /// record is replayed onto it, and the shards bootstrap from the
+    /// recovered set — so answers after a crash equal answers before it.
+    pub fn new(seed: &TemporalSet, config: LiveConfig) -> Result<Self, LiveError> {
+        let (wal, base, snapshot_path) = Self::recover(seed, &config)?;
+        let w = config.workers.clamp(1, base.num_objects());
+        let (reply_tx, reply_rx) = channel();
+        let (build_tx, build_rx) = channel();
+        let mut workers = Vec::with_capacity(w);
+        for (shard, (subset, global_ids)) in partition(&base, w).into_iter().enumerate() {
+            let (tx, rx) = channel();
+            let channels = ShardChannels {
+                rx,
+                self_tx: tx.clone(),
+                build_tx: build_tx.clone(),
+                reply_tx: reply_tx.clone(),
+            };
+            let cfg = config.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("chronorank-live-{shard}"))
+                .spawn(move || shard_main(shard, subset, global_ids, cfg, channels))
+                .map_err(|e| LiveError::Spawn(e.to_string()))?;
+            workers.push(Worker { tx, handle: Some(handle) });
+        }
+        drop(build_tx);
+        drop(reply_tx);
+
+        let (mut max_m, mut max_n) = (0u64, 0u64);
+        let mut statuses = vec![None; w];
+        for _ in 0..w {
+            let outcome = build_rx.recv().map_err(|_| LiveError::WorkerGone)?;
+            match outcome.result {
+                Ok(info) => {
+                    max_m = max_m.max(info.m);
+                    max_n = max_n.max(info.n);
+                    statuses[outcome.shard] = Some(info.status);
+                }
+                Err(message) => {
+                    return Err(LiveError::Build { shard: outcome.shard, message });
+                }
+            }
+        }
+        let statuses: Vec<ShardStatus> =
+            statuses.into_iter().map(|s| s.expect("every shard handshakes")).collect();
+        let params = PlannerParams {
+            shard_m: max_m,
+            shard_n: max_n,
+            block: config.store.block_size as u64,
+            r: config.approx.r as u64,
+            span: base.span(),
+        };
+        Ok(Self {
+            master: base,
+            wal,
+            snapshot_path,
+            workers,
+            reply_rx,
+            statuses,
+            params,
+            next_qid: 0,
+            appends: 0,
+            batches: 0,
+            queries: 0,
+            elapsed_secs: 0.0,
+            checkpoints: 0,
+        })
+    }
+
+    /// Recovery half of [`IngestEngine::new`] — resolves the WAL and the
+    /// base set.
+    fn recover(
+        seed: &TemporalSet,
+        config: &LiveConfig,
+    ) -> Result<(WriteAheadLog, TemporalSet, Option<PathBuf>), LiveError> {
+        match &config.wal_dir {
+            None => Ok((WriteAheadLog::mem(config.store.block_size), seed.clone(), None)),
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(|e| LiveError::Snapshot(e.to_string()))?;
+                let wal_path = dir.join("wal.blk");
+                let device = if wal_path.exists() {
+                    FileDevice::open(&wal_path, config.store.block_size)?
+                } else {
+                    FileDevice::create(&wal_path, config.store.block_size)?
+                };
+                let mut wal = WriteAheadLog::open_or_create(Box::new(device), IoCounter::new())?;
+                let snapshot_path = dir.join("snapshot.csv");
+                let mut base = if snapshot_path.exists() {
+                    let ds = chronorank_workloads::read_csv_file(&snapshot_path)
+                        .map_err(|e| LiveError::Snapshot(e.to_string()))?;
+                    TemporalSet::from_objects(ds.objects)
+                        .map_err(|e| LiveError::Snapshot(e.to_string()))?
+                } else {
+                    seed.clone()
+                };
+                // Replay is idempotent: a record whose time does not extend
+                // its object is already part of the snapshot (a checkpoint
+                // that crashed between snapshot write and truncation).
+                let mut bad: Option<String> = None;
+                wal.replay(|lsn, payload| {
+                    if bad.is_some() {
+                        return;
+                    }
+                    match AppendRecord::decode(payload) {
+                        Some(rec) => match base.object(rec.object) {
+                            Ok(o) if rec.t > o.curve.end() => {
+                                if let Err(e) = base.apply(rec) {
+                                    bad = Some(format!("replay lsn {lsn}: {e}"));
+                                }
+                            }
+                            Ok(_) => {} // already absorbed by the snapshot
+                            Err(e) => bad = Some(format!("replay lsn {lsn}: {e}")),
+                        },
+                        None => bad = Some(format!("replay lsn {lsn}: undecodable record")),
+                    }
+                })?;
+                if let Some(e) = bad {
+                    return Err(LiveError::Snapshot(e));
+                }
+                Ok((wal, base, Some(snapshot_path)))
+            }
+        }
+    }
+
+    /// Number of ingest shards.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The engine's master copy of the live data (appends applied; the
+    /// source of truth for checkpoints and ground-truth assertions).
+    pub fn live_set(&self) -> &TemporalSet {
+        &self.master
+    }
+
+    /// The freshness-aware routing decision for `q` (without executing).
+    pub fn route_for(&self, q: &ServeQuery) -> Route {
+        let profiles: Vec<_> = self.statuses.iter().map(|s| s.profiles).collect();
+        let planner = Planner::new(self.params, merge_profiles(&profiles));
+        planner.route_with_freshness(q, Some(self.freshness()))
+    }
+
+    fn freshness(&self) -> Freshness {
+        let built_mass: f64 = self.statuses.iter().map(|s| s.built_mass).sum();
+        Freshness { built_mass, live_mass: self.master.total_mass() }
+    }
+
+    /// Append one record durably (one WAL sync). Prefer
+    /// [`IngestEngine::append_batch`] for throughput.
+    pub fn append(&mut self, rec: AppendRecord) -> Result<(), LiveError> {
+        self.append_batch(std::slice::from_ref(&rec))
+    }
+
+    /// Append a batch durably: every record is validated against the
+    /// master set, written to the WAL, group-committed with **one** sync,
+    /// and only then shipped to the owning shards. A rejected record (or a
+    /// WAL failure) fails the batch at that point — but every record
+    /// accepted before it is still shipped, so the master set, the WAL,
+    /// and the shards never diverge from each other.
+    pub fn append_batch(&mut self, recs: &[AppendRecord]) -> Result<(), LiveError> {
+        if recs.is_empty() {
+            return Ok(());
+        }
+        let w = self.workers.len();
+        let mut per_shard: Vec<Vec<AppendRecord>> = vec![Vec::new(); w];
+        let mut accepted = 0u64;
+        let mut failed = None;
+        for rec in recs {
+            // Validate BEFORE touching the WAL or the master set (the
+            // checks mirror `PiecewiseLinear::append` exactly), so a
+            // rejected record leaves no trace anywhere.
+            let end = match self.master.object(rec.object) {
+                Ok(o) => o.curve.end(),
+                Err(e) => {
+                    failed = Some(LiveError::Append(e.to_string()));
+                    break;
+                }
+            };
+            if !rec.t.is_finite() || !rec.v.is_finite() || rec.t <= end {
+                failed = Some(LiveError::Append(format!(
+                    "record must extend object {} past t = {end} with finite values, \
+                     got (t = {}, v = {})",
+                    rec.object, rec.t, rec.v
+                )));
+                break;
+            }
+            // Durability first; an IO failure stops the batch but the
+            // records already logged still reach master and shards below.
+            if let Err(e) = self.wal.append(&rec.encode()) {
+                failed = Some(LiveError::Storage(e));
+                break;
+            }
+            self.master.apply(*rec).expect("validated above");
+            accepted += 1;
+            let shard = rec.object as usize % w;
+            per_shard[shard].push(AppendRecord {
+                object: rec.object / w as u32,
+                t: rec.t,
+                v: rec.v,
+            });
+        }
+        if accepted > 0 {
+            // Even if the sync fails, ship what was applied to master —
+            // consistency between master and shards outranks durability of
+            // the tail (the caller learns about the failed sync).
+            let synced = self.wal.sync();
+            for (shard, batch) in per_shard.into_iter().enumerate() {
+                if !batch.is_empty() {
+                    self.workers[shard]
+                        .tx
+                        .send(ToShard::Apply(batch))
+                        .map_err(|_| LiveError::WorkerGone)?;
+                }
+            }
+            self.appends += accepted;
+            self.batches += 1;
+            if let Err(e) = synced {
+                failed.get_or_insert(LiveError::Storage(e));
+            }
+        }
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Answer one query: route with freshness, scatter, gather, merge.
+    pub fn query(&mut self, q: ServeQuery) -> Result<TopK, LiveError> {
+        let t0 = Instant::now();
+        let route = self.route_for(&q);
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        self.scatter(LiveJob { qid, query: q, route })?;
+        let w = self.workers.len();
+        let mut lists = Vec::with_capacity(w);
+        let mut first_err = None;
+        for _ in 0..w {
+            let reply = self.reply_rx.recv().map_err(|_| LiveError::WorkerGone)?;
+            debug_assert_eq!(reply.qid, qid);
+            self.statuses[reply.shard] = reply.status;
+            match reply.result {
+                Ok(entries) => lists.push(entries),
+                Err(e) => first_err = Some(e),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(LiveError::Query(e));
+        }
+        let top = merge_ranked(&lists, q.k);
+        self.queries += 1;
+        self.elapsed_secs += t0.elapsed().as_secs_f64();
+        Ok(top)
+    }
+
+    /// Execute a mixed append/query trace pipelined: appends are durable
+    /// (WAL-synced per batch) before any later query is scattered, and the
+    /// FIFO shard channels guarantee every query observes every append
+    /// that precedes it in the trace. Queries demand exact answers.
+    pub fn run_ops(&mut self, ops: &[LiveOp]) -> Result<LiveOutcome, LiveError> {
+        self.run_trace(ops, None)
+    }
+
+    /// Like [`IngestEngine::run_ops`] but issuing every query with the
+    /// given ε-tolerance instead of demanding exactness (exercises the
+    /// approximate routes and the staleness-audited cache).
+    pub fn run_ops_with_tolerance(
+        &mut self,
+        ops: &[LiveOp],
+        eps: f64,
+    ) -> Result<LiveOutcome, LiveError> {
+        self.run_trace(ops, Some(eps))
+    }
+
+    fn run_trace(&mut self, ops: &[LiveOp], eps: Option<f64>) -> Result<LiveOutcome, LiveError> {
+        let t0 = Instant::now();
+        let mut gather = TraceGather::new(self.next_qid, self.workers.len());
+        let mut appends = 0u64;
+        let mut trace_err: Option<LiveError> = None;
+        for op in ops {
+            match op {
+                LiveOp::Appends(batch) => {
+                    if let Err(e) = self.append_batch(batch) {
+                        trace_err = Some(e);
+                        break;
+                    }
+                    appends += batch.len() as u64;
+                }
+                LiveOp::Query(q) => {
+                    // Absorb any replies already waiting before routing, so
+                    // the planner's freshness view (built mass, profiles —
+                    // the ε re-validation inputs) tracks completed epoch
+                    // swaps instead of being frozen at trace start.
+                    while let Ok(reply) = self.reply_rx.try_recv() {
+                        self.absorb_trace_reply(&mut gather, reply);
+                    }
+                    let q = match eps {
+                        None => ServeQuery::exact(q.t1, q.t2, q.k),
+                        Some(eps) => ServeQuery::approx(q.t1, q.t2, q.k, eps),
+                    };
+                    let route = self.route_for(&q);
+                    let qid = self.next_qid;
+                    self.next_qid += 1;
+                    gather.scattered(q.k);
+                    if let Err(e) = self.scatter(LiveJob { qid, query: q, route }) {
+                        trace_err = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        // Drain every outstanding reply even on the error path — a reply
+        // left behind would be mis-attributed to a later query.
+        while gather.received < gather.expected() {
+            match self.reply_rx.recv() {
+                Ok(reply) => self.absorb_trace_reply(&mut gather, reply),
+                Err(_) => {
+                    trace_err.get_or_insert(LiveError::WorkerGone);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = trace_err {
+            return Err(e);
+        }
+        if let Some(e) = gather.first_err {
+            return Err(LiveError::Query(e));
+        }
+        let answers: Vec<TopK> =
+            gather.answers.into_iter().map(|a| a.expect("all shards replied")).collect();
+        let elapsed_secs = t0.elapsed().as_secs_f64();
+        self.queries += answers.len() as u64;
+        self.elapsed_secs += elapsed_secs;
+        Ok(LiveOutcome { answers, appends, elapsed_secs })
+    }
+
+    /// Fold one reply into the trace bookkeeping and the shard statuses.
+    fn absorb_trace_reply(&mut self, gather: &mut TraceGather, reply: ShardReply) {
+        self.statuses[reply.shard] = reply.status;
+        gather.absorb(reply);
+    }
+
+    /// Checkpoint: barrier every shard (so everything durable is also
+    /// applied), write the master snapshot next to the WAL, then truncate
+    /// the WAL — after which recovery starts from the snapshot alone.
+    pub fn checkpoint(&mut self) -> Result<(), LiveError> {
+        let (pong_tx, pong_rx) = channel();
+        for worker in &self.workers {
+            worker.tx.send(ToShard::Ping(pong_tx.clone())).map_err(|_| LiveError::WorkerGone)?;
+        }
+        drop(pong_tx);
+        for _ in 0..self.workers.len() {
+            pong_rx.recv().map_err(|_| LiveError::WorkerGone)?;
+        }
+        if let Some(path) = &self.snapshot_path {
+            let tmp = path.with_extension("csv.tmp");
+            let objects: Vec<TemporalObject> = self.master.objects().to_vec();
+            chronorank_workloads::write_csv_file(&objects, &tmp)
+                .map_err(|e| LiveError::Snapshot(e.to_string()))?;
+            std::fs::rename(&tmp, path).map_err(|e| LiveError::Snapshot(e.to_string()))?;
+        }
+        self.wal.truncate()?;
+        self.checkpoints += 1;
+        Ok(())
+    }
+
+    /// A snapshot of everything ingested and served so far.
+    pub fn report(&self) -> LiveReport {
+        let mut swap_pause = PauseHistogram::default();
+        for s in &self.statuses {
+            swap_pause.merge(&s.swap_pause);
+        }
+        LiveReport {
+            workers: self.workers.len(),
+            appends: self.appends,
+            batches: self.batches,
+            queries: self.queries,
+            elapsed_secs: self.elapsed_secs,
+            wal: self.wal.io_stats(),
+            index_io: self.statuses.iter().map(|s| s.io).sum(),
+            rebuilds: self.statuses.iter().map(|s| s.rebuilds).sum(),
+            rebuilds_in_flight: self.statuses.iter().filter(|s| s.rebuild_in_flight).count() as u64,
+            index_bytes: self.statuses.iter().map(|s| s.size_bytes).sum(),
+            build_secs: self.statuses.iter().map(|s| s.build_secs).sum(),
+            swap_pause,
+            queries_during_rebuild: self.statuses.iter().map(|s| s.queries_during_rebuild).sum(),
+            cache_hits: self.statuses.iter().map(|s| s.cache_hits).sum(),
+            cache_lookups: self.statuses.iter().map(|s| s.cache_lookups).sum(),
+            cache_invalidations: self.statuses.iter().map(|s| s.cache_invalidations).sum(),
+            tail_segments: self.statuses.iter().map(|s| s.tail_segments).sum(),
+            built_mass: self.statuses.iter().map(|s| s.built_mass).sum(),
+            live_mass: self.master.total_mass(),
+            generations: self.statuses.iter().map(|s| s.generation).max().unwrap_or(0),
+            checkpoints: self.checkpoints,
+        }
+    }
+
+    fn scatter(&self, job: LiveJob) -> Result<(), LiveError> {
+        for worker in &self.workers {
+            worker.tx.send(ToShard::Query(job)).map_err(|_| LiveError::WorkerGone)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for IngestEngine {
+    fn drop(&mut self) {
+        for worker in &self.workers {
+            worker.tx.send(ToShard::Shutdown).ok();
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                handle.join().ok();
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Generation hosts: the frozen, epoch-swapped index side of a shard.
+//!
+//! The storage layer's `Rc`-based IO counters make every index `!Send`, so
+//! a freshly built generation cannot be handed between threads. Instead the
+//! *builder thread keeps what it builds*: a generation host receives a
+//! `Send`-able [`TemporalSet`] snapshot, constructs EXACT3 (+ optional
+//! EXACT1 / APPX1 / APPX2 / APPX2+ sharing one breakpoint set) locally,
+//! announces readiness to its shard, and then serves candidate probes over
+//! a channel until its sender is dropped at the next epoch swap.
+//!
+//! The shard thread therefore never blocks on a build: it keeps answering
+//! from the old host while the new one constructs, and the swap itself is
+//! a handle replacement (measured in the swap-pause histogram).
+
+use crate::shard::ToShard;
+use chronorank_core::{
+    AggKind, ApproxConfig, ApproxIndex, ApproxVariant, Breakpoints, Exact1, Exact3,
+    GenerationProfile, IndexConfig, ObjectId, TemporalSet, TopKMethod,
+};
+use chronorank_serve::{panic_message, MethodSet, Route, RouteProfiles};
+use chronorank_storage::{Env, IoStats, StoreConfig};
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Instant;
+
+/// What a generation host builds (one `Copy` bundle so spawn sites stay
+/// tidy).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GenBuildSpec {
+    pub methods: MethodSet,
+    pub approx: ApproxConfig,
+    pub store: StoreConfig,
+}
+
+/// Shard → generation-host requests.
+pub(crate) enum ToGen {
+    /// Fetch the frozen top-`k` candidates for `[t1, t2]` on `route`.
+    Probe { t1: f64, t2: f64, k: usize, route: Route },
+    /// Stop serving (also implied by the channel closing).
+    Shutdown,
+}
+
+/// Generation-host → shard probe answer.
+pub(crate) struct ProbeReply {
+    /// Frozen candidates, `(local id, frozen score)`, descending score.
+    pub result: Result<Vec<(ObjectId, f64)>, String>,
+    /// Cumulative IO of all this generation's indexes.
+    pub io: IoStats,
+}
+
+/// Everything a shard needs to route against a published generation.
+#[derive(Debug, Clone)]
+pub(crate) struct GenMeta {
+    /// Epoch counter (0 = the bootstrap build).
+    pub generation: u64,
+    /// Mass the snapshot carried — the denominator of ε re-validation.
+    pub built_mass: f64,
+    /// Per-route built-method profiles (against `built_mass`).
+    pub profiles: RouteProfiles,
+    /// The breakpoints the approximate routes snap to.
+    pub breakpoints: Option<Breakpoints>,
+    /// Largest `k` the approximate routes answer.
+    pub kmax: usize,
+    /// Bytes across all built structures.
+    pub size_bytes: u64,
+    /// Off-thread wall time of the build.
+    pub build_secs: f64,
+}
+
+impl GenMeta {
+    /// The generation-aware profile of `route`, if built.
+    pub fn profile(&self, route: Route) -> Option<GenerationProfile> {
+        self.profiles[route.idx()].map(|profile| GenerationProfile {
+            generation: self.generation,
+            built_mass: self.built_mass,
+            profile,
+        })
+    }
+}
+
+/// The indexes one host owns (never leaves the host thread).
+struct GenIndexes {
+    methods: [Option<Box<dyn TopKMethod>>; 5],
+}
+
+impl GenIndexes {
+    fn build(
+        set: &TemporalSet,
+        methods: MethodSet,
+        approx: ApproxConfig,
+        store: StoreConfig,
+    ) -> chronorank_core::Result<(Self, RouteProfiles, Option<Breakpoints>, u64)> {
+        let mut built: [Option<Box<dyn TopKMethod>>; 5] = std::array::from_fn(|_| None);
+        if methods.exact1 {
+            built[Route::Exact1.idx()] = Some(Box::new(Exact1::build(set, IndexConfig { store })?));
+        }
+        built[Route::Exact3.idx()] = Some(Box::new(Exact3::build(set, IndexConfig { store })?));
+        let approx = ApproxConfig { store, ..approx };
+        let breakpoints = if methods.any_approx() {
+            Some(match approx.eps {
+                Some(eps) => Breakpoints::b2_with_eps(set, eps, approx.b2)?,
+                None => Breakpoints::b2_with_count(set, approx.r, approx.b2)?,
+            })
+        } else {
+            None
+        };
+        for (flag, route, variant) in [
+            (methods.appx1, Route::Appx1, ApproxVariant::APPX1),
+            (methods.appx2, Route::Appx2, ApproxVariant::APPX2),
+            (methods.appx2_plus, Route::Appx2Plus, ApproxVariant::APPX2_PLUS),
+        ] {
+            if flag {
+                let bp = breakpoints.clone().expect("breakpoints exist when any approx is built");
+                let idx =
+                    ApproxIndex::build_with_breakpoints(Env::mem(store), set, variant, approx, bp)?;
+                built[route.idx()] = Some(Box::new(idx));
+            }
+        }
+        let profiles: RouteProfiles =
+            std::array::from_fn(|i| built[i].as_ref().map(|m| m.profile()));
+        let size_bytes = built.iter().flatten().map(|m| m.size_bytes()).sum();
+        Ok((Self { methods: built }, profiles, breakpoints, size_bytes))
+    }
+
+    fn probe(
+        &self,
+        t1: f64,
+        t2: f64,
+        k: usize,
+        route: Route,
+    ) -> Result<Vec<(ObjectId, f64)>, String> {
+        let method = self.methods[route.idx()]
+            .as_ref()
+            .ok_or_else(|| format!("route {} not built in this generation", route.name()))?;
+        let top = method.top_k(t1, t2, k, AggKind::Sum).map_err(|e| e.to_string())?;
+        Ok(top.entries().to_vec())
+    }
+
+    fn io_total(&self) -> IoStats {
+        self.methods.iter().flatten().map(|m| m.io_stats()).sum()
+    }
+}
+
+/// Thread body of one generation host: build, announce, serve probes.
+pub(crate) fn generation_main(
+    generation: u64,
+    snapshot: TemporalSet,
+    spec: GenBuildSpec,
+    rx: Receiver<ToGen>,
+    reply_tx: Sender<ProbeReply>,
+    ready_tx: Sender<ToShard>,
+) {
+    let t0 = Instant::now();
+    let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        GenIndexes::build(&snapshot, spec.methods, spec.approx, spec.store)
+    }));
+    let (indexes, meta) = match built {
+        Ok(Ok((indexes, profiles, breakpoints, size_bytes))) => {
+            let meta = GenMeta {
+                generation,
+                built_mass: snapshot.total_mass(),
+                profiles,
+                breakpoints,
+                kmax: spec.approx.kmax,
+                size_bytes,
+                build_secs: t0.elapsed().as_secs_f64(),
+            };
+            (indexes, meta)
+        }
+        Ok(Err(e)) => {
+            ready_tx.send(ToShard::GenReady { generation, result: Err(e.to_string()) }).ok();
+            return;
+        }
+        Err(payload) => {
+            let message = format!("generation build panicked: {}", panic_message(&*payload));
+            ready_tx.send(ToShard::GenReady { generation, result: Err(message) }).ok();
+            return;
+        }
+    };
+    drop(snapshot);
+    if ready_tx.send(ToShard::GenReady { generation, result: Ok(Box::new(meta)) }).is_err() {
+        return; // shard gone before the build finished
+    }
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToGen::Probe { t1, t2, k, route } => {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    indexes.probe(t1, t2, k, route)
+                }));
+                let result = outcome.unwrap_or_else(|payload| {
+                    Err(format!("probe panicked: {}", panic_message(&*payload)))
+                });
+                let reply = ProbeReply { result, io: indexes.io_total() };
+                if reply_tx.send(reply).is_err() {
+                    return;
+                }
+            }
+            ToGen::Shutdown => return,
+        }
+    }
+}

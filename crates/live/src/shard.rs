@@ -1,0 +1,599 @@
+//! The ingest shard: one thread owning one partition's live state.
+//!
+//! A shard holds the *mutable* side of its partition — the live
+//! [`TemporalSet`] (appends applied immediately), the per-object frozen
+//! edge of the currently published generation, and the result cache — and
+//! talks to its frozen side (the generation host of [`crate::generation`])
+//! over a probe channel held in an `Arc` generation handle.
+//!
+//! ## Query = frozen candidates ∪ tail, exactly rescored
+//!
+//! For `top-k(t1, t2, k)` the shard fetches the frozen index's top
+//! `k + |touched| + slack` candidates (where *touched* are the objects
+//! whose appended tail overlaps the interval), unions the touched objects
+//! in, rescores every candidate **exactly** on the live curves, and ranks.
+//! Any object missing from that candidate set is beaten by at least `k`
+//! candidates (each non-touched object scores identically in the frozen
+//! and live orders, and only touched objects can move), so exact routes
+//! are exact-fresh at every point between rebuilds, and approximate
+//! routes keep their frozen `ε·M_built` candidate guarantee with exact
+//! scores on top.
+//!
+//! ## Staleness-audited caching
+//!
+//! Cacheable routes (APPX1/APPX2) answer over the *snapped* interval, so
+//! answers are cached per `(B(t1), B(t2), k, route)`. An append whose new
+//! segment starts before a cached entry's snapped right edge adds its mass
+//! to the entry's staleness account; at lookup time the entry is served
+//! only while `ε·M_built + staleness ≤ ε_query · M_live` — otherwise it is
+//! invalidated and recomputed. Epoch swaps clear the cache outright.
+
+use crate::config::LiveConfig;
+use crate::generation::{generation_main, GenBuildSpec, GenMeta, ProbeReply, ToGen};
+use crate::report::PauseHistogram;
+use chronorank_core::{AppendRecord, ObjectId, TemporalSet};
+use chronorank_serve::{panic_message, LruCache, Route, RouteProfiles, ServeQuery};
+use chronorank_storage::IoStats;
+use std::cell::Cell;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One routed query, as sent to every shard.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LiveJob {
+    pub qid: u64,
+    pub query: ServeQuery,
+    pub route: Route,
+}
+
+/// Coordinator (and generation hosts) → shard messages.
+pub(crate) enum ToShard {
+    /// Apply a batch of already-durable appends (object ids are **local**).
+    Apply(Vec<AppendRecord>),
+    /// Answer one routed query.
+    Query(LiveJob),
+    /// Checkpoint barrier: reply once everything before this is applied.
+    Ping(Sender<()>),
+    /// A generation host finished building (success or failure). Boxed:
+    /// the metadata (breakpoints, profiles) dwarfs every other variant.
+    GenReady {
+        generation: u64,
+        result: Result<Box<GenMeta>, String>,
+    },
+    Shutdown,
+}
+
+/// The channel bundle one shard thread lives on.
+pub(crate) struct ShardChannels {
+    /// The mailbox (engine messages + generation-host announcements).
+    pub rx: Receiver<ToShard>,
+    /// Sender for the same mailbox, cloned into spawned generation hosts.
+    pub self_tx: Sender<ToShard>,
+    /// One-shot build handshake back to the engine.
+    pub build_tx: Sender<BuildOutcome>,
+    /// Query replies back to the engine.
+    pub reply_tx: Sender<ShardReply>,
+}
+
+/// Shard → coordinator answer for one query.
+pub(crate) struct ShardReply {
+    pub qid: u64,
+    pub shard: usize,
+    /// Shard-local top-k with **global** object ids, descending score.
+    pub result: Result<Vec<(ObjectId, f64)>, String>,
+    /// Piggybacked live statistics (always current; cache hit/miss counts
+    /// ride in here rather than per-reply flags).
+    pub status: ShardStatus,
+}
+
+/// Everything the coordinator needs to know about a shard's live state,
+/// piggybacked on every reply so planner freshness never goes stale.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardStatus {
+    pub generation: u64,
+    pub built_mass: f64,
+    pub tail_segments: u64,
+    pub rebuild_in_flight: bool,
+    pub io: IoStats,
+    pub profiles: RouteProfiles,
+    pub rebuilds: u64,
+    pub build_secs: f64,
+    pub swap_pause: PauseHistogram,
+    pub queries_during_rebuild: u64,
+    pub cache_hits: u64,
+    pub cache_lookups: u64,
+    pub cache_invalidations: u64,
+    pub size_bytes: u64,
+}
+
+/// Shard → coordinator build handshake.
+pub(crate) struct BuildOutcome {
+    pub shard: usize,
+    pub result: Result<ShardInfo, String>,
+}
+
+/// Per-shard facts for the planner.
+pub(crate) struct ShardInfo {
+    pub m: u64,
+    pub n: u64,
+    pub status: ShardStatus,
+}
+
+/// Key of the staleness-audited result cache (cacheable routes snap to
+/// breakpoints before answering, see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    b1: u32,
+    b2: u32,
+    k: u32,
+    route: Route,
+}
+
+/// A cached snapped answer plus its staleness account.
+struct Cached {
+    /// Global-id answer, descending score.
+    entries: Vec<(ObjectId, f64)>,
+    /// Snapped right edge — appends starting before this time affect it.
+    snap_t2: f64,
+    /// Absolute mass appended (potentially) inside the snapped interval
+    /// since this entry was computed. `Cell` so the apply path can charge
+    /// it during a non-removing `retain` walk.
+    stale: Cell<f64>,
+}
+
+/// The published generation, as the query path sees it.
+struct GenHandle {
+    meta: Arc<GenMeta>,
+    probe_tx: Sender<ToGen>,
+    reply_rx: Receiver<ProbeReply>,
+    join: Option<JoinHandle<()>>,
+    /// Latest IO snapshot from this generation's probe replies.
+    last_io: IoStats,
+}
+
+/// A build in flight: channels are pre-wired, the host announces itself
+/// through the shard's own mailbox when done.
+struct PendingGen {
+    generation: u64,
+    probe_tx: Sender<ToGen>,
+    reply_rx: Receiver<ProbeReply>,
+    join: Option<JoinHandle<()>>,
+    /// Per-object curve end at snapshot time (the new frozen edge).
+    frozen_end: Vec<f64>,
+    /// `applied` counter at snapshot time.
+    stamp_applied: u64,
+}
+
+struct ShardState {
+    shard: usize,
+    config: LiveConfig,
+    /// The live partition (local dense ids), appends applied immediately.
+    live: TemporalSet,
+    /// Local dense id → global id.
+    global_ids: Vec<ObjectId>,
+    /// Per-object frozen edge of the published generation.
+    frozen_end: Vec<f64>,
+    gen: Option<GenHandle>,
+    pending: Option<PendingGen>,
+    cache: Option<LruCache<CacheKey, Cached>>,
+    /// Mailbox sender, cloned into every spawned generation host.
+    self_tx: Sender<ToShard>,
+    // --- counters ---
+    applied: u64,
+    gen_applied: u64,
+    rebuilds: u64,
+    build_secs: f64,
+    swap_pause: PauseHistogram,
+    queries_during_rebuild: u64,
+    cache_hits: u64,
+    cache_lookups: u64,
+    cache_invalidations: u64,
+    retired_io: IoStats,
+    /// First unrecoverable error (reported on every later query).
+    poisoned: Option<String>,
+}
+
+impl ShardState {
+    fn new(
+        shard: usize,
+        live: TemporalSet,
+        global_ids: Vec<ObjectId>,
+        config: LiveConfig,
+        self_tx: Sender<ToShard>,
+    ) -> Self {
+        let m = live.num_objects();
+        let cache = (config.cache_capacity > 0).then(|| LruCache::new(config.cache_capacity));
+        Self {
+            shard,
+            config,
+            live,
+            global_ids,
+            frozen_end: vec![f64::NEG_INFINITY; m],
+            gen: None,
+            pending: None,
+            cache,
+            self_tx,
+            applied: 0,
+            gen_applied: 0,
+            rebuilds: 0,
+            build_secs: 0.0,
+            swap_pause: PauseHistogram::default(),
+            queries_during_rebuild: 0,
+            cache_hits: 0,
+            cache_lookups: 0,
+            cache_invalidations: 0,
+            retired_io: IoStats::default(),
+            poisoned: None,
+        }
+    }
+
+    /// Spawn a generation host over the current live state. The build runs
+    /// entirely off this thread; `GenReady` arrives through the mailbox.
+    fn spawn_generation(&mut self, generation: u64) {
+        let snapshot = self.live.clone();
+        let frozen_end = self.live.objects().iter().map(|o| o.curve.end()).collect();
+        let (probe_tx, probe_rx) = channel();
+        let (reply_tx, reply_rx) = channel();
+        let spec = GenBuildSpec {
+            methods: self.config.methods,
+            approx: self.config.approx,
+            store: self.config.store,
+        };
+        let ready_tx = self.self_tx.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("chronorank-live-gen{}-{}", self.shard, generation))
+            .spawn(move || {
+                generation_main(generation, snapshot, spec, probe_rx, reply_tx, ready_tx)
+            })
+            .ok();
+        if join.is_none() {
+            self.poisoned = Some("failed to spawn generation host".into());
+            return;
+        }
+        self.pending = Some(PendingGen {
+            generation,
+            probe_tx,
+            reply_rx,
+            join,
+            frozen_end,
+            stamp_applied: self.applied,
+        });
+    }
+
+    /// Epoch swap: install a ready generation. Everything here is the
+    /// reader-visible pause, so it is measured into the histogram.
+    fn install(&mut self, generation: u64, meta: GenMeta) {
+        let Some(pending) = self.pending.take() else { return };
+        if pending.generation != generation {
+            self.pending = Some(pending);
+            return;
+        }
+        let t0 = Instant::now();
+        if let Some(mut old) = self.gen.take() {
+            self.retired_io += old.last_io;
+            old.probe_tx.send(ToGen::Shutdown).ok();
+            drop(old.probe_tx);
+            if let Some(join) = old.join.take() {
+                join.join().ok();
+            }
+        }
+        self.frozen_end = pending.frozen_end;
+        self.gen_applied = pending.stamp_applied;
+        self.build_secs += meta.build_secs;
+        self.gen = Some(GenHandle {
+            meta: Arc::new(meta),
+            probe_tx: pending.probe_tx,
+            reply_rx: pending.reply_rx,
+            join: pending.join,
+            last_io: IoStats::default(),
+        });
+        if let Some(cache) = &mut self.cache {
+            cache.clear(); // superseded frozen parts
+        }
+        if generation > 0 {
+            self.rebuilds += 1;
+            self.swap_pause.record(t0.elapsed().as_micros() as u64);
+        }
+    }
+
+    /// Apply one durable batch to the live state, charge staleness to the
+    /// overlapped cache entries, and trigger the §4 rebuild policy.
+    fn apply(&mut self, recs: &[AppendRecord]) {
+        if recs.is_empty() {
+            return;
+        }
+        let mass_before = self.live.total_mass();
+        let mut batch_min_t0 = f64::INFINITY;
+        for rec in recs {
+            let start = match self.live.object(rec.object) {
+                Ok(o) => o.curve.end(),
+                Err(e) => {
+                    self.poisoned = Some(format!("apply: {e}"));
+                    return;
+                }
+            };
+            if let Err(e) = self.live.apply(*rec) {
+                self.poisoned = Some(format!("apply: {e}"));
+                return;
+            }
+            batch_min_t0 = batch_min_t0.min(start);
+        }
+        self.applied += recs.len() as u64;
+        let batch_mass = (self.live.total_mass() - mass_before).max(0.0);
+        if let Some(cache) = &mut self.cache {
+            cache.retain(|_, v| {
+                if v.snap_t2 > batch_min_t0 {
+                    v.stale.set(v.stale.get() + batch_mass);
+                }
+                true
+            });
+        }
+        // Rebuild trigger: geometric mass doubling (core's §4 policy) or a
+        // full tail.
+        if self.pending.is_none() {
+            if let Some(gen) = &self.gen {
+                let tail = self.applied - self.gen_applied;
+                let mass_due =
+                    self.live.total_mass() >= self.config.rebuild.mass_factor * gen.meta.built_mass;
+                if mass_due || tail >= self.config.rebuild.max_tail_segments as u64 {
+                    self.spawn_generation(gen.meta.generation + 1);
+                }
+            }
+        }
+    }
+
+    /// Answer one routed query (see module docs for the merge contract).
+    fn answer(&mut self, job: &LiveJob) -> Result<Vec<(ObjectId, f64)>, String> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        if self.pending.is_some() {
+            self.queries_during_rebuild += 1;
+        }
+        let q = job.query;
+        let gen_meta = match &self.gen {
+            Some(g) => Arc::clone(&g.meta),
+            None => return Err("no generation published".into()),
+        };
+        // APPX1/APPX2 answer over the *snapped* interval — that is route
+        // semantics (their index structures only know breakpoint pairs),
+        // not a cache artifact, so it must not depend on whether a cache
+        // is configured.
+        let snapped = job.route.cacheable() && gen_meta.breakpoints.is_some();
+        if !snapped {
+            return self.merged_answer(&gen_meta, q.t1, q.t2, q.k, job.route);
+        }
+        let bp = gen_meta.breakpoints.as_ref().expect("checked above");
+        let key = CacheKey {
+            b1: bp.snap_idx(q.t1) as u32,
+            b2: bp.snap_idx(q.t2) as u32,
+            k: q.k as u32,
+            route: job.route,
+        };
+        let (a, b) = (bp.snap(q.t1), bp.snap(q.t2));
+        if self.cache.is_none() || q.tolerance.is_none() {
+            return self.merged_answer(&gen_meta, a, b, q.k, job.route);
+        }
+        // Staleness audit: this generation's re-validated absolute bound
+        // ε·M_built, plus whatever mass landed inside the snapped interval
+        // since the entry was computed, must still fit the query's
+        // ε-budget against the *live* mass.
+        let eps_abs = gen_meta.profile(job.route).map_or(0.0, |g| g.eps_abs());
+        let budget_abs = q.tolerance.map(|t| t.eps * self.live.total_mass()).unwrap_or(0.0);
+        self.cache_lookups += 1;
+        let mut invalidate = false;
+        if let Some(entry) = self.cache.as_mut().expect("cacheable implies cache").get(&key) {
+            let stale = entry.stale.get();
+            if stale <= 0.0 || eps_abs + stale <= budget_abs {
+                self.cache_hits += 1;
+                return Ok(entry.entries.clone());
+            }
+            invalidate = true;
+        }
+        if invalidate {
+            self.cache_invalidations += 1;
+        }
+        let res = self.merged_answer(&gen_meta, a, b, q.k, job.route);
+        if let Ok(entries) = &res {
+            self.cache.as_mut().expect("cacheable implies cache").insert(
+                key,
+                Cached { entries: entries.clone(), snap_t2: b, stale: Cell::new(0.0) },
+            );
+        }
+        res
+    }
+
+    /// Frozen candidates ∪ touched tail objects, exactly rescored on the
+    /// live curves over `[t1, t2]`, global ids, descending score.
+    fn merged_answer(
+        &mut self,
+        meta: &GenMeta,
+        t1: f64,
+        t2: f64,
+        k: usize,
+        route: Route,
+    ) -> Result<Vec<(ObjectId, f64)>, String> {
+        if t2 < t1 || !t1.is_finite() || !t2.is_finite() {
+            return Err(format!("bad query interval [{t1}, {t2}]"));
+        }
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let m = self.live.num_objects();
+        // Tail-touched objects: appended segments overlapping the interval.
+        let mut touched: Vec<ObjectId> = Vec::new();
+        for (i, o) in self.live.objects().iter().enumerate() {
+            let fe = self.frozen_end[i];
+            if o.curve.end() > fe && fe < t2 && o.curve.end() > t1 {
+                touched.push(i as ObjectId);
+            }
+        }
+        // Candidate budget: k + |touched| (+ slack) suffices — any object
+        // outside it is beaten by ≥ k candidates (see module docs). The
+        // approximate routes are additionally capped by their built kmax.
+        let mut kk = (k + touched.len() + self.config.candidate_slack).min(m);
+        if !route.is_exact() {
+            kk = kk.min(meta.kmax).max(k.min(meta.kmax));
+        }
+        let frozen = self.probe(t1, t2, kk, route)?;
+        let mut seen = vec![false; m];
+        let mut candidates: Vec<ObjectId> = Vec::with_capacity(frozen.len() + touched.len());
+        for (id, _) in frozen {
+            if !seen[id as usize] {
+                seen[id as usize] = true;
+                candidates.push(id);
+            }
+        }
+        for id in touched {
+            if !seen[id as usize] {
+                seen[id as usize] = true;
+                candidates.push(id);
+            }
+        }
+        // Exact rescoring on the live curves: identical arithmetic to a
+        // fresh bulk build's brute-force oracle, hence bit-identical
+        // answers for exact routes.
+        let mut scored: Vec<(ObjectId, f64)> = candidates
+            .into_iter()
+            .map(|id| (id, self.live.objects()[id as usize].curve.integral(t1, t2)))
+            .collect();
+        scored.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+        scored.truncate(k);
+        Ok(scored.into_iter().map(|(id, s)| (self.global_ids[id as usize], s)).collect())
+    }
+
+    /// One synchronous candidate probe against the generation host.
+    fn probe(
+        &mut self,
+        t1: f64,
+        t2: f64,
+        k: usize,
+        route: Route,
+    ) -> Result<Vec<(ObjectId, f64)>, String> {
+        let gen = self.gen.as_mut().expect("caller checked generation");
+        gen.probe_tx
+            .send(ToGen::Probe { t1, t2, k, route })
+            .map_err(|_| "generation host terminated".to_string())?;
+        let reply = gen.reply_rx.recv().map_err(|_| "generation host terminated".to_string())?;
+        gen.last_io = reply.io;
+        reply.result
+    }
+
+    fn status(&self) -> ShardStatus {
+        let (generation, built_mass, profiles, size_bytes) = match &self.gen {
+            Some(g) => (g.meta.generation, g.meta.built_mass, g.meta.profiles, g.meta.size_bytes),
+            None => (0, 0.0, [None; 5], 0),
+        };
+        let io = self.retired_io + self.gen.as_ref().map(|g| g.last_io).unwrap_or_default();
+        ShardStatus {
+            generation,
+            built_mass,
+            tail_segments: self.applied - self.gen_applied,
+            rebuild_in_flight: self.pending.is_some(),
+            io,
+            profiles,
+            rebuilds: self.rebuilds,
+            build_secs: self.build_secs,
+            swap_pause: self.swap_pause,
+            queries_during_rebuild: self.queries_during_rebuild,
+            cache_hits: self.cache_hits,
+            cache_lookups: self.cache_lookups,
+            cache_invalidations: self.cache_invalidations,
+            size_bytes,
+        }
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(mut gen) = self.gen.take() {
+            gen.probe_tx.send(ToGen::Shutdown).ok();
+            drop(gen.probe_tx);
+            if let Some(join) = gen.join.take() {
+                join.join().ok();
+            }
+        }
+        if let Some(mut pending) = self.pending.take() {
+            // A pending build cannot be interrupted; closing its channel
+            // makes it exit right after the (now unreceivable) announce.
+            drop(pending.probe_tx);
+            if let Some(join) = pending.join.take() {
+                join.join().ok();
+            }
+        }
+    }
+}
+
+/// Thread body of one ingest shard: bootstrap generation 0, handshake,
+/// then apply/answer/swap until shutdown.
+pub(crate) fn shard_main(
+    shard: usize,
+    subset: TemporalSet,
+    global_ids: Vec<ObjectId>,
+    config: LiveConfig,
+    channels: ShardChannels,
+) {
+    let ShardChannels { rx, self_tx, build_tx, reply_tx } = channels;
+    let mut state = ShardState::new(shard, subset, global_ids, config, self_tx);
+    state.spawn_generation(0);
+    let mut build_tx = Some(build_tx);
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToShard::Apply(recs) => {
+                let out =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.apply(&recs)));
+                if let Err(payload) = out {
+                    state.poisoned = Some(format!("apply panicked: {}", panic_message(&*payload)));
+                }
+            }
+            ToShard::Query(job) => {
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.answer(&job)));
+                let result = outcome.unwrap_or_else(|payload| {
+                    Err(format!("query panicked: {}", panic_message(&*payload)))
+                });
+                let reply = ShardReply { qid: job.qid, shard, result, status: state.status() };
+                if reply_tx.send(reply).is_err() {
+                    break;
+                }
+            }
+            ToShard::Ping(pong) => {
+                pong.send(()).ok();
+            }
+            ToShard::GenReady { generation, result } => match result {
+                Ok(meta) => {
+                    state.install(generation, *meta);
+                    if generation == 0 {
+                        if let Some(tx) = build_tx.take() {
+                            let info = ShardInfo {
+                                m: state.live.num_objects() as u64,
+                                n: state.live.num_segments(),
+                                status: state.status(),
+                            };
+                            // Release the handshake sender right away so a
+                            // dead sibling is detectable by channel close.
+                            let alive = tx.send(BuildOutcome { shard, result: Ok(info) }).is_ok();
+                            drop(tx);
+                            if !alive {
+                                break;
+                            }
+                        }
+                    }
+                }
+                Err(message) => {
+                    state.pending = None;
+                    if generation == 0 {
+                        if let Some(tx) = build_tx.take() {
+                            tx.send(BuildOutcome { shard, result: Err(message) }).ok();
+                        }
+                        break;
+                    }
+                    // A later rebuild failed: keep serving the old
+                    // generation; the next apply trigger will retry.
+                }
+            },
+            ToShard::Shutdown => break,
+        }
+    }
+    state.shutdown();
+}

@@ -1,0 +1,250 @@
+//! Integration tests for the live ingest engine: freshness, epoch swaps,
+//! durability, and the staleness-audited cache.
+
+use chronorank_core::{AppendRecord, TemporalSet};
+use chronorank_live::{IngestEngine, LiveConfig, RebuildPolicy};
+use chronorank_serve::ServeQuery;
+use chronorank_workloads::{AppendStream, AppendStreamConfig, StockConfig, StockGenerator};
+
+fn stock_stream(objects: usize, batch: usize) -> AppendStream {
+    let generator =
+        StockGenerator::new(StockConfig { objects, days: 8, readings_per_day: 6, seed: 17 });
+    AppendStream::from_generator(
+        &generator,
+        AppendStreamConfig { base_fraction: 0.5, batch, ..Default::default() },
+    )
+}
+
+fn assert_top_matches(want: &chronorank_core::TopK, got: &chronorank_core::TopK, ctx: &str) {
+    assert_eq!(want.len(), got.len(), "{ctx}: length");
+    assert_eq!(want.ids(), got.ids(), "{ctx}: ids");
+    for (j, (ws, gs)) in want.scores().iter().zip(got.scores()).enumerate() {
+        assert_eq!(ws.to_bits(), gs.to_bits(), "{ctx} rank {j}: {ws} vs {gs}");
+    }
+}
+
+#[test]
+fn appends_are_visible_to_the_next_query() {
+    let stream = stock_stream(10, 8);
+    let seed = stream.base_set();
+    let mut engine =
+        IngestEngine::new(&seed, LiveConfig { workers: 2, ..Default::default() }).unwrap();
+    let mut oracle = seed.clone();
+    for (i, batch) in stream.batches().enumerate().take(6) {
+        engine.append_batch(batch).unwrap();
+        for &rec in batch {
+            oracle.apply(rec).unwrap();
+        }
+        let (t1, t2) = (oracle.t_max() - 2.0, oracle.t_max());
+        let got = engine.query(ServeQuery::exact(t1, t2, 5)).unwrap();
+        let want = oracle.top_k_bruteforce(t1, t2, 5);
+        assert_top_matches(&want, &got, &format!("batch {i}"));
+    }
+    let report = engine.report();
+    assert_eq!(report.appends, engine.report().appends);
+    assert!(report.appends > 0 && report.queries == 6);
+    assert!(report.wal.wal_writes > 0, "appends must hit the WAL");
+    assert!(report.tail_segments > 0 || report.rebuilds > 0);
+}
+
+#[test]
+fn mass_doubling_triggers_an_epoch_swap_without_blocking_readers() {
+    let stream = stock_stream(6, 4);
+    let seed = stream.base_set();
+    let config = LiveConfig {
+        workers: 1,
+        rebuild: RebuildPolicy { mass_factor: 1.05, max_tail_segments: 10_000 },
+        ..Default::default()
+    };
+    let mut engine = IngestEngine::new(&seed, config).unwrap();
+    let mut oracle = seed.clone();
+    for batch in stream.batches() {
+        engine.append_batch(batch).unwrap();
+        for &rec in batch {
+            oracle.apply(rec).unwrap();
+        }
+        // Queries keep being answered correctly whether or not a rebuild
+        // is in flight at this moment.
+        let (t1, t2) = (oracle.t_min(), oracle.t_max());
+        let got = engine.query(ServeQuery::exact(t1, t2, 4)).unwrap();
+        let want = oracle.top_k_bruteforce(t1, t2, 4);
+        assert_top_matches(&want, &got, "during ingest");
+    }
+    // Let in-flight builds land, then confirm swaps happened.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        engine.query(ServeQuery::exact(seed.t_min(), oracle.t_max(), 3)).unwrap();
+        let report = engine.report();
+        if report.rebuilds > 0 && report.rebuilds_in_flight == 0 {
+            assert!(report.generations > 0);
+            assert_eq!(report.swap_pause.count(), report.rebuilds);
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "rebuild never landed: {report}");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn tail_length_policy_also_triggers_rebuilds() {
+    let stream = stock_stream(8, 16);
+    let seed = stream.base_set();
+    let config = LiveConfig {
+        workers: 2,
+        rebuild: RebuildPolicy { mass_factor: f64::INFINITY, max_tail_segments: 8 },
+        ..Default::default()
+    };
+    let mut engine = IngestEngine::new(&seed, config).unwrap();
+    for batch in stream.batches() {
+        engine.append_batch(batch).unwrap();
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        engine.query(ServeQuery::exact(seed.t_min(), seed.t_max(), 2)).unwrap();
+        if engine.report().rebuilds > 0 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "tail policy never fired");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn checkpoint_then_recover_reproduces_answers() {
+    let dir = std::env::temp_dir().join(format!("chronorank-live-ckpt-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let stream = stock_stream(9, 8);
+    let seed = stream.base_set();
+    let config = LiveConfig { workers: 2, wal_dir: Some(dir.clone()), ..Default::default() };
+    let batches: Vec<_> = stream.batches().collect();
+    let mid = batches.len() / 2;
+    let q = |set: &TemporalSet| {
+        let (t1, t2) = (set.t_min() + 0.25 * set.span(), set.t_max());
+        ServeQuery::exact(t1, t2, 6)
+    };
+    let want;
+    {
+        let mut engine = IngestEngine::new(&seed, config.clone()).unwrap();
+        for batch in &batches[..mid] {
+            engine.append_batch(batch).unwrap();
+        }
+        engine.checkpoint().unwrap();
+        assert_eq!(engine.report().checkpoints, 1);
+        for batch in &batches[mid..] {
+            engine.append_batch(batch).unwrap();
+        }
+        want = engine.query(q(engine.live_set())).unwrap();
+        // Simulated crash: engine dropped without another checkpoint.
+    }
+    {
+        let mut recovered = IngestEngine::new(&seed, config.clone()).unwrap();
+        let got = recovered.query(q(recovered.live_set())).unwrap();
+        assert_top_matches(&want, &got, "post-recovery");
+        // The recovered master equals the fully applied stream.
+        assert_eq!(recovered.live_set().num_segments(), stream.full_set().num_segments());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn approximate_queries_respect_the_eps_budget_under_appends() {
+    let stream = stock_stream(16, 8);
+    let seed = stream.base_set();
+    let mut engine =
+        IngestEngine::new(&seed, LiveConfig { workers: 2, ..Default::default() }).unwrap();
+    let mut oracle = seed.clone();
+    let eps = 0.3;
+    let mut cacheable_seen = false;
+    for batch in stream.batches() {
+        engine.append_batch(batch).unwrap();
+        for &rec in batch {
+            oracle.apply(rec).unwrap();
+        }
+        let (t1, t2) = (oracle.t_min() + 0.3 * oracle.span(), oracle.t_min() + 0.8 * oracle.span());
+        let q = ServeQuery::approx(t1, t2, 4, eps);
+        let route = engine.route_for(&q);
+        cacheable_seen |= route.cacheable();
+        let got = engine.query(q).unwrap();
+        // Every returned score is within the ε·M budget of that object's
+        // live truth (answers are exactly rescored, so this mostly guards
+        // the cached/stale path).
+        let budget = eps * oracle.total_mass() + 1e-9;
+        for &(id, s) in got.entries() {
+            let truth = oracle.score(id, t1, t2).unwrap();
+            assert!((s - truth).abs() <= budget, "object {id}: {s} vs {truth}");
+        }
+    }
+    assert!(cacheable_seen, "the tolerance stream must exercise a cacheable route");
+    let report = engine.report();
+    assert!(report.cache_lookups > 0, "cacheable routes must consult the cache");
+}
+
+#[test]
+fn eps_invalidating_appends_evict_cached_answers() {
+    use chronorank_curve::PiecewiseLinear;
+    // One short object (room to append inside the query window) and one
+    // long one (pins the domain so the snapped window covers the appends).
+    let c0 = PiecewiseLinear::from_points(&[(0.0, 1.0), (10.0, 1.0)]).unwrap();
+    let c1 = PiecewiseLinear::from_points(&[(0.0, 1.0), (100.0, 1.0)]).unwrap();
+    let seed = TemporalSet::from_curves(vec![c0, c1]).unwrap();
+    // Rebuilds disabled: only the staleness audit stands between a cached
+    // entry and the appended mass.
+    let config = LiveConfig {
+        workers: 1,
+        rebuild: RebuildPolicy { mass_factor: f64::INFINITY, max_tail_segments: usize::MAX },
+        ..Default::default()
+    };
+    let mut engine = IngestEngine::new(&seed, config).unwrap();
+    let q = ServeQuery::approx(0.0, 100.0, 2, 0.3);
+    assert!(engine.route_for(&q).cacheable(), "scenario must exercise a cacheable route");
+    engine.query(q).unwrap(); // populate
+    engine.query(q).unwrap(); // hit
+    let before = engine.report();
+    assert!(before.cache_hits >= 1, "second identical query must hit: {before}");
+    assert_eq!(before.cache_invalidations, 0);
+    // Massive appends to the short object, *inside* the snapped window:
+    // mass far beyond the ε budget of any later lookup.
+    for t in 11..=60 {
+        engine.append(AppendRecord { object: 0, t: t as f64, v: 50.0 }).unwrap();
+    }
+    let top = engine.query(q).unwrap();
+    let after = engine.report();
+    assert!(
+        after.cache_invalidations >= 1,
+        "the ε-stale entry must be evicted, not served: {after}"
+    );
+    // And the recomputed answer sees the appended mass: object 0 now wins.
+    assert_eq!(top.rank(0).0, 0, "fresh answer must include the appended mass: {top:?}");
+}
+
+#[test]
+fn rejected_appends_do_not_corrupt_state() {
+    let stream = stock_stream(5, 4);
+    let seed = stream.base_set();
+    let mut engine =
+        IngestEngine::new(&seed, LiveConfig { workers: 1, ..Default::default() }).unwrap();
+    // Appending into the past must fail…
+    let bad = AppendRecord { object: 0, t: seed.t_min() - 5.0, v: 1.0 };
+    assert!(engine.append(bad).is_err());
+    // …and to an unknown object too.
+    let bad = AppendRecord { object: 10_000, t: seed.t_max() + 1.0, v: 1.0 };
+    assert!(engine.append(bad).is_err());
+    // The engine still ingests and serves.
+    let good = AppendRecord { object: 0, t: seed.object(0).unwrap().curve.end() + 1.0, v: 9.0 };
+    engine.append(good).unwrap();
+    let top = engine.query(ServeQuery::exact(seed.t_min(), seed.t_max() + 1.0, 2)).unwrap();
+    assert_eq!(top.len(), 2);
+}
+
+#[test]
+fn report_renders() {
+    let stream = stock_stream(5, 4);
+    let seed = stream.base_set();
+    let mut engine =
+        IngestEngine::new(&seed, LiveConfig { workers: 2, ..Default::default() }).unwrap();
+    engine.append_batch(stream.batches().next().unwrap()).unwrap();
+    engine.query(ServeQuery::exact(seed.t_min(), seed.t_max(), 2)).unwrap();
+    let text = engine.report().to_string();
+    assert!(text.contains("live report"), "{text}");
+    assert!(text.contains("wal:"), "{text}");
+}

@@ -115,6 +115,28 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.push_front(idx);
     }
 
+    /// Keep only the entries for which `keep` returns true, preserving
+    /// recency order. `O(len)` — the invalidation primitive a live ingest
+    /// path uses when appends make a *subset* of cached answers stale
+    /// (e.g. every snapped interval overlapping the appended region).
+    pub fn retain(&mut self, mut keep: impl FnMut(&K, &V) -> bool) {
+        // Collect victims first: unlink mutates the list we are walking.
+        let mut victims = Vec::new();
+        let mut idx = self.head;
+        while idx != NIL {
+            let node = &self.nodes[idx];
+            if !keep(&node.key, &node.value) {
+                victims.push(idx);
+            }
+            idx = node.next;
+        }
+        for idx in victims {
+            self.unlink(idx);
+            self.map.remove(&self.nodes[idx].key);
+            self.free.push(idx);
+        }
+    }
+
     /// Drop every entry (counters are kept).
     pub fn clear(&mut self) {
         self.map.clear();
@@ -209,6 +231,28 @@ mod tests {
         assert_eq!(c.hits(), 1);
         c.insert(2u8, 2); // reusable after clear
         assert_eq!(c.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn retain_drops_only_matching_entries() {
+        let mut c = LruCache::new(8);
+        for i in 0..6u32 {
+            c.insert(i, i * 10);
+        }
+        c.retain(|&k, _| k % 2 == 0);
+        assert_eq!(c.len(), 3);
+        for i in 0..6u32 {
+            assert_eq!(c.get(&i).is_some(), i % 2 == 0, "key {i}");
+        }
+        // Freed slots are reused and eviction order stays sane.
+        for i in 100..108u32 {
+            c.insert(i, i);
+        }
+        assert_eq!(c.len(), 8);
+        c.retain(|_, _| false);
+        assert!(c.is_empty());
+        c.insert(7u32, 7);
+        assert_eq!(c.get(&7), Some(&7));
     }
 
     #[test]

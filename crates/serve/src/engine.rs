@@ -308,8 +308,11 @@ impl Drop for ServeEngine {
 }
 
 /// Round-robin object partition: shard `s` holds every object with
-/// `id % w == s`, re-numbered densely, with the local → global id map.
-fn partition(set: &TemporalSet, w: usize) -> Vec<(TemporalSet, Vec<ObjectId>)> {
+/// `id % w == s`, re-numbered densely (`local = id / w`), with the
+/// local → global id map. Public because other sharded layers (the live
+/// ingest engine) must partition with *identical* arithmetic — their
+/// global↔local id translation assumes exactly this scheme.
+pub fn partition(set: &TemporalSet, w: usize) -> Vec<(TemporalSet, Vec<ObjectId>)> {
     let mut objects: Vec<Vec<TemporalObject>> = vec![Vec::new(); w];
     let mut global_ids: Vec<Vec<ObjectId>> = vec![Vec::new(); w];
     for o in set.objects() {
@@ -352,8 +355,9 @@ impl Ord for Best {
 
 /// K-way merge of per-shard ranked lists (each descending score, ties by
 /// ascending id) into the global top-`k`. Shards partition the objects, so
-/// no deduplication is needed.
-pub(crate) fn merge_ranked(lists: &[Vec<(ObjectId, f64)>], k: usize) -> TopK {
+/// no deduplication is needed. Public so other sharded layers (the live
+/// ingest engine) can gather with identical ordering semantics.
+pub fn merge_ranked(lists: &[Vec<(ObjectId, f64)>], k: usize) -> TopK {
     let mut heap = std::collections::BinaryHeap::with_capacity(lists.len());
     let mut cursors = vec![0usize; lists.len()];
     for (s, list) in lists.iter().enumerate() {

@@ -70,7 +70,22 @@ mod shard;
 
 pub use cache::LruCache;
 pub use config::ServeConfig;
-pub use engine::{ServeEngine, ServeError, StreamOutcome};
-pub use planner::{merge_profiles, MethodSet, Planner, PlannerParams, Route, RouteProfiles};
+pub use engine::{merge_ranked, partition, ServeEngine, ServeError, StreamOutcome};
+pub use planner::{
+    merge_profiles, Freshness, MethodSet, Planner, PlannerParams, Route, RouteProfiles,
+};
 pub use query::{ServeQuery, Tolerance};
 pub use report::{RouteStats, ServeReport};
+
+/// Render a `catch_unwind` payload into a readable error message. Shared
+/// by every worker-thread layer that converts panics into `Err` replies
+/// (this crate's shards, `chronorank-live`'s shards and generation hosts).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}

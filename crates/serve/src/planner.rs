@@ -21,6 +21,24 @@ use crate::query::ServeQuery;
 use chronorank_core::cost_model::{query_cost, CostParams};
 use chronorank_core::MethodProfile;
 
+/// The freshness/staleness dimension a live (append-receiving) deployment
+/// feeds into routing: the index generations the shards currently serve
+/// were built over `built_mass`, while right-edge appends have grown the
+/// live mass to `live_mass ≥ built_mass`. The planner re-validates every
+/// approximate profile against the live mass
+/// ([`chronorank_core::MethodProfile::revalidate`]) before admitting it —
+/// a frozen generation's *absolute* error bound `ε·M_built` is a smaller
+/// fraction of a grown mass, so queries keep routing to approximate
+/// indexes (and their caches) for exactly as long as the snapped ε-bound
+/// still holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Freshness {
+    /// Total mass `M` the serving generations were built over.
+    pub built_mass: f64,
+    /// Current total mass, appends included.
+    pub live_mass: f64,
+}
+
 /// The methods the engine can host, in the paper's presentation order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Route {
@@ -228,13 +246,24 @@ impl Planner {
     /// Route one query: the cheapest built method whose profile satisfies
     /// the query's tolerance (exact fallback otherwise).
     pub fn route(&self, q: &ServeQuery) -> Route {
+        self.route_with_freshness(q, None)
+    }
+
+    /// [`Planner::route`] with the live deployment's freshness dimension:
+    /// every approximate profile is restated against the live mass before
+    /// the ε-budget check (see [`Freshness`]). `None` reproduces the
+    /// static behaviour exactly.
+    pub fn route_with_freshness(&self, q: &ServeQuery, fresh: Option<Freshness>) -> Route {
         let c = self.costs(q);
         if let Some(tol) = q.tolerance {
             let mut best: Option<(Route, f64)> = None;
             for (route, cost) in
                 [(Route::Appx1, c.appx1), (Route::Appx2, c.appx2), (Route::Appx2Plus, c.appx2_plus)]
             {
-                let Some(profile) = self.profiles[route.idx()] else { continue };
+                let Some(mut profile) = self.profiles[route.idx()] else { continue };
+                if let Some(f) = fresh {
+                    profile = profile.revalidate(f.built_mass, f.live_mass);
+                }
                 let eps_ok = matches!(profile.eps, Some(e) if e <= tol.eps);
                 let k_ok = profile.max_k.is_none_or(|kmax| q.k <= kmax);
                 if !eps_ok || !k_ok || (tol.tight_ranks && !profile.tight_ranks) {
@@ -325,6 +354,25 @@ mod tests {
         pr[Route::Appx2Plus.idx()] = None;
         let none = Planner::new(params(), pr);
         assert!(none.route(&ServeQuery::approx(100.0, 400.0, 20, 0.05)).is_exact());
+    }
+
+    #[test]
+    fn freshness_revalidates_eps_budgets() {
+        let p = Planner::new(params(), profiles());
+        // Budget 0.006 is below the built ε = 0.01 → exact fallback when
+        // the data is static…
+        let q = ServeQuery::approx(100.0, 400.0, 20, 0.006);
+        assert!(p.route(&q).is_exact());
+        // …but once appends have doubled the mass, the frozen generation's
+        // absolute bound is ε_eff = 0.005 of the live mass: admissible.
+        let fresh = Freshness { built_mass: 100.0, live_mass: 200.0 };
+        assert_eq!(p.route_with_freshness(&q, Some(fresh)), Route::Appx2);
+        // No growth → identical to the static route.
+        let same = Freshness { built_mass: 100.0, live_mass: 100.0 };
+        assert!(p.route_with_freshness(&q, Some(same)).is_exact());
+        // Exact queries are unaffected by freshness.
+        let e = ServeQuery::exact(100.0, 400.0, 20);
+        assert_eq!(p.route_with_freshness(&e, Some(fresh)), p.route(&e));
     }
 
     #[test]

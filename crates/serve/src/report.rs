@@ -133,7 +133,7 @@ mod tests {
             routes,
             cache_hits: 30,
             cache_lookups: 40,
-            io: IoStats { reads: 5, writes: 0 },
+            io: IoStats { reads: 5, ..Default::default() },
             index_bytes: 1 << 20,
             build_secs: 0.5,
         };

@@ -9,6 +9,7 @@
 
 use crate::cache::LruCache;
 use crate::config::ServeConfig;
+use crate::panic_message;
 use crate::planner::{Route, RouteProfiles};
 use crate::query::ServeQuery;
 use chronorank_core::{
@@ -186,17 +187,6 @@ impl ShardState {
     /// Cumulative IO across all of this shard's indexes.
     fn io_total(&self) -> IoStats {
         self.methods.iter().flatten().map(|m| m.io_stats()).sum()
-    }
-}
-
-/// Render a `catch_unwind` payload into a readable error message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "worker panicked".to_string()
     }
 }
 

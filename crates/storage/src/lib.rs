@@ -14,7 +14,10 @@
 //!   quantity reported as "I/Os" in the paper's figures;
 //! * [`Env`] — a factory that hands out [`PagedFile`]s sharing one counter,
 //!   so a multi-structure index (e.g. EXACT2's forest of B+-trees) has a
-//!   single IO budget.
+//!   single IO budget;
+//! * [`WriteAheadLog`] — a block-device-backed durability log for the
+//!   ingest path (CRC'd records, crash replay, truncation on checkpoint),
+//!   counted separately as `wal_writes`/`wal_bytes`.
 //!
 //! All structures are single-threaded by design (queries in the paper are
 //! sequential); the pool uses interior mutability so that read paths take
@@ -46,12 +49,14 @@ mod error;
 pub mod page;
 mod pool;
 mod stats;
+mod wal;
 
 pub use device::{BlockDevice, FileDevice, MemDevice};
 pub use env::{Env, EnvBacking};
 pub use error::{Result, StorageError};
 pub use pool::{PagedFile, StoreConfig};
 pub use stats::{IoCounter, IoStats};
+pub use wal::{WriteAheadLog, MAX_RECORD_LEN};
 
 /// Identifier of a block within one [`BlockDevice`] / [`PagedFile`].
 pub type PageId = u64;

@@ -11,18 +11,27 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 /// A snapshot of IO activity.
+///
+/// Index traffic (`reads`/`writes`, moved by buffer pools) and write-ahead
+///-log traffic (`wal_writes`/`wal_bytes`, appended by
+/// [`crate::WriteAheadLog`]) are counted separately so a bench can
+/// attribute cost to the query path vs the ingest path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IoStats {
     /// Blocks fetched from the device into a pool (cache misses).
     pub reads: u64,
     /// Blocks written back from a pool to the device (evictions + flushes).
     pub writes: u64,
+    /// Blocks flushed by a write-ahead log (ingest-path durability).
+    pub wal_writes: u64,
+    /// Payload bytes appended to a write-ahead log (before block rounding).
+    pub wal_bytes: u64,
 }
 
 impl IoStats {
-    /// Total block transfers in either direction.
+    /// Total block transfers in either direction, WAL included.
     pub fn total(&self) -> u64 {
-        self.reads + self.writes
+        self.reads + self.writes + self.wal_writes
     }
 
     /// Component-wise difference, saturating at zero: `self - earlier`.
@@ -30,6 +39,8 @@ impl IoStats {
         IoStats {
             reads: self.reads.saturating_sub(earlier.reads),
             writes: self.writes.saturating_sub(earlier.writes),
+            wal_writes: self.wal_writes.saturating_sub(earlier.wal_writes),
+            wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
         }
     }
 }
@@ -37,7 +48,12 @@ impl IoStats {
 impl std::ops::Add for IoStats {
     type Output = IoStats;
     fn add(self, rhs: IoStats) -> IoStats {
-        IoStats { reads: self.reads + rhs.reads, writes: self.writes + rhs.writes }
+        IoStats {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+            wal_writes: self.wal_writes + rhs.wal_writes,
+            wal_bytes: self.wal_bytes + rhs.wal_bytes,
+        }
     }
 }
 
@@ -45,6 +61,8 @@ impl std::ops::AddAssign for IoStats {
     fn add_assign(&mut self, rhs: IoStats) {
         self.reads += rhs.reads;
         self.writes += rhs.writes;
+        self.wal_writes += rhs.wal_writes;
+        self.wal_bytes += rhs.wal_bytes;
     }
 }
 
@@ -86,6 +104,14 @@ impl IoCounter {
         self.inner.set(s);
     }
 
+    /// Record one WAL block flush carrying `bytes` of fresh payload.
+    pub fn add_wal_write(&self, bytes: u64) {
+        let mut s = self.inner.get();
+        s.wal_writes += 1;
+        s.wal_bytes += bytes;
+        self.inner.set(s);
+    }
+
     /// Current totals.
     pub fn snapshot(&self) -> IoStats {
         self.inner.get()
@@ -101,21 +127,25 @@ impl IoCounter {
 mod tests {
     use super::*;
 
+    fn io(reads: u64, writes: u64) -> IoStats {
+        IoStats { reads, writes, ..Default::default() }
+    }
+
     #[test]
     fn counters_are_shared_between_clones() {
         let a = IoCounter::new();
         let b = a.clone();
         a.add_reads(3);
         b.add_writes(2);
-        assert_eq!(a.snapshot(), IoStats { reads: 3, writes: 2 });
+        assert_eq!(a.snapshot(), io(3, 2));
         assert_eq!(b.snapshot().total(), 5);
     }
 
     #[test]
     fn since_subtracts_and_saturates() {
-        let early = IoStats { reads: 5, writes: 1 };
-        let late = IoStats { reads: 9, writes: 4 };
-        assert_eq!(late.since(early), IoStats { reads: 4, writes: 3 });
+        let early = io(5, 1);
+        let late = io(9, 4);
+        assert_eq!(late.since(early), io(4, 3));
         assert_eq!(early.since(late), IoStats::default());
     }
 
@@ -123,29 +153,47 @@ mod tests {
     fn reset_zeroes() {
         let c = IoCounter::new();
         c.add_reads(10);
+        c.add_wal_write(100);
         c.reset();
         assert_eq!(c.snapshot(), IoStats::default());
     }
 
     #[test]
     fn add_combines() {
-        let a = IoStats { reads: 1, writes: 2 };
-        let b = IoStats { reads: 3, writes: 4 };
-        assert_eq!(a + b, IoStats { reads: 4, writes: 6 });
+        let a = io(1, 2);
+        let b = io(3, 4);
+        assert_eq!(a + b, io(4, 6));
         let mut c = a;
         c += b;
-        assert_eq!(c, IoStats { reads: 4, writes: 6 });
+        assert_eq!(c, io(4, 6));
     }
 
     #[test]
     fn sum_aggregates_shard_snapshots() {
         // The serve layer sums one snapshot per shard into a report total.
-        let shards =
-            [IoStats { reads: 5, writes: 1 }, IoStats::default(), IoStats { reads: 2, writes: 7 }];
+        let shards = [io(5, 1), IoStats::default(), io(2, 7)];
         let by_value: IoStats = shards.iter().copied().sum();
         let by_ref: IoStats = shards.iter().sum();
-        assert_eq!(by_value, IoStats { reads: 7, writes: 8 });
+        assert_eq!(by_value, io(7, 8));
         assert_eq!(by_ref, by_value);
         assert_eq!(std::iter::empty::<IoStats>().sum::<IoStats>(), IoStats::default());
+    }
+
+    #[test]
+    fn wal_traffic_is_counted_separately_from_index_traffic() {
+        let c = IoCounter::new();
+        c.add_reads(2);
+        c.add_wal_write(48);
+        c.add_wal_write(16);
+        let s = c.snapshot();
+        assert_eq!((s.reads, s.writes), (2, 0), "WAL flushes must not pollute index writes");
+        assert_eq!((s.wal_writes, s.wal_bytes), (2, 64));
+        assert_eq!(s.total(), 4);
+        // The new fields ride through the arithmetic helpers.
+        let twice = s + s;
+        assert_eq!((twice.wal_writes, twice.wal_bytes), (4, 128));
+        assert_eq!(twice.since(s), s);
+        let summed: IoStats = [s, s, IoStats::default()].iter().sum();
+        assert_eq!(summed, twice);
     }
 }

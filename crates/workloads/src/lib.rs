@@ -21,7 +21,14 @@
 //!
 //! [`QueryWorkload`] generates the paper's query mix: random intervals of
 //! a given length fraction (default 20 % of `T`) with random `k`.
+//!
+//! [`AppendStream`] replays any generator as a §4 right-edge append trace
+//! (base prefix + time-ordered [`chronorank_core::AppendRecord`]s, with
+//! configurable batch size and arrival skew), and
+//! [`AppendStream::hotspot`] interleaves a query workload between batches
+//! — the live ingest traffic shape.
 
+mod append;
 pub mod csvio;
 mod meme;
 mod query;
@@ -30,6 +37,7 @@ mod stock;
 mod temp;
 mod util;
 
+pub use append::{AppendStream, AppendStreamConfig, LiveOp};
 pub use csvio::{read_csv, read_csv_file, write_csv, write_csv_file, CsvDataset, CsvError};
 pub use meme::{MemeConfig, MemeGenerator};
 pub use query::{IntervalPattern, QueryInterval, QueryWorkload, QueryWorkloadConfig};

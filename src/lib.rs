@@ -16,7 +16,10 @@
 //! * [`workloads`] — synthetic MesoWest-Temp / Memetracker-Meme style data
 //!   generators and query workloads,
 //! * [`serve`] — the sharded, cost-routed query-serving engine with
-//!   shard-local result caching.
+//!   shard-local result caching,
+//! * [`live`] — the WAL-backed streaming ingest engine: durable right-edge
+//!   appends, mutable shard tails merged into every answer, and §4
+//!   amortized rebuilds published as non-blocking epoch swaps.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,7 @@
 pub use chronorank_core as core;
 pub use chronorank_curve as curve;
 pub use chronorank_index as index;
+pub use chronorank_live as live;
 pub use chronorank_serve as serve;
 pub use chronorank_storage as storage;
 pub use chronorank_workloads as workloads;

@@ -26,6 +26,21 @@ fn all_examples_build() {
 }
 
 #[test]
+fn live_ticker_runs_to_completion() {
+    let out = cargo().args(["run", "--example", "live_ticker"]).output().expect("spawn cargo");
+    assert!(
+        out.status.success(),
+        "live_ticker exited nonzero:\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["ticks/s", "top-10 tickers", "live report"] {
+        assert!(stdout.contains(needle), "live_ticker output missing {needle:?}:\n{stdout}");
+    }
+}
+
+#[test]
 fn quickstart_runs_to_completion() {
     let out = cargo().args(["run", "--example", "quickstart"]).output().expect("spawn cargo");
     assert!(
