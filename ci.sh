@@ -2,44 +2,107 @@
 # CI gate for the chronorank workspace. Usage: ./ci.sh
 #
 # Stages:
-#   1. cargo fmt --check          (style per rustfmt.toml)
-#   2. cargo clippy -D warnings   (whole workspace, all targets)
-#   3. tier-1 gate                (cargo build --release && cargo test -q)
-#   4. serve scenario smoke       (paper-bench serve --quick; the committed
-#                                  BENCH_SERVE.json is the full-scale run,
-#                                  so the smoke writes under target/)
-#   5. live scenario smoke        (paper-bench live --quick; same deal for
-#                                  the committed BENCH_LIVE.json)
+#   fmt               cargo fmt --check               (style per rustfmt.toml)
+#   clippy            cargo clippy -D warnings        (whole workspace, all targets)
+#   doc               cargo doc --no-deps             (RUSTDOCFLAGS="-D warnings")
+#   tier1             cargo build --release && cargo test -q
+#   serve-smoke       paper-bench serve --quick       (JSON under target/)
+#   live-smoke        paper-bench live --quick        (JSON under target/)
+#   net-smoke         paper-bench net --quick         (JSON under target/)
+#   bench-regression  paper-bench check-regression    (smoke JSONs vs the
+#                     committed BENCH_SERVE/LIVE/NET.json: same key shape,
+#                     sane rates, no >10x throughput collapse)
 #
-# The property suites honour PROPTEST_CASES; the fixed default below keeps
-# the whole script comfortably under the ~2 minute tier-1 budget while still
-# running every property at a meaningful case count. Raise it locally
-# (e.g. PROPTEST_CASES=1000 ./ci.sh) for a deeper soak.
-set -euo pipefail
+# Every smoke artifact goes under target/ so the committed full-scale
+# BENCH_*.json and results/ CSVs are never clobbered by quick numbers.
+#
+# A per-stage wall-clock summary is printed at the end; on failure the
+# offending stage is named. The property suites honour PROPTEST_CASES;
+# the fixed default below keeps the whole script comfortably inside the
+# CI budget while still running every property at a meaningful case
+# count. Raise it locally (e.g. PROPTEST_CASES=1000 ./ci.sh) for a
+# deeper soak.
+# -E (errtrace): the ERR trap below must fire inside stage functions too.
+set -Eeuo pipefail
 cd "$(dirname "$0")"
 
 export PROPTEST_CASES="${PROPTEST_CASES:-64}"
 
-echo "== [1/5] cargo fmt --check"
-cargo fmt --check
+STAGE_NAMES=()
+STAGE_SECS=()
+CURRENT_STAGE="(startup)"
+CI_T0=$SECONDS
 
-echo "== [2/5] cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+print_timings() {
+    echo
+    echo "== stage timings"
+    local i
+    for i in "${!STAGE_NAMES[@]}"; do
+        printf '  %-18s %4ds\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
+    done
+    printf '  %-18s %4ds\n' "total" "$((SECONDS - CI_T0))"
+}
 
-echo "== [3/5] tier-1: cargo build --release && cargo test -q (PROPTEST_CASES=$PROPTEST_CASES)"
-cargo build --release
-cargo test -q --workspace
+on_failure() {
+    echo
+    echo "CI FAILED in stage: $CURRENT_STAGE" >&2
+    print_timings
+}
+trap on_failure ERR
 
-echo "== [4/5] serve scenario smoke (paper-bench serve --quick)"
-# Smoke artifacts go under target/ so the committed full-scale
-# BENCH_SERVE.json and results/ CSVs are never clobbered by quick numbers.
-CHRONORANK_SERVE_JSON=target/BENCH_SERVE_ci.json \
-  cargo run --release -q -p chronorank-bench --bin paper_bench -- serve --quick \
-  --out target/paper-bench-smoke
+stage() {
+    CURRENT_STAGE="$1"
+    shift
+    echo "== [$CURRENT_STAGE] $*"
+    local t0=$SECONDS
+    "$@"
+    STAGE_NAMES+=("$CURRENT_STAGE")
+    STAGE_SECS+=("$((SECONDS - t0))")
+}
 
-echo "== [5/5] live scenario smoke (paper-bench live --quick)"
-CHRONORANK_LIVE_JSON=target/BENCH_LIVE_ci.json \
-  cargo run --release -q -p chronorank-bench --bin paper_bench -- live --quick \
-  --out target/paper-bench-smoke
+doc_stage() {
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+}
 
+tier1_stage() {
+    cargo build --release
+    cargo test -q --workspace
+}
+
+serve_smoke() {
+    CHRONORANK_SERVE_JSON=target/BENCH_SERVE_ci.json \
+        cargo run --release -q -p chronorank-bench --bin paper_bench -- serve --quick \
+        --out target/paper-bench-smoke
+}
+
+live_smoke() {
+    CHRONORANK_LIVE_JSON=target/BENCH_LIVE_ci.json \
+        cargo run --release -q -p chronorank-bench --bin paper_bench -- live --quick \
+        --out target/paper-bench-smoke
+}
+
+net_smoke() {
+    CHRONORANK_NET_JSON=target/BENCH_NET_ci.json \
+        cargo run --release -q -p chronorank-bench --bin paper_bench -- net --quick \
+        --out target/paper-bench-smoke
+}
+
+bench_regression() {
+    cargo run --release -q -p chronorank-bench --bin paper_bench -- check-regression \
+        --pair BENCH_SERVE.json=target/BENCH_SERVE_ci.json \
+        --pair BENCH_LIVE.json=target/BENCH_LIVE_ci.json \
+        --pair BENCH_NET.json=target/BENCH_NET_ci.json \
+        --tolerance 10
+}
+
+stage fmt              cargo fmt --check
+stage clippy           cargo clippy --workspace --all-targets -- -D warnings
+stage doc              doc_stage
+stage tier1            tier1_stage
+stage serve-smoke      serve_smoke
+stage live-smoke       live_smoke
+stage net-smoke        net_smoke
+stage bench-regression bench_regression
+
+print_timings
 echo "CI OK"

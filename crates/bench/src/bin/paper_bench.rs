@@ -5,7 +5,9 @@
 //! paper-bench <figure> [options]
 //!
 //! figures: fig3 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20
-//!          ablation serve live all
+//!          ablation serve live net all
+//! check-regression --pair BASELINE.json=CURRENT.json [--pair ...]
+//!                  [--tolerance N]        compare bench JSON shapes/rates
 //! options:
 //!   --m N         base object count            (default 800)
 //!   --navg N      base segments per object     (default 250)
@@ -70,12 +72,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: paper-bench <fig3|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|ablation|serve|live|all> \
-             [--m N] [--navg N] [--r N] [--kmax N] [--k N] [--queries N] [--meme-m N] [--out DIR] [--quick]"
+            "usage: paper-bench <fig3|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|ablation|serve|live|net|all> \
+             [--m N] [--navg N] [--r N] [--kmax N] [--k N] [--queries N] [--meme-m N] [--out DIR] [--quick]\n\
+             \x20      paper-bench check-regression --pair BASELINE.json=CURRENT.json [--pair ...] [--tolerance N]"
         );
         std::process::exit(2);
     }
     let fig = args[0].clone();
+    if fig == "check-regression" {
+        check_regression_cli(&args[1..]);
+        return;
+    }
     let mut opts = Opts::default();
     let mut i = 1;
     while i < args.len() {
@@ -136,6 +143,7 @@ fn main() {
         "ablation" => ablation(&opts),
         "serve" => serve(&opts),
         "live" => live(&opts),
+        "net" => net(&opts),
         "all" => {
             fig3(&opts);
             fig11(&opts);
@@ -149,6 +157,7 @@ fn main() {
             ablation(&opts);
             serve(&opts);
             live(&opts);
+            net(&opts);
         }
         other => {
             eprintln!("unknown figure {other}");
@@ -1087,6 +1096,371 @@ fn live(opts: &Opts) {
     let mut f = std::fs::File::create(&json_path).expect("create BENCH_LIVE.json");
     f.write_all(json.as_bytes()).expect("write BENCH_LIVE.json");
     println!("wrote {json_path}");
+}
+
+// ---------------------------------------------------------------------------
+// Net: wire-protocol serving over a real socket (BENCH_NET.json)
+// ---------------------------------------------------------------------------
+
+/// Benchmark `chronorank-net` against a real TCP socket on loopback.
+///
+/// **Read path** — a serve-backend server (4 shards); `C` concurrent
+/// closed-loop clients (each its own connection and OS thread) sweep a
+/// shared-hotspot Zipf stream at pipeline depths `D`. Reported per
+/// `(C, D)`: aggregate throughput and client-observed latency
+/// percentiles. Depth is the lever the frame protocol exists for: at
+/// `D = 1` every query pays a full socket round trip, at `D = 16` the
+/// connection stays busy and the protocol overhead amortizes.
+///
+/// **Write path** — a live-backend server; `A` appender connections
+/// stream a stock-ticker append trace (records partitioned by object so
+/// each object's timeline stays on one connection) while one query
+/// client runs hotspot queries concurrently. Reported: durable wire
+/// ingest rate, concurrent query throughput, and the final
+/// `appends_applied` freshness check.
+///
+/// Writes `BENCH_NET.json` (cwd, or `$CHRONORANK_NET_JSON`) plus CSVs
+/// under `--out`.
+fn net(opts: &Opts) {
+    use chronorank_bench::Table;
+    use chronorank_net::{NetClient, NetConfig, NetServer};
+    use chronorank_serve::{ServeConfig, ServeQuery};
+    use chronorank_workloads::{
+        AppendStream, AppendStreamConfig, ClosedLoopTraffic, IntervalPattern, QueryWorkloadConfig,
+        StockConfig, StockGenerator, TrafficConfig,
+    };
+    use std::io::Write as _;
+
+    const EPS_BUDGET: f64 = 0.2;
+    const PATTERN: IntervalPattern =
+        IntervalPattern::Zipf { hotspots: 8, exponent: 1.0, background: 0.1 };
+    let (m, navg, per_client, clients_sweep, depth_sweep, tickers, days, append_batch): (
+        usize,
+        usize,
+        usize,
+        &[usize],
+        &[usize],
+        usize,
+        usize,
+        usize,
+    ) = if opts.quick {
+        (400, 30, 80, &[1, 2, 4], &[1, 8], 120, 10, 32)
+    } else {
+        (1200, 50, 250, &[1, 2, 4, 8], &[1, 4, 16], 400, 20, 64)
+    };
+    let k = opts.k.min(opts.kmax).max(1);
+    let set = temp_dataset(m, navg, 42);
+    println!(
+        "# net scenario: m = {m}, N = {} segments, loopback TCP, server W = 4, \
+         {per_client} queries/client",
+        set.num_segments()
+    );
+
+    // --- read path -------------------------------------------------------
+    let server = NetServer::start_serve(
+        set.clone(),
+        ServeConfig { workers: 4, ..Default::default() },
+        NetConfig { max_in_flight: 1024, max_connections: 64, ..Default::default() },
+    )
+    .expect("start serve-backend server");
+    let addr = server.local_addr();
+
+    let mut table = Table::new(
+        "Net — closed-loop clients vs pipeline depth (loopback TCP, serve backend)",
+        &["clients", "depth", "q/s", "p50 µs", "p95 µs", "p99 µs", "busy retries"],
+    );
+    let mut read_rows = Vec::new();
+    for &clients in clients_sweep {
+        let plan = ClosedLoopTraffic::new(
+            TrafficConfig {
+                clients,
+                queries_per_client: per_client,
+                workload: QueryWorkloadConfig {
+                    span_fraction: 0.2,
+                    k,
+                    seed: 7,
+                    pattern: PATTERN,
+                    ..Default::default()
+                },
+            },
+            set.t_min(),
+            set.t_max(),
+        );
+        // Mixed exact / ε-budget traffic, the serve scenario's shape.
+        let streams: Vec<Vec<ServeQuery>> = plan
+            .streams()
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .enumerate()
+                    .map(|(i, q)| {
+                        if i % 2 == 0 {
+                            ServeQuery::exact(q.t1, q.t2, q.k)
+                        } else {
+                            ServeQuery::approx(q.t1, q.t2, q.k, EPS_BUDGET)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        for &depth in depth_sweep {
+            let t0 = Instant::now();
+            let outcomes: Vec<(Vec<std::time::Duration>, u64)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = streams
+                    .iter()
+                    .map(|stream| {
+                        scope.spawn(move || {
+                            let mut client =
+                                NetClient::connect(addr).expect("bench client connects");
+                            let outcome =
+                                client.pipeline_topk(stream, depth).expect("pipelined stream");
+                            (outcome.latencies, outcome.busy_retries)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+            });
+            let elapsed = t0.elapsed().as_secs_f64();
+            let total_queries = clients * per_client;
+            let qps = total_queries as f64 / elapsed;
+            let mut lat_us: Vec<u64> = outcomes
+                .iter()
+                .flat_map(|(lat, _)| lat.iter().map(|d| d.as_micros() as u64))
+                .collect();
+            lat_us.sort_unstable();
+            let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
+            let busy: u64 = outcomes.iter().map(|(_, b)| b).sum();
+            table.row(vec![
+                clients.to_string(),
+                depth.to_string(),
+                format!("{qps:.0}"),
+                pct(0.50).to_string(),
+                pct(0.95).to_string(),
+                pct(0.99).to_string(),
+                busy.to_string(),
+            ]);
+            read_rows.push(format!(
+                "    {{\"clients\": {clients}, \"depth\": {depth}, \"qps\": {qps:.1}, \
+                 \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"busy_retries\": {busy}}}",
+                pct(0.50),
+                pct(0.95),
+                pct(0.99),
+            ));
+        }
+    }
+    table.print();
+    table.write_csv(&opts.out, "net_read_path").expect("csv");
+    server.shutdown();
+
+    // --- write path ------------------------------------------------------
+    let generator =
+        StockGenerator::new(StockConfig { objects: tickers, days, readings_per_day: 8, seed: 42 });
+    let stream = AppendStream::from_generator(
+        &generator,
+        AppendStreamConfig { base_fraction: 0.5, batch: append_batch, skew: 0.0, seed: 7 },
+    );
+    let seed_set = stream.base_set();
+    let records = stream.records();
+    let mut table = Table::new(
+        "Net — durable wire ingest with concurrent queries (live backend)",
+        &["appenders", "ticks/s", "concurrent q/s", "appends", "queries"],
+    );
+    // Mirrored into the emitted JSON's write_dataset.live_workers so the
+    // committed artifact documents the experiment it actually ran.
+    const LIVE_WORKERS: usize = 2;
+    let mut write_rows = Vec::new();
+    for &appenders in if opts.quick { &[1usize, 2][..] } else { &[1usize, 2, 4][..] } {
+        let server = NetServer::start_live(
+            seed_set.clone(),
+            chronorank_live::LiveConfig { workers: LIVE_WORKERS, ..Default::default() },
+            NetConfig { max_in_flight: 1024, ..Default::default() },
+        )
+        .expect("start live-backend server");
+        let addr = server.local_addr();
+        // Partition the trace by object so each object's timeline stays
+        // on one connection (appends must be per-object monotone).
+        let partitions: Vec<Vec<chronorank_core::AppendRecord>> = (0..appenders)
+            .map(|a| {
+                records.iter().filter(|r| r.object as usize % appenders == a).copied().collect()
+            })
+            .collect();
+        let full = stream.full_set();
+        let hot = ClosedLoopTraffic::new(
+            TrafficConfig {
+                clients: 1,
+                queries_per_client: 4096,
+                workload: QueryWorkloadConfig {
+                    span_fraction: 0.15,
+                    k,
+                    seed: 9,
+                    pattern: PATTERN,
+                    ..Default::default()
+                },
+            },
+            full.t_min(),
+            full.t_max(),
+        );
+        let queries: Vec<ServeQuery> =
+            hot.streams()[0].iter().map(|q| ServeQuery::exact(q.t1, q.t2, q.k)).collect();
+        let done = std::sync::atomic::AtomicBool::new(false);
+        let t0 = Instant::now();
+        let (applied, wire_queries, ingest_secs) = std::thread::scope(|scope| {
+            let done = &done;
+            let append_handles: Vec<_> = partitions
+                .iter()
+                .map(|part| {
+                    scope.spawn(move || {
+                        let mut client = NetClient::connect(addr).expect("appender connects");
+                        let mut applied = 0u64;
+                        for batch in part.chunks(append_batch) {
+                            applied += client.append_batch(batch).expect("wire append").accepted;
+                        }
+                        applied
+                    })
+                })
+                .collect();
+            let query_handle = scope.spawn(move || {
+                let mut client = NetClient::connect(addr).expect("query client connects");
+                let mut served = 0u64;
+                for q in queries.iter().cycle() {
+                    if done.load(std::sync::atomic::Ordering::Relaxed) {
+                        break;
+                    }
+                    client.topk(*q).expect("concurrent query");
+                    served += 1;
+                }
+                served
+            });
+            let applied: u64 =
+                append_handles.into_iter().map(|h| h.join().expect("appender")).sum();
+            let ingest_secs = t0.elapsed().as_secs_f64();
+            done.store(true, std::sync::atomic::Ordering::Relaxed);
+            (applied, query_handle.join().expect("query client"), ingest_secs)
+        });
+        assert_eq!(applied as usize, records.len(), "every record durably applied");
+        let ticks_per_sec = applied as f64 / ingest_secs;
+        let qps = wire_queries as f64 / ingest_secs;
+        table.row(vec![
+            appenders.to_string(),
+            format!("{ticks_per_sec:.0}"),
+            format!("{qps:.0}"),
+            applied.to_string(),
+            wire_queries.to_string(),
+        ]);
+        write_rows.push(format!(
+            "    {{\"appenders\": {appenders}, \"ingest_ticks_per_sec\": {ticks_per_sec:.1}, \
+             \"concurrent_query_qps\": {qps:.1}, \"appends\": {applied}, \
+             \"queries\": {wire_queries}}}"
+        ));
+        server.shutdown();
+    }
+    table.print();
+    table.write_csv(&opts.out, "net_write_path").expect("csv");
+
+    let json_path =
+        std::env::var("CHRONORANK_NET_JSON").unwrap_or_else(|_| "BENCH_NET.json".to_string());
+    let json = format!(
+        "{{\n  \"harness\": \"chronorank-net-bench\",\n  \"quick\": {},\n  \"scenario\": {{\n    \
+         \"dataset\": \"temp\", \"m\": {m}, \"n_segments\": {}, \"k\": {k},\n    \
+         \"server_workers\": 4, \"per_client_queries\": {per_client},\n    \
+         \"zipf\": {{\"hotspots\": 8, \"exponent\": 1.0, \"background\": 0.1}},\n    \
+         \"eps_budget\": {EPS_BUDGET},\n    \
+         \"write_dataset\": {{\"tickers\": {tickers}, \"days\": {days}, \
+         \"appended_ticks\": {}, \"batch\": {append_batch}, \"live_workers\": {LIVE_WORKERS}}}\n  }},\n  \
+         \"note\": \"All traffic crosses a real loopback TCP socket through the framed wire \
+         protocol; answers are bit-identical to in-process engines (tests/net_agreement.rs). \
+         Read path: closed-loop clients, shared Zipf hotspots, mixed exact/eps traffic; depth \
+         is the request-pipelining window per connection — depth 1 measures per-query round \
+         trips, deeper windows amortize protocol overhead. Write path: durable APPEND_BATCH \
+         ingest (one WAL group-commit per batch) with concurrent exact queries on a second \
+         connection.\",\n  \
+         \"read_path\": [\n{}\n  ],\n  \"write_path\": [\n{}\n  ]\n}}\n",
+        opts.quick,
+        set.num_segments(),
+        records.len(),
+        read_rows.join(",\n"),
+        write_rows.join(",\n"),
+    );
+    let mut f = std::fs::File::create(&json_path).expect("create BENCH_NET.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_NET.json");
+    println!("wrote {json_path}");
+}
+
+// ---------------------------------------------------------------------------
+// check-regression: the CI bench gate
+// ---------------------------------------------------------------------------
+
+/// `paper-bench check-regression --pair BASELINE.json=CURRENT.json …`
+///
+/// Compares each smoke-run JSON against its committed baseline with
+/// [`chronorank_bench::json::check_regression`] (same key shape, sane
+/// numbers, throughput within a generous tolerance) and exits nonzero
+/// naming every violation — the CI stage that keeps the committed
+/// BENCH_*.json numbers honest.
+fn check_regression_cli(args: &[String]) {
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    let mut tolerance = 10.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--pair" => {
+                i += 1;
+                let Some((base, cur)) = args.get(i).and_then(|v| v.split_once('=')) else {
+                    eprintln!("--pair wants BASELINE.json=CURRENT.json");
+                    std::process::exit(2);
+                };
+                pairs.push((base.to_string(), cur.to_string()));
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(t) if t >= 1.0 => t,
+                    _ => {
+                        eprintln!("--tolerance wants a factor >= 1");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown check-regression option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if pairs.is_empty() {
+        eprintln!("check-regression needs at least one --pair BASELINE.json=CURRENT.json");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for (base_path, cur_path) in &pairs {
+        let load = |path: &str| -> chronorank_bench::json::Json {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("check-regression: cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            chronorank_bench::json::parse(&text).unwrap_or_else(|e| {
+                eprintln!("check-regression: {path} is not valid JSON: {e}");
+                std::process::exit(2);
+            })
+        };
+        let problems =
+            chronorank_bench::json::check_regression(&load(base_path), &load(cur_path), tolerance);
+        if problems.is_empty() {
+            println!(
+                "check-regression OK: {cur_path} matches {base_path} (tolerance {tolerance}x)"
+            );
+        } else {
+            failed = true;
+            eprintln!("check-regression FAILED: {cur_path} vs {base_path}:");
+            for p in &problems {
+                eprintln!("  - {p}");
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }
 
 fn prepend<'a>(first: &'a str, rest: &[&'a str]) -> Vec<&'a str> {

@@ -1,0 +1,387 @@
+//! A minimal JSON reader plus the bench-regression comparator.
+//!
+//! The workspace is dependency-free by policy (no serde), and the bench
+//! JSONs it emits are small and simple — so this module carries its own
+//! ~150-line recursive-descent parser, a path flattener, and the
+//! comparison rules the `paper_bench check-regression` CI gate applies:
+//!
+//! 1. **structure** — a smoke-run JSON must have exactly the committed
+//!    baseline's key shape (arrays are compared by *element shape*, not
+//!    length: quick runs sweep fewer points by design);
+//! 2. **sanity** — every number finite; every `*hit_rate*` in `[0, 1]`;
+//! 3. **ratio** — for throughput-like keys (`*qps*`, `*_per_sec`), the
+//!    smoke run's best value must be within a generous factor (default
+//!    10×) of the committed best — quick-scale runs are smaller, not
+//!    order-of-magnitude slower, so a >10× collapse means a real
+//!    regression (or a broken bench).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (held as `f64`; bench values are all doubles).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, at: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.at != bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.at));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.at < self.bytes.len() && self.bytes[self.at].is_ascii_whitespace() {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.at))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!("unexpected byte '{}' at {}", other as char, self.at)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.at))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.at])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or("unterminated string")? {
+                b'"' => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.at += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at..self.at + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            self.at += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.at..])
+                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.at)),
+            }
+        }
+    }
+}
+
+/// One flattened leaf: collapsed path (array indexes become `[]`) plus
+/// the numeric value, if the leaf is a number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Leaf {
+    /// e.g. `results[].swap_pause_histogram_us.max_us`
+    pub path: String,
+    /// `Some` for numbers, `None` for strings/bools/nulls.
+    pub num: Option<f64>,
+}
+
+/// Flatten to leaves with collapsed array indexes (see module docs).
+pub fn flatten(value: &Json) -> Vec<Leaf> {
+    let mut out = Vec::new();
+    walk(value, String::new(), &mut out);
+    out
+}
+
+fn walk(value: &Json, path: String, out: &mut Vec<Leaf>) {
+    match value {
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                let sub = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                walk(v, sub, out);
+            }
+        }
+        Json::Arr(items) => {
+            for v in items {
+                walk(v, format!("{path}[]"), out);
+            }
+        }
+        Json::Num(n) => out.push(Leaf { path, num: Some(*n) }),
+        _ => out.push(Leaf { path, num: None }),
+    }
+}
+
+/// Compare a smoke-run bench JSON against its committed baseline. Returns
+/// the list of violations (empty = gate passes). `tolerance` is the
+/// allowed throughput collapse factor (the gate's "generous 10×").
+pub fn check_regression(baseline: &Json, current: &Json, tolerance: f64) -> Vec<String> {
+    let mut problems = Vec::new();
+    let base = flatten(baseline);
+    let cur = flatten(current);
+
+    // 1. Structure: identical collapsed key sets.
+    let base_keys: BTreeSet<&str> = base.iter().map(|l| l.path.as_str()).collect();
+    let cur_keys: BTreeSet<&str> = cur.iter().map(|l| l.path.as_str()).collect();
+    for missing in base_keys.difference(&cur_keys) {
+        problems.push(format!("missing key: {missing}"));
+    }
+    for extra in cur_keys.difference(&base_keys) {
+        problems.push(format!("unexpected key: {extra}"));
+    }
+
+    // 2. Sanity over the smoke run's numbers.
+    for leaf in &cur {
+        let Some(n) = leaf.num else { continue };
+        if !n.is_finite() {
+            problems.push(format!("non-finite value at {}: {n}", leaf.path));
+        }
+        if leaf.path.contains("hit_rate") && !(0.0..=1.0).contains(&n) {
+            problems.push(format!("{} out of [0,1]: {n}", leaf.path));
+        }
+    }
+
+    // 3. Throughput ratio: best smoke value within `tolerance`× of the
+    //    best committed value, per rate-like key.
+    for key in base_keys.intersection(&cur_keys) {
+        if !is_rate_key(key) {
+            continue;
+        }
+        let best = |leaves: &[Leaf]| {
+            leaves
+                .iter()
+                .filter(|l| l.path == *key)
+                .filter_map(|l| l.num)
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        let (b, c) = (best(&base), best(&cur));
+        if b.is_finite() && c.is_finite() && b > 0.0 && c < b / tolerance {
+            let mut msg = String::new();
+            write!(
+                msg,
+                "{key}: smoke best {c:.1} is over {tolerance:.0}x below committed best {b:.1}"
+            )
+            .expect("write to string");
+            problems.push(msg);
+        }
+    }
+    problems
+}
+
+/// True for keys the ratio gate applies to: throughputs.
+fn is_rate_key(path: &str) -> bool {
+    let tail = path.rsplit(['.', ']']).next().unwrap_or(path);
+    tail.ends_with("qps") || tail.ends_with("_per_sec") || tail == "speedup_w4_over_w1_io_bound"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "harness": "x", "quick": false,
+        "scenario": {"m": 600, "note": "a \"quoted\" note"},
+        "results": [
+            {"workers": 1, "io_bound_qps": 100.5, "cache_hit_rate": 0.9},
+            {"workers": 4, "io_bound_qps": 900.0, "cache_hit_rate": 0.91}
+        ]
+    }"#;
+
+    #[test]
+    fn parses_and_flattens_with_collapsed_arrays() {
+        let v = parse(SAMPLE).unwrap();
+        let leaves = flatten(&v);
+        let paths: Vec<&str> = leaves.iter().map(|l| l.path.as_str()).collect();
+        assert!(paths.contains(&"scenario.m"));
+        // Both rows collapse onto one path.
+        assert_eq!(paths.iter().filter(|p| **p == "results[].io_bound_qps").count(), 2);
+        let m = leaves.iter().find(|l| l.path == "scenario.m").unwrap();
+        assert_eq!(m.num, Some(600.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let v = parse(SAMPLE).unwrap();
+        assert!(check_regression(&v, &v, 10.0).is_empty());
+    }
+
+    #[test]
+    fn fewer_sweep_points_still_pass_but_shape_changes_fail() {
+        let base = parse(SAMPLE).unwrap();
+        // A quick run with only one row: same element shape, fine.
+        let quick = parse(
+            r#"{"harness": "x", "quick": true,
+                "scenario": {"m": 150, "note": "n"},
+                "results": [{"workers": 1, "io_bound_qps": 95.0, "cache_hit_rate": 0.88}]}"#,
+        )
+        .unwrap();
+        assert!(check_regression(&base, &quick, 10.0).is_empty());
+        // Dropping a field from the row is a structural failure.
+        let broken = parse(
+            r#"{"harness": "x", "quick": true,
+                "scenario": {"m": 150, "note": "n"},
+                "results": [{"workers": 1, "cache_hit_rate": 0.88}]}"#,
+        )
+        .unwrap();
+        let problems = check_regression(&base, &broken, 10.0);
+        assert!(problems.iter().any(|p| p.contains("missing key")), "{problems:?}");
+    }
+
+    #[test]
+    fn throughput_collapse_and_insane_rates_fail() {
+        let base = parse(SAMPLE).unwrap();
+        let slow = parse(
+            r#"{"harness": "x", "quick": true,
+                "scenario": {"m": 150, "note": "n"},
+                "results": [{"workers": 1, "io_bound_qps": 5.0, "cache_hit_rate": 1.7}]}"#,
+        )
+        .unwrap();
+        let problems = check_regression(&base, &slow, 10.0);
+        assert!(problems.iter().any(|p| p.contains("io_bound_qps")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("out of [0,1]")), "{problems:?}");
+        // The same numbers pass a looser tolerance (rate check only).
+        let loose = check_regression(&base, &slow, 1000.0);
+        assert!(loose.iter().all(|p| !p.contains("below committed best")), "{loose:?}");
+    }
+}

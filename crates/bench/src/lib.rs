@@ -12,6 +12,8 @@
 //! * quality metrics against brute-force ground truth,
 //! * fixed-width table printing plus CSV emission under `results/`.
 
+pub mod json;
+
 use chronorank_core::metrics;
 use chronorank_core::{
     AggKind, ApproxConfig, ApproxIndex, ApproxVariant, B2Construction, Exact1, Exact2, Exact3,

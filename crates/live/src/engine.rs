@@ -323,14 +323,30 @@ impl IngestEngine {
 
     /// The freshness-aware routing decision for `q` (without executing).
     pub fn route_for(&self, q: &ServeQuery) -> Route {
-        let profiles: Vec<_> = self.statuses.iter().map(|s| s.profiles).collect();
-        let planner = Planner::new(self.params, merge_profiles(&profiles));
-        planner.route_with_freshness(q, Some(self.freshness()))
+        self.planner().route_with_freshness(q, Some(self.freshness()))
     }
 
-    fn freshness(&self) -> Freshness {
+    /// The router over the shards' *current* generation profiles (rebuilt
+    /// on demand — epoch swaps change the profiles underneath). Combined
+    /// with [`IngestEngine::freshness`] this is how a serving tier above
+    /// (the network layer) restates each route's achieved ε against the
+    /// live mass when reporting what a query was answered with.
+    pub fn planner(&self) -> Planner {
+        let profiles: Vec<_> = self.statuses.iter().map(|s| s.profiles).collect();
+        Planner::new(self.params, merge_profiles(&profiles))
+    }
+
+    /// The §4 freshness dimension: mass the serving generations were
+    /// built over vs the live (appends-included) mass.
+    pub fn freshness(&self) -> Freshness {
         let built_mass: f64 = self.statuses.iter().map(|s| s.built_mass).sum();
         Freshness { built_mass, live_mass: self.master.total_mass() }
+    }
+
+    /// Records durably applied over the engine's lifetime (cheaper than
+    /// assembling a full [`LiveReport`] when only this counter is needed).
+    pub fn appends(&self) -> u64 {
+        self.appends
     }
 
     /// Append one record durably (one WAL sync). Prefer
@@ -414,6 +430,14 @@ impl IngestEngine {
 
     /// Answer one query: route with freshness, scatter, gather, merge.
     pub fn query(&mut self, q: ServeQuery) -> Result<TopK, LiveError> {
+        self.query_routed(q).map(|(top, _)| top)
+    }
+
+    /// [`IngestEngine::query`], also returning the freshness-aware route
+    /// this execution was planned onto (taken atomically with the answer,
+    /// so an epoch swap between planning and reporting cannot misattribute
+    /// it).
+    pub fn query_routed(&mut self, q: ServeQuery) -> Result<(TopK, Route), LiveError> {
         let t0 = Instant::now();
         let route = self.route_for(&q);
         let qid = self.next_qid;
@@ -437,7 +461,7 @@ impl IngestEngine {
         let top = merge_ranked(&lists, q.k);
         self.queries += 1;
         self.elapsed_secs += t0.elapsed().as_secs_f64();
-        Ok(top)
+        Ok((top, route))
     }
 
     /// Execute a mixed append/query trace pipelined: appends are durable

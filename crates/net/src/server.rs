@@ -1,0 +1,651 @@
+//! The TCP server: acceptor, per-connection IO threads, one engine
+//! thread, and explicit admission control.
+//!
+//! ## Threading model
+//!
+//! The chronorank engines are deliberately single-owner: their shards
+//! keep `Rc`-based IO counters that must never cross a thread, so the
+//! engine handle itself (`ServeEngine` / `IngestEngine`) lives on **one**
+//! dedicated engine thread, constructed there via the `Send` builder
+//! closure passed to [`NetServer::start`]. Parallelism comes from the
+//! engine's own worker shards underneath, not from concurrent engine
+//! handles.
+//!
+//! Around that serial resource:
+//!
+//! * an **acceptor** thread owns the listener, enforces the connection
+//!   cap (over-limit connections are answered with one typed BUSY frame
+//!   and closed), and spawns a reader + writer thread per connection;
+//! * each **reader** drains its socket through the streaming
+//!   [`Decoder`](crate::frame::Decoder), answers PING inline, and submits
+//!   engine ops — but only after passing **admission control**: a global
+//!   in-flight counter bounded by [`NetConfig::max_in_flight`]. At the
+//!   bound the reader answers a typed [`ErrCode::Busy`] error instead of
+//!   queueing unboundedly, so overload degrades into explicit,
+//!   client-visible pushback rather than memory growth;
+//! * each **writer** owns the socket's write half behind a `BufWriter`,
+//!   flushing whenever its queue momentarily drains (adaptive batching:
+//!   pipelined bursts coalesce into few syscalls, single requests flush
+//!   immediately).
+//!
+//! Shutdown is clean and total: the stop flag is raised, the acceptor is
+//! woken with a loopback connection, every live socket is shut down, and
+//! every thread — acceptor, readers, writers, engine — is joined before
+//! [`NetServer::shutdown`] returns.
+
+use crate::frame::{
+    AppendOk, Decoder, ErrCode, ErrorBody, Frame, FrameError, OpCode, StatsBody, TopKRequest,
+    TopKResponse,
+};
+use chronorank_core::{AppendRecord, TemporalSet, TopK};
+use chronorank_live::{IngestEngine, LiveConfig};
+use chronorank_serve::{Route, ServeConfig, ServeEngine, ServeQuery};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Bind address; port 0 picks a free port (read it back with
+    /// [`NetServer::local_addr`]).
+    pub addr: String,
+    /// Admission-control bound: engine frames accepted but not yet
+    /// answered, across all connections. At the bound, further frames are
+    /// refused with a typed BUSY error. `0` refuses everything — useful
+    /// for testing client overload handling.
+    pub max_in_flight: usize,
+    /// Connection cap; over-limit connections receive one BUSY frame and
+    /// are closed.
+    pub max_connections: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self { addr: "127.0.0.1:0".to_string(), max_in_flight: 256, max_connections: 64 }
+    }
+}
+
+/// What a [`NetServer`] fronts: the read-only serving engine or the
+/// WAL-backed live ingest engine.
+pub enum Backend {
+    /// Read path only: TOPK / STATS / PING (appends answer `Unsupported`).
+    Serve(ServeEngine),
+    /// Read + write paths: everything, including APPEND_BATCH and
+    /// CHECKPOINT.
+    Live(IngestEngine),
+}
+
+impl Backend {
+    fn topk(&mut self, q: ServeQuery) -> Result<TopKResponse, (ErrCode, String)> {
+        let (topk, route): (TopK, Route) = match self {
+            Backend::Serve(e) => e.query_routed(q).map_err(|e| (ErrCode::Engine, e.to_string()))?,
+            Backend::Live(e) => e.query_routed(q).map_err(|e| (ErrCode::Engine, e.to_string()))?,
+        };
+        let (eps_used, appends_applied) = match self {
+            Backend::Serve(e) => (e.planner().profile(route).and_then(|p| p.eps), 0),
+            Backend::Live(e) => {
+                let f = e.freshness();
+                let eps = e
+                    .planner()
+                    .profile(route)
+                    .map(|p| p.revalidate(f.built_mass, f.live_mass))
+                    .and_then(|p| p.eps);
+                (eps, e.appends())
+            }
+        };
+        Ok(TopKResponse { topk, route, eps_used, appends_applied })
+    }
+
+    fn append(&mut self, recs: &[AppendRecord]) -> Result<AppendOk, (ErrCode, String)> {
+        match self {
+            Backend::Serve(_) => Err((
+                ErrCode::Unsupported,
+                "APPEND_BATCH requires a live backend; this server is read-only".to_string(),
+            )),
+            Backend::Live(e) => {
+                let before = e.appends();
+                e.append_batch(recs).map_err(|err| (ErrCode::Engine, err.to_string()))?;
+                Ok(AppendOk { accepted: e.appends() - before, total_appends: e.appends() })
+            }
+        }
+    }
+
+    fn checkpoint(&mut self) -> Result<(), (ErrCode, String)> {
+        match self {
+            Backend::Serve(_) => Err((
+                ErrCode::Unsupported,
+                "CHECKPOINT requires a live backend; this server is read-only".to_string(),
+            )),
+            Backend::Live(e) => e.checkpoint().map_err(|err| (ErrCode::Engine, err.to_string())),
+        }
+    }
+
+    fn stats(&self, shared: &Shared) -> StatsBody {
+        let (live_backend, workers, queries, appends, (t_min, t_max)) = match self {
+            Backend::Serve(e) => {
+                let r = e.report();
+                (0, r.workers as u32, r.queries, 0, e.domain())
+            }
+            Backend::Live(e) => {
+                let r = e.report();
+                let set = e.live_set();
+                (1, r.workers as u32, r.queries, r.appends, (set.t_min(), set.t_max()))
+            }
+        };
+        StatsBody {
+            live_backend,
+            workers,
+            queries,
+            appends,
+            frames_in: shared.frames_in.load(Ordering::Relaxed),
+            frames_out: shared.frames_out.load(Ordering::Relaxed),
+            busy_rejections: shared.busy_rejections.load(Ordering::Relaxed),
+            connections: shared.connections.load(Ordering::Relaxed),
+            t_min,
+            t_max,
+        }
+    }
+}
+
+/// Failures starting or running a [`NetServer`].
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket-level failure (bind, local_addr, …).
+    Io(std::io::Error),
+    /// The backend builder closure failed on the engine thread.
+    Backend(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "io: {e}"),
+            ServerError::Backend(e) => write!(f, "backend build failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+enum EngineOp {
+    TopK(ServeQuery),
+    Append(Vec<AppendRecord>),
+    Checkpoint,
+    Stats,
+}
+
+struct Job {
+    request_id: u64,
+    op: EngineOp,
+    resp: Sender<OutFrame>,
+}
+
+/// One encoded frame queued for a connection's writer. `releases_slot`
+/// marks responses to *admitted* engine ops: their admission-control slot
+/// is released only once the writer has actually put the bytes on the
+/// wire (or the connection died), so a client that pipelines requests but
+/// never reads responses runs out of slots — and gets typed BUSY — instead
+/// of growing the writer queue without bound.
+struct OutFrame {
+    bytes: Vec<u8>,
+    releases_slot: bool,
+}
+
+impl OutFrame {
+    fn inline(frame: &Frame) -> Self {
+        Self { bytes: frame.encode(), releases_slot: false }
+    }
+
+    fn engine(frame: &Frame) -> Self {
+        Self { bytes: frame.encode(), releases_slot: true }
+    }
+}
+
+/// Cross-thread server state: the stop flag, admission counter, and the
+/// observability counters STATS reports.
+struct Shared {
+    stop: AtomicBool,
+    in_flight: AtomicUsize,
+    max_in_flight: usize,
+    active_conns: AtomicUsize,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    busy_rejections: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// A running wire-protocol server. Dropping it shuts it down cleanly
+/// (prefer calling [`NetServer::shutdown`] to observe join completion).
+pub struct NetServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    engine: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<ConnRegistry>>,
+}
+
+#[derive(Default)]
+struct ConnRegistry {
+    streams: Vec<TcpStream>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `config.addr` and serve the backend produced by `build`.
+    ///
+    /// `build` runs on the dedicated engine thread (the engines hold
+    /// `Rc`-based state and are not `Send`, so they must be *born* where
+    /// they live); a build failure is reported here, not deferred.
+    pub fn start<F>(config: NetConfig, build: F) -> Result<Self, ServerError>
+    where
+        F: FnOnce() -> Result<Backend, String> + Send + 'static,
+    {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            max_in_flight: config.max_in_flight,
+            active_conns: AtomicUsize::new(0),
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        });
+        let (job_tx, job_rx) = channel::<Job>();
+        let (ready_tx, ready_rx) = channel::<Result<(), String>>();
+        let engine_shared = Arc::clone(&shared);
+        let engine = std::thread::Builder::new()
+            .name("chronorank-net-engine".to_string())
+            .spawn(move || {
+                match build() {
+                    Ok(backend) => {
+                        ready_tx.send(Ok(())).ok();
+                        engine_main(backend, job_rx, &engine_shared);
+                    }
+                    Err(e) => {
+                        ready_tx.send(Err(e)).ok();
+                    }
+                };
+            })
+            .map_err(ServerError::Io)?;
+        match ready_rx.recv() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                engine.join().ok();
+                return Err(ServerError::Backend(e));
+            }
+            Err(_) => {
+                engine.join().ok();
+                return Err(ServerError::Backend("engine thread died during build".to_string()));
+            }
+        }
+        let conns: Arc<Mutex<ConnRegistry>> = Arc::default();
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor_conns = Arc::clone(&conns);
+        let max_connections = config.max_connections;
+        let acceptor = std::thread::Builder::new()
+            .name("chronorank-net-accept".to_string())
+            .spawn(move || {
+                acceptor_main(
+                    &listener,
+                    &job_tx,
+                    &acceptor_shared,
+                    &acceptor_conns,
+                    max_connections,
+                );
+            })
+            .map_err(ServerError::Io)?;
+        Ok(Self { addr, shared, acceptor: Some(acceptor), engine: Some(engine), conns })
+    }
+
+    /// [`NetServer::start`] over a read-only [`ServeEngine`] built from
+    /// `set` on the engine thread.
+    pub fn start_serve(
+        set: TemporalSet,
+        engine: ServeConfig,
+        net: NetConfig,
+    ) -> Result<Self, ServerError> {
+        Self::start(net, move || {
+            ServeEngine::new(&set, engine).map(Backend::Serve).map_err(|e| e.to_string())
+        })
+    }
+
+    /// [`NetServer::start`] over a live [`IngestEngine`] seeded with
+    /// `seed` (WAL recovery per `engine.wal_dir`) on the engine thread.
+    pub fn start_live(
+        seed: TemporalSet,
+        engine: LiveConfig,
+        net: NetConfig,
+    ) -> Result<Self, ServerError> {
+        Self::start(net, move || {
+            IngestEngine::new(&seed, engine).map(Backend::Live).map_err(|e| e.to_string())
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, close every connection, drain the engine, and join
+    /// every thread the server spawned.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept() so the acceptor sees the flag; the
+        // acceptor holds the prototype job sender, so joining it is what
+        // lets the engine channel start draining toward closure. A bind
+        // to an unspecified address (0.0.0.0 / ::) is not connectable as
+        // such on every platform — wake it via loopback instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        TcpStream::connect(wake).ok();
+        if let Some(h) = self.acceptor.take() {
+            h.join().ok();
+        }
+        let (streams, handles) = {
+            let mut reg = self.conns.lock().expect("registry lock");
+            (std::mem::take(&mut reg.streams), std::mem::take(&mut reg.handles))
+        };
+        for s in streams {
+            s.shutdown(Shutdown::Both).ok();
+        }
+        for h in handles {
+            h.join().ok();
+        }
+        if let Some(h) = self.engine.take() {
+            h.join().ok();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn engine_main(mut backend: Backend, jobs: Receiver<Job>, shared: &Shared) {
+    while let Ok(job) = jobs.recv() {
+        let frame = match job.op {
+            EngineOp::TopK(q) => match backend.topk(q) {
+                Ok(resp) => Frame::new(OpCode::TopKOk, job.request_id, resp.encode()),
+                Err(e) => error_frame(job.request_id, e.0, e.1),
+            },
+            EngineOp::Append(recs) => match backend.append(&recs) {
+                Ok(ok) => Frame::new(OpCode::AppendOk, job.request_id, ok.encode()),
+                Err(e) => error_frame(job.request_id, e.0, e.1),
+            },
+            EngineOp::Checkpoint => match backend.checkpoint() {
+                Ok(()) => Frame::new(OpCode::CheckpointOk, job.request_id, Vec::new()),
+                Err(e) => error_frame(job.request_id, e.0, e.1),
+            },
+            EngineOp::Stats => {
+                Frame::new(OpCode::StatsOk, job.request_id, backend.stats(shared).encode())
+            }
+        };
+        // The writer releases the admission slot once the bytes reach the
+        // wire; if the connection is already gone, release it here.
+        if job.resp.send(OutFrame::engine(&frame)).is_err() {
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn error_frame(request_id: u64, code: ErrCode, message: String) -> Frame {
+    Frame::new(OpCode::Error, request_id, ErrorBody { code, message }.encode())
+}
+
+fn acceptor_main(
+    listener: &TcpListener,
+    job_tx: &Sender<Job>,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<ConnRegistry>>,
+    max_connections: usize,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                // Transient accept failures (fd exhaustion, aborted
+                // handshakes) must not kill the acceptor: back off briefly
+                // and retry until told to stop.
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if shared.active_conns.load(Ordering::SeqCst) >= max_connections {
+            // One best-effort typed refusal, then close: the client learns
+            // *why*, instead of seeing an unexplained reset.
+            let mut stream = stream;
+            shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            let refusal = error_frame(
+                0,
+                ErrCode::Busy,
+                format!("connection limit ({max_connections}) reached"),
+            );
+            if stream.write_all(&refusal.encode()).is_ok() {
+                // FIN first, then briefly drain whatever the client already
+                // sent: closing with unread inbound bytes turns into an RST
+                // on many stacks, which would destroy the refusal in flight.
+                stream.shutdown(Shutdown::Write).ok();
+                stream.set_read_timeout(Some(std::time::Duration::from_millis(250))).ok();
+                let mut sink = [0u8; 1024];
+                while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+            }
+            continue;
+        }
+        shared.active_conns.fetch_add(1, Ordering::SeqCst);
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        stream.set_nodelay(true).ok();
+        spawn_connection(stream, job_tx.clone(), Arc::clone(shared), conns);
+    }
+}
+
+fn spawn_connection(
+    stream: TcpStream,
+    job_tx: Sender<Job>,
+    shared: Arc<Shared>,
+    conns: &Arc<Mutex<ConnRegistry>>,
+) {
+    let (Ok(write_half), Ok(registry_handle)) = (stream.try_clone(), stream.try_clone()) else {
+        shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+        return;
+    };
+    let (out_tx, out_rx) = channel::<OutFrame>();
+    let writer_shared = Arc::clone(&shared);
+    let Ok(writer) = std::thread::Builder::new()
+        .name("chronorank-net-write".to_string())
+        .spawn(move || writer_main(write_half, &out_rx, &writer_shared))
+    else {
+        // Roll back the acceptor's reservation: the decrement below lives
+        // in the reader closure, which will never run.
+        shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+        return;
+    };
+    let reader_shared = Arc::clone(&shared);
+    let reader =
+        std::thread::Builder::new().name("chronorank-net-read".to_string()).spawn(move || {
+            reader_main(stream, &job_tx, &out_tx, &reader_shared);
+            reader_shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+        });
+    if reader.is_err() {
+        // The dropped closure never ran; undo its side of the accounting.
+        // Dropping it also hung up out_tx, so the writer exits on its own.
+        shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
+    let mut reg = conns.lock().expect("registry lock");
+    // Reap finished connections so long-lived servers don't accumulate
+    // dead handles or stale stream clones.
+    reg.handles.retain(|h| !h.is_finished());
+    reg.streams.retain(|s| s.peer_addr().is_ok());
+    reg.streams.push(registry_handle);
+    reg.handles.push(writer);
+    reg.handles.extend(reader);
+}
+
+fn writer_main(stream: TcpStream, frames: &Receiver<OutFrame>, shared: &Shared) {
+    let mut out = std::io::BufWriter::new(stream);
+    loop {
+        let frame = match frames.try_recv() {
+            Ok(f) => f,
+            Err(TryRecvError::Empty) => {
+                // Queue drained: flush the batch, then block for more.
+                if out.flush().is_err() {
+                    break;
+                }
+                match frames.recv() {
+                    Ok(f) => f,
+                    Err(_) => break,
+                }
+            }
+            Err(TryRecvError::Disconnected) => break,
+        };
+        let wrote = out.write_all(&frame.bytes).is_ok();
+        // Wire-level backpressure: the slot opens only now, after the
+        // response actually left (or irrecoverably failed), so a client
+        // that never reads keeps at most `max_in_flight` responses queued.
+        if frame.releases_slot {
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+        if !wrote {
+            break;
+        }
+        shared.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+    // The writer owns the connection's end of life: flush the goodbye and
+    // actively close the socket — the registry may still hold a clone, so
+    // dropping the fd alone would leave the peer waiting — then block
+    // until every producer (reader, in-flight engine jobs) has hung up,
+    // releasing the admission slots of any responses that never made it.
+    out.flush().ok();
+    if let Ok(stream) = out.into_inner() {
+        stream.shutdown(Shutdown::Both).ok();
+    }
+    while let Ok(frame) = frames.recv() {
+        if frame.releases_slot {
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn reader_main(
+    mut stream: TcpStream,
+    job_tx: &Sender<Job>,
+    out_tx: &Sender<OutFrame>,
+    shared: &Shared,
+) {
+    let mut decoder = Decoder::new();
+    let mut scratch = [0u8; 16 * 1024];
+    'conn: loop {
+        let n = match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        decoder.feed(&scratch[..n]);
+        loop {
+            let frame = match decoder.next_frame() {
+                Ok(Some(f)) => f,
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing is lost; one typed goodbye, then close.
+                    let goodbye = error_frame(0, ErrCode::BadRequest, e.to_string());
+                    out_tx.send(OutFrame::inline(&goodbye)).ok();
+                    break 'conn;
+                }
+            };
+            shared.frames_in.fetch_add(1, Ordering::Relaxed);
+            if !dispatch(frame, job_tx, out_tx, shared) {
+                break 'conn;
+            }
+        }
+    }
+    // Stop reading only; the writer still owes the peer any buffered
+    // responses (including the typed goodbye above) and closes the
+    // socket itself once every producer has hung up.
+    stream.shutdown(Shutdown::Read).ok();
+}
+
+/// Handle one decoded frame. Returns `false` when the connection must
+/// close (writer gone or server stopping).
+fn dispatch(
+    frame: Frame,
+    job_tx: &Sender<Job>,
+    out_tx: &Sender<OutFrame>,
+    shared: &Shared,
+) -> bool {
+    let id = frame.request_id;
+    let op = match frame.opcode {
+        OpCode::Ping => {
+            let pong = Frame::new(OpCode::Pong, id, frame.payload);
+            return out_tx.send(OutFrame::inline(&pong)).is_ok();
+        }
+        OpCode::TopK => match TopKRequest::decode(&frame.payload) {
+            Ok(req) => EngineOp::TopK(req.0),
+            Err(e) => return send_bad_request(out_tx, id, &e),
+        },
+        OpCode::AppendBatch => match crate::frame::decode_append_batch(&frame.payload) {
+            Ok(recs) => EngineOp::Append(recs),
+            Err(e) => return send_bad_request(out_tx, id, &e),
+        },
+        OpCode::Checkpoint => EngineOp::Checkpoint,
+        OpCode::Stats => EngineOp::Stats,
+        // A response opcode arriving at the server is a confused client.
+        other => {
+            let msg = format!("{other:?} is not a request opcode");
+            return out_tx
+                .send(OutFrame::inline(&error_frame(id, ErrCode::BadRequest, msg)))
+                .is_ok();
+        }
+    };
+    // Admission control: reserve an in-flight slot or answer BUSY now.
+    let admitted = shared
+        .in_flight
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+            (cur < shared.max_in_flight).then_some(cur + 1)
+        })
+        .is_ok();
+    if !admitted {
+        shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        let msg = format!("{} frames in flight (limit)", shared.max_in_flight);
+        return out_tx.send(OutFrame::inline(&error_frame(id, ErrCode::Busy, msg))).is_ok();
+    }
+    if job_tx.send(Job { request_id: id, op, resp: out_tx.clone() }).is_err() {
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        let msg = "server is shutting down".to_string();
+        out_tx.send(OutFrame::inline(&error_frame(id, ErrCode::Shutdown, msg))).ok();
+        return false;
+    }
+    true
+}
+
+fn send_bad_request(out_tx: &Sender<OutFrame>, id: u64, e: &FrameError) -> bool {
+    out_tx.send(OutFrame::inline(&error_frame(id, ErrCode::BadRequest, e.to_string()))).is_ok()
+}

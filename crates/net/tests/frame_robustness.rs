@@ -1,0 +1,177 @@
+//! Protocol robustness (ISSUE 4 satellite): the frame decoder must
+//! survive arbitrary hostile bytes — truncated, corrupted, oversized —
+//! and always answer with a *typed* [`FrameError`]: never a panic, never
+//! a read past the input, never unbounded allocation from a lying length
+//! field. Case counts honour `PROPTEST_CASES` like every property suite
+//! in the workspace.
+
+use chronorank_net::frame::{crc32, HEADER_LEN, MAX_PAYLOAD};
+use chronorank_net::{Decoder, Frame, FrameError, OpCode};
+use proptest::prelude::*;
+
+const OPS: [OpCode; 11] = [
+    OpCode::Ping,
+    OpCode::TopK,
+    OpCode::AppendBatch,
+    OpCode::Checkpoint,
+    OpCode::Stats,
+    OpCode::Pong,
+    OpCode::TopKOk,
+    OpCode::AppendOk,
+    OpCode::CheckpointOk,
+    OpCode::StatsOk,
+    OpCode::Error,
+];
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (0usize..OPS.len(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..200))
+        .prop_map(|(op, id, payload)| Frame::new(OPS[op], id, payload))
+}
+
+proptest! {
+    /// Well-formed frames always round-trip, regardless of content.
+    #[test]
+    fn valid_frames_roundtrip(frame in arb_frame()) {
+        let bytes = frame.encode();
+        let (back, used) = Frame::decode(&bytes).expect("valid frame decodes");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back, frame);
+    }
+
+    /// Truncating a valid frame anywhere yields `Truncated` with an
+    /// honest byte count — never a panic, never an over-read.
+    #[test]
+    fn truncation_is_always_typed(frame in arb_frame(), cut in 0.0f64..1.0) {
+        let bytes = frame.encode();
+        let keep = (bytes.len() as f64 * cut) as usize; // strictly < len
+        match Frame::decode(&bytes[..keep]) {
+            Err(FrameError::Truncated { needed, have }) => {
+                prop_assert_eq!(have, keep);
+                prop_assert!(needed > keep);
+                prop_assert!(needed <= bytes.len());
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "truncated to {keep}/{} bytes must be Truncated, got {other:?}",
+                bytes.len()
+            ))),
+        }
+    }
+
+    /// Flipping any single byte of a valid frame either still decodes
+    /// (the request id region has no redundancy by design) or fails with
+    /// a typed error — never a panic.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        frame in arb_frame(),
+        at in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = frame.encode();
+        let i = (bytes.len() as f64 * at) as usize % bytes.len();
+        bytes[i] ^= flip;
+        // A typed Err is exactly what robustness demands; id / opcode /
+        // payload-with-matching-crc corruption can still parse, and then
+        // everything returned must stay in bounds.
+        if let Ok((f, used)) = Frame::decode(&bytes) {
+            prop_assert!(used <= bytes.len() && f.payload.len() <= used);
+        }
+    }
+
+    /// A length field pointing past [`MAX_PAYLOAD`] is rejected up front
+    /// (no allocation-by-lie), and a large-but-legal length over missing
+    /// bytes reports `Truncated` instead of reading off the end.
+    #[test]
+    fn oversized_lengths_are_rejected_before_any_read(
+        id in any::<u64>(),
+        declared in (MAX_PAYLOAD as u64 + 1..u32::MAX as u64),
+    ) {
+        let mut bytes = Frame::new(OpCode::Ping, id, vec![]).encode();
+        bytes[12..16].copy_from_slice(&(declared as u32).to_le_bytes());
+        prop_assert_eq!(
+            Frame::decode(&bytes),
+            Err(FrameError::Oversized { len: declared as u32, max: MAX_PAYLOAD })
+        );
+        // Legal length, absent payload: typed truncation, not an over-read.
+        bytes[12..16].copy_from_slice(&MAX_PAYLOAD.to_le_bytes());
+        match Frame::decode(&bytes) {
+            Err(FrameError::Truncated { needed, have }) => {
+                prop_assert_eq!(needed, HEADER_LEN + MAX_PAYLOAD as usize);
+                prop_assert_eq!(have, bytes.len());
+            }
+            other => return Err(TestCaseError::fail(format!("expected Truncated, got {other:?}"))),
+        }
+    }
+
+    /// Pure byte soup: `decode_all` terminates with frames or one typed
+    /// error, and whatever it parses stays within the input.
+    #[test]
+    fn arbitrary_bytes_never_panic(soup in proptest::collection::vec(any::<u8>(), 0..400)) {
+        // A typed Err terminates the scan; a successful parse must
+        // account for every input byte.
+        if let Ok(frames) = Frame::decode_all(&soup) {
+            let total: usize = frames.iter().map(|f| HEADER_LEN + f.payload.len()).sum();
+            prop_assert_eq!(total, soup.len());
+        }
+    }
+
+    /// The streaming decoder under adversarial chunking: valid frames
+    /// interleaved with a corrupted one. Every frame before the
+    /// corruption is recovered intact; the corruption itself surfaces as
+    /// one typed error, after which the stream is dead.
+    #[test]
+    fn streaming_decoder_recovers_prefix_then_reports(
+        frames in proptest::collection::vec(arb_frame(), 1..6),
+        chunk in 1usize..64,
+        corrupt_payload in 0.0f64..1.0,
+    ) {
+        let mut bytes: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
+        // Corrupt one payload byte of the LAST frame (if it has one) so
+        // its CRC check must fire after every earlier frame decoded.
+        let last = frames.last().expect("non-empty");
+        let expect_err = !last.payload.is_empty();
+        if expect_err {
+            let start = bytes.len() - last.payload.len();
+            let i = start + (last.payload.len() as f64 * corrupt_payload) as usize % last.payload.len().max(1);
+            bytes[i] ^= 0x55;
+        }
+        let mut decoder = Decoder::new();
+        let mut got = Vec::new();
+        let mut err = None;
+        'outer: for piece in bytes.chunks(chunk) {
+            decoder.feed(piece);
+            loop {
+                match decoder.next_frame() {
+                    Ok(Some(f)) => got.push(f),
+                    Ok(None) => break,
+                    Err(e) => { err = Some(e); break 'outer; }
+                }
+            }
+        }
+        prop_assert_eq!(&got[..], &frames[..got.len()], "recovered prefix must be intact");
+        if expect_err {
+            prop_assert_eq!(got.len(), frames.len() - 1);
+            prop_assert!(matches!(err, Some(FrameError::BadCrc { .. })));
+        } else {
+            prop_assert_eq!(got.len(), frames.len());
+            prop_assert!(err.is_none());
+        }
+    }
+
+    /// The CRC actually covers every payload byte: any single-bit payload
+    /// flip (with the header left alone) is detected.
+    #[test]
+    fn crc_detects_any_payload_flip(
+        frame in arb_frame().prop_filter("needs payload", |f| !f.payload.is_empty()),
+        at in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = frame.encode();
+        let i = HEADER_LEN + (frame.payload.len() as f64 * at) as usize % frame.payload.len();
+        bytes[i] ^= 1 << bit;
+        let want = crc32(&frame.payload);
+        match Frame::decode(&bytes) {
+            Err(FrameError::BadCrc { want: w, .. }) => prop_assert_eq!(w, want),
+            other => return Err(TestCaseError::fail(format!("flip must be caught, got {other:?}"))),
+        }
+    }
+}

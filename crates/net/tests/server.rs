@@ -1,0 +1,172 @@
+//! Server-behaviour coverage: admission control, typed refusals, the
+//! live write path over the wire, and clean shutdown. (Answer-level
+//! agreement with the in-process engines lives in the workspace-level
+//! `tests/net_agreement.rs`.)
+
+use chronorank_core::{AppendRecord, TemporalSet};
+use chronorank_curve::PiecewiseLinear;
+use chronorank_live::LiveConfig;
+use chronorank_net::{ErrCode, NetClient, NetConfig, NetError, NetServer};
+use chronorank_serve::{ServeConfig, ServeQuery};
+
+fn tiny_set(objects: usize) -> TemporalSet {
+    let curves: Vec<_> = (0..objects)
+        .map(|i| {
+            PiecewiseLinear::from_points(&[
+                (0.0, i as f64),
+                (50.0, (objects - i) as f64),
+                (100.0, i as f64 + 1.0),
+            ])
+            .unwrap()
+        })
+        .collect();
+    TemporalSet::from_curves(curves).unwrap()
+}
+
+fn expect_remote(result: Result<impl std::fmt::Debug, NetError>, code: ErrCode) {
+    match result {
+        Err(NetError::Remote { code: got, .. }) => assert_eq!(got, code),
+        other => panic!("expected typed {code:?} error, got {other:?}"),
+    }
+}
+
+#[test]
+fn ping_stats_and_query_roundtrip() {
+    let server = NetServer::start_serve(
+        tiny_set(12),
+        ServeConfig { workers: 2, ..Default::default() },
+        NetConfig::default(),
+    )
+    .unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    assert_eq!(client.ping(b"echo me").unwrap(), b"echo me");
+    let answer = client.topk(ServeQuery::exact(10.0, 90.0, 4)).unwrap();
+    assert_eq!(answer.topk.len(), 4);
+    assert_eq!(answer.appends_applied, 0, "read-only backend never applies appends");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.live_backend, 0);
+    assert_eq!(stats.workers, 2);
+    assert_eq!(stats.queries, 1);
+    assert!(stats.frames_in >= 3 && stats.connections == 1);
+    server.shutdown();
+}
+
+#[test]
+fn serve_backend_refuses_writes_with_typed_unsupported() {
+    let server =
+        NetServer::start_serve(tiny_set(8), ServeConfig::default(), NetConfig::default()).unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let rec = AppendRecord { object: 0, t: 200.0, v: 1.0 };
+    expect_remote(client.append_batch(&[rec]), ErrCode::Unsupported);
+    expect_remote(client.checkpoint(), ErrCode::Unsupported);
+    // The connection survives a typed refusal.
+    assert_eq!(client.ping(b"still here").unwrap(), b"still here");
+    server.shutdown();
+}
+
+#[test]
+fn live_backend_appends_and_checkpoints_over_the_wire() {
+    let server = NetServer::start_live(
+        tiny_set(8),
+        LiveConfig { workers: 2, ..Default::default() },
+        NetConfig::default(),
+    )
+    .unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let batch: Vec<AppendRecord> =
+        (0..8).map(|i| AppendRecord { object: i, t: 150.0, v: 100.0 + i as f64 }).collect();
+    let ok = client.append_batch(&batch).unwrap();
+    assert_eq!(ok.accepted, 8);
+    assert_eq!(ok.total_appends, 8);
+    let answer = client.topk(ServeQuery::exact(120.0, 150.0, 3)).unwrap();
+    assert_eq!(answer.appends_applied, 8, "the answer must report the applied appends");
+    client.checkpoint().unwrap();
+    // A rejected append (non-monotone time) is a typed engine error.
+    expect_remote(
+        client.append_batch(&[AppendRecord { object: 0, t: 10.0, v: 1.0 }]),
+        ErrCode::Engine,
+    );
+    server.shutdown();
+}
+
+#[test]
+fn admission_control_answers_busy_instead_of_queueing() {
+    // max_in_flight = 0: every engine frame must bounce with BUSY while
+    // the engine-free PING path keeps working.
+    let server = NetServer::start_serve(
+        tiny_set(8),
+        ServeConfig::default(),
+        NetConfig { max_in_flight: 0, ..Default::default() },
+    )
+    .unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let result = client.topk(ServeQuery::exact(10.0, 90.0, 2));
+    assert!(matches!(&result, Err(e) if e.is_busy()), "got {result:?}");
+    assert_eq!(client.ping(b"ok").unwrap(), b"ok");
+    let stats = client.stats();
+    // STATS is an engine op too — equally refused at this limit.
+    assert!(matches!(&stats, Err(e) if e.is_busy()), "got {stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_refuses_with_typed_busy_frame() {
+    let server = NetServer::start_serve(
+        tiny_set(8),
+        ServeConfig::default(),
+        NetConfig { max_connections: 1, ..Default::default() },
+    )
+    .unwrap();
+    let mut first = NetClient::connect(server.local_addr()).unwrap();
+    assert_eq!(first.ping(b"a").unwrap(), b"a");
+    // The second connection is told why it is being turned away.
+    let mut second = NetClient::connect(server.local_addr()).unwrap();
+    expect_remote(second.ping(b"b"), ErrCode::Busy);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_bytes_get_a_typed_goodbye_then_close() {
+    use std::io::{Read, Write};
+    let server =
+        NetServer::start_serve(tiny_set(8), ServeConfig::default(), NetConfig::default()).unwrap();
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    // Longer than one frame header, so the decoder must judge it (a
+    // shorter blob would legitimately be "waiting for the rest").
+    raw.write_all(b"GET / HTTP/1.1\r\nHost: nonsense\r\n\r\n").unwrap();
+    let mut buf = Vec::new();
+    raw.read_to_end(&mut buf).unwrap(); // server closes after its goodbye
+    let frames = chronorank_net::Frame::decode_all(&buf).unwrap();
+    assert_eq!(frames.len(), 1);
+    assert_eq!(frames[0].opcode, chronorank_net::OpCode::Error);
+    let body = chronorank_net::ErrorBody::decode(&frames[0].payload).unwrap();
+    assert_eq!(body.code, ErrCode::BadRequest);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_and_observable_from_the_client() {
+    let server =
+        NetServer::start_serve(tiny_set(8), ServeConfig::default(), NetConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut client = NetClient::connect(addr).unwrap();
+    assert_eq!(client.ping(b"x").unwrap(), b"x");
+    server.shutdown(); // joins acceptor, connections, engine
+
+    // The live connection was shut down; the next call must fail cleanly.
+    let result = client.ping(b"y");
+    assert!(result.is_err(), "got {result:?}");
+    // And the port no longer accepts fresh protocol traffic (an outright
+    // refused connect is equally clean).
+    if let Ok(mut c) = NetClient::connect(addr) {
+        assert!(c.ping(b"z").is_err());
+    }
+}
+
+#[test]
+fn backend_build_failure_surfaces_at_start() {
+    let err = NetServer::start(NetConfig::default(), || Err("deliberate".to_string()))
+        .err()
+        .expect("start must fail");
+    assert!(err.to_string().contains("deliberate"), "got {err}");
+}

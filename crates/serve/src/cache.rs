@@ -1,8 +1,9 @@
 //! A small intrusive-list LRU cache for shard-local result caching.
 //!
 //! Each worker owns one [`LruCache`] mapping a *snapped* query key to the
-//! shard's ranked answer (see [`crate::shard`]); `get`/`insert` are `O(1)`.
-//! Hit/miss counters live in the cache so workers report them for free.
+//! shard's ranked answer (see the crate-private `shard` module);
+//! `get`/`insert` are `O(1)`. Hit/miss counters live in the cache so
+//! workers report them for free.
 
 use std::collections::HashMap;
 use std::hash::Hash;

@@ -79,6 +79,7 @@ pub struct ServeEngine {
     workers: Vec<Worker>,
     reply_rx: Receiver<WorkerReply>,
     planner: Planner,
+    domain: (f64, f64),
     next_qid: u64,
     // --- accumulated statistics ---
     routes: [RouteStats; 5],
@@ -146,6 +147,7 @@ impl ServeEngine {
             workers,
             reply_rx,
             planner,
+            domain: (set.t_min(), set.t_max()),
             next_qid: 0,
             routes: [RouteStats::default(); 5],
             shard_io: vec![IoStats::default(); w],
@@ -163,9 +165,24 @@ impl ServeEngine {
         self.workers.len()
     }
 
+    /// The served data's time domain `(t_min, t_max)` — what remote
+    /// clients need to form meaningful query intervals.
+    pub fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
+
     /// The planner's routing decision for `q` (without executing it).
     pub fn route_for(&self, q: &ServeQuery) -> Route {
         self.planner.route(q)
+    }
+
+    /// The engine's router (its merged worst-case [`MethodProfile`]s are
+    /// how serving layers above — the network tier — learn the achieved ε
+    /// behind each route they answer on).
+    ///
+    /// [`MethodProfile`]: chronorank_core::MethodProfile
+    pub fn planner(&self) -> &Planner {
+        &self.planner
     }
 
     /// Re-configure the emulated per-block-read device latency on every
@@ -183,6 +200,14 @@ impl ServeEngine {
 
     /// Answer one query: route, scatter to all shards, k-way merge.
     pub fn query(&mut self, q: ServeQuery) -> Result<TopK, ServeError> {
+        self.query_routed(q).map(|(top, _)| top)
+    }
+
+    /// [`ServeEngine::query`], also returning the route the planner chose
+    /// for exactly this execution (the decision and the answer are taken
+    /// atomically, so a reporting layer can never attribute an answer to
+    /// the wrong route).
+    pub fn query_routed(&mut self, q: ServeQuery) -> Result<(TopK, Route), ServeError> {
         let t0 = Instant::now();
         let route = self.planner.route(&q);
         let qid = self.next_qid;
@@ -210,7 +235,7 @@ impl ServeEngine {
         self.routes[route.idx()].secs += dt;
         self.queries += 1;
         self.elapsed_secs += dt;
-        Ok(top)
+        Ok((top, route))
     }
 
     /// Answer a whole query stream, pipelined: every query is scattered up

@@ -56,7 +56,7 @@ pub use env::{Env, EnvBacking};
 pub use error::{Result, StorageError};
 pub use pool::{PagedFile, StoreConfig};
 pub use stats::{IoCounter, IoStats};
-pub use wal::{WriteAheadLog, MAX_RECORD_LEN};
+pub use wal::{crc32, WriteAheadLog, MAX_RECORD_LEN};
 
 /// Identifier of a block within one [`BlockDevice`] / [`PagedFile`].
 pub type PageId = u64;

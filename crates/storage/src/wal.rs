@@ -38,7 +38,11 @@ const FRAME: u64 = 8; // [len: u32][crc: u32]
 
 /// CRC-32 (IEEE 802.3, reflected), table-driven. Small and dependency-free;
 /// this is an integrity check against torn writes, not a cryptographic MAC.
-fn crc32(seed: u32, data: &[u8]) -> u32 {
+/// Public because every framed byte format in the workspace (this WAL, the
+/// chronorank-net wire protocol) shares the one implementation; chain
+/// multi-part checksums by passing the previous result as `seed` (`0`
+/// starts a fresh checksum).
+pub fn crc32(seed: u32, data: &[u8]) -> u32 {
     fn table() -> [u32; 256] {
         let mut t = [0u32; 256];
         let mut i = 0;

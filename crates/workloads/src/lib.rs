@@ -27,6 +27,11 @@
 //! configurable batch size and arrival skew), and
 //! [`AppendStream::hotspot`] interleaves a query workload between batches
 //! — the live ingest traffic shape.
+//!
+//! [`ClosedLoopTraffic`] deals one query workload round-robin into `C`
+//! per-client streams for closed-loop network load generation (shared
+//! hotspots, per-client interleavings) — the traffic shape the
+//! wire-protocol tier (`chronorank-net`) is benchmarked with.
 
 mod append;
 pub mod csvio;
@@ -35,6 +40,7 @@ mod query;
 mod randomwalk;
 mod stock;
 mod temp;
+mod traffic;
 mod util;
 
 pub use append::{AppendStream, AppendStreamConfig, LiveOp};
@@ -44,6 +50,7 @@ pub use query::{IntervalPattern, QueryInterval, QueryWorkload, QueryWorkloadConf
 pub use randomwalk::{RandomWalkConfig, RandomWalkGenerator};
 pub use stock::{StockConfig, StockGenerator};
 pub use temp::{TempConfig, TempGenerator};
+pub use traffic::{ClosedLoopTraffic, TrafficConfig};
 
 use chronorank_core::{TemporalObject, TemporalSet};
 

@@ -1,0 +1,146 @@
+//! Drive a running `net_server` over its wire protocol.
+//!
+//! Connects, pings, then runs a pipelined Zipf query stream closed-loop
+//! and prints throughput, latency percentiles, the server's route mix,
+//! and its STATS counters. Against a `--live` server, `--append` streams
+//! a batch of right-edge appends first and shows the answers' freshness
+//! metadata (`appends_applied`) moving.
+//!
+//! ```text
+//! cargo run --release --example net_client -- 127.0.0.1:7171
+//!     [--queries N] [--depth D] [--append]
+//! ```
+
+use chronorank::core::AppendRecord;
+use chronorank::net::NetClient;
+use chronorank::serve::ServeQuery;
+use chronorank::workloads::{
+    ClosedLoopTraffic, IntervalPattern, QueryWorkloadConfig, TrafficConfig,
+};
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = args
+        .first()
+        .cloned()
+        .ok_or("usage: net_client <addr> [--queries N] [--depth D] [--append]")?;
+    let mut queries = 400usize;
+    let mut depth = 8usize;
+    let mut append = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--append" => append = true,
+            "--queries" => {
+                i += 1;
+                queries = args.get(i).and_then(|v| v.parse().ok()).ok_or("bad --queries")?;
+            }
+            "--depth" => {
+                i += 1;
+                depth = args.get(i).and_then(|v| v.parse().ok()).ok_or("bad --depth")?;
+            }
+            other => return Err(format!("unknown option {other}").into()),
+        }
+        i += 1;
+    }
+    if queries == 0 || depth == 0 {
+        return Err("--queries and --depth must be at least 1".into());
+    }
+
+    let mut client = NetClient::connect(&addr)?;
+    let echo = client.ping(b"chronorank")?;
+    println!("connected to {addr} (ping echoed {} bytes)", echo.len());
+
+    // STATS reports the served time domain, so the traffic plan matches
+    // whatever dataset the server is fronting.
+    let stats = client.stats()?;
+    println!(
+        "server: {} backend, {} shards, domain [{:.1}, {:.1}], {} queries / {} appends so far",
+        if stats.live_backend == 1 { "live" } else { "serve" },
+        stats.workers,
+        stats.t_min,
+        stats.t_max,
+        stats.queries,
+        stats.appends
+    );
+    let (t_min, t_max) = (stats.t_min, stats.t_max);
+
+    if append {
+        if stats.live_backend != 1 {
+            return Err("--append needs a --live server".into());
+        }
+        let before = client.topk(ServeQuery::exact(t_min, t_max, 3))?;
+        let recs: Vec<AppendRecord> = (0..64)
+            .map(|j| AppendRecord { object: j % 8, t: t_max + 1.0 + j as f64, v: 99.0 })
+            .collect();
+        let ok = client.append_batch(&recs)?;
+        let after = client.topk(ServeQuery::exact(t_min, t_max + 65.0, 3))?;
+        println!(
+            "appended {} records (total {}); appends_applied moved {} -> {}",
+            ok.accepted, ok.total_appends, before.appends_applied, after.appends_applied
+        );
+    }
+
+    // A Zipf stream: a few hot intervals, mixed exact / ε-tolerant.
+    let plan = ClosedLoopTraffic::new(
+        TrafficConfig {
+            clients: 1,
+            queries_per_client: queries,
+            workload: QueryWorkloadConfig {
+                span_fraction: 0.2,
+                k: 10,
+                seed: 7,
+                pattern: IntervalPattern::Zipf { hotspots: 8, exponent: 1.0, background: 0.1 },
+                ..Default::default()
+            },
+        },
+        t_min,
+        t_max,
+    );
+    let stream: Vec<ServeQuery> = plan.streams()[0]
+        .iter()
+        .enumerate()
+        .map(|(j, q)| {
+            if j % 2 == 0 {
+                ServeQuery::exact(q.t1, q.t2, q.k)
+            } else {
+                ServeQuery::approx(q.t1, q.t2, q.k, 0.2)
+            }
+        })
+        .collect();
+
+    let outcome = client.pipeline_topk(&stream, depth)?;
+    let mut lat_us: Vec<u128> = outcome.latencies.iter().map(|d| d.as_micros()).collect();
+    lat_us.sort_unstable();
+    let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
+    let mut routes: HashMap<&'static str, usize> = HashMap::new();
+    for a in &outcome.answers {
+        *routes.entry(a.route.name()).or_default() += 1;
+    }
+    let mut route_mix: Vec<_> = routes.into_iter().collect();
+    route_mix.sort();
+    println!(
+        "pipelined {} queries at depth {depth}: {:.0} q/s, latency p50 {} µs / p95 {} µs / p99 {} µs, {} busy retries",
+        stream.len(),
+        stream.len() as f64 / outcome.elapsed.as_secs_f64(),
+        pct(0.50),
+        pct(0.95),
+        pct(0.99),
+        outcome.busy_retries
+    );
+    println!("route mix: {route_mix:?}");
+    let top = &outcome.answers[0];
+    println!(
+        "sample answer: route {} (eps {:?}), top-3 ids {:?}",
+        top.route.name(),
+        top.eps_used,
+        &top.topk.ids()[..top.topk.len().min(3)]
+    );
+    let stats = client.stats()?;
+    println!(
+        "server counters: frames in/out {}/{}, busy rejections {}, connections {}",
+        stats.frames_in, stats.frames_out, stats.busy_rejections, stats.connections
+    );
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Stand up a chronorank network server on a real TCP socket.
+//!
+//! By default this serves a read-only sharded `ServeEngine` over a
+//! Temp-style dataset; `--live` fronts a WAL-backed `IngestEngine`
+//! instead, which additionally accepts `APPEND_BATCH` and `CHECKPOINT`
+//! frames. The bound address is printed first — point
+//! `examples/net_client.rs` at it from another terminal.
+//!
+//! ```text
+//! cargo run --release --example net_server -- [--addr 127.0.0.1:7171]
+//!     [--live] [--objects N] [--workers W] [--serve-secs S]
+//! ```
+//!
+//! Without `--serve-secs` the server runs until killed (ctrl-C).
+
+use chronorank::live::LiveConfig;
+use chronorank::net::{NetConfig, NetServer};
+use chronorank::serve::ServeConfig;
+use chronorank::workloads::{DatasetGenerator, TempConfig, TempGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut live = false;
+    let mut objects = 2_000usize;
+    let mut workers = 4usize;
+    let mut serve_secs: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--live" => live = true,
+            "--addr" => {
+                i += 1;
+                addr = args.get(i).cloned().ok_or("missing value for --addr")?;
+            }
+            "--objects" => {
+                i += 1;
+                objects = args.get(i).and_then(|v| v.parse().ok()).ok_or("bad --objects")?;
+            }
+            "--workers" => {
+                i += 1;
+                workers = args.get(i).and_then(|v| v.parse().ok()).ok_or("bad --workers")?;
+            }
+            "--serve-secs" => {
+                i += 1;
+                serve_secs =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).ok_or("bad --serve-secs")?);
+            }
+            other => return Err(format!("unknown option {other}").into()),
+        }
+        i += 1;
+    }
+
+    let set = TempGenerator::new(TempConfig { objects, avg_segments: 60, seed: 42, dropout: 0.02 })
+        .generate_set();
+    println!(
+        "dataset: m = {} objects, N = {} segments, domain [{:.0}, {:.0}]",
+        set.num_objects(),
+        set.num_segments(),
+        set.t_min(),
+        set.t_max()
+    );
+
+    let net = NetConfig { addr, ..Default::default() };
+    let server = if live {
+        NetServer::start_live(set, LiveConfig { workers, ..Default::default() }, net)?
+    } else {
+        NetServer::start_serve(set, ServeConfig { workers, ..Default::default() }, net)?
+    };
+    println!(
+        "chronorank-net: {} backend, {workers} shards, listening on {}",
+        if live { "live (queries + durable appends)" } else { "serve (read-only)" },
+        server.local_addr()
+    );
+    println!("drive it with: cargo run --release --example net_client -- {}", server.local_addr());
+
+    match serve_secs {
+        Some(secs) => {
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            println!("--serve-secs {secs} elapsed, shutting down");
+            server.shutdown();
+        }
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    Ok(())
+}

@@ -19,7 +19,10 @@
 //!   shard-local result caching,
 //! * [`live`] — the WAL-backed streaming ingest engine: durable right-edge
 //!   appends, mutable shard tails merged into every answer, and §4
-//!   amortized rebuilds published as non-blocking epoch swaps.
+//!   amortized rebuilds published as non-blocking epoch swaps,
+//! * [`net`] — the wire protocol: a length-prefixed CRC'd frame format, a
+//!   TCP server fronting the serve/live engines with admission control,
+//!   and a blocking client with request pipelining.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@ pub use chronorank_core as core;
 pub use chronorank_curve as curve;
 pub use chronorank_index as index;
 pub use chronorank_live as live;
+pub use chronorank_net as net;
 pub use chronorank_serve as serve;
 pub use chronorank_storage as storage;
 pub use chronorank_workloads as workloads;

@@ -2,8 +2,9 @@
 //!
 //! Supports the subset this workspace's property suites use: the
 //! [`proptest!`] macro with an optional `#![proptest_config(...)]` header,
-//! range/tuple/[`Just`]/[`any`] strategies, `prop_map`/`prop_flat_map`
-//! combinators, [`collection::vec`], [`prop_oneof!`], and the
+//! range/tuple/[`Just`](strategy::Just)/[`any`](arbitrary::any)
+//! strategies, `prop_map`/`prop_flat_map` combinators,
+//! [`collection::vec`], [`prop_oneof!`], and the
 //! `prop_assert*`/`prop_assume!` assertion macros.
 //!
 //! Differences from upstream, by design:
