@@ -6,6 +6,9 @@
 #   clippy            cargo clippy -D warnings        (whole workspace, all targets)
 #   doc               cargo doc --no-deps             (RUSTDOCFLAGS="-D warnings")
 #   tier1             cargo build --release && cargo test -q
+#   agreement-w8      serve/live agreement suites re-run at W=8 with
+#                     RUST_TEST_THREADS deliberately unpinned, so the
+#                     shared-snapshot engines race for real cores
 #   serve-smoke       paper-bench serve --quick       (JSON under target/)
 #   live-smoke        paper-bench live --quick        (JSON under target/)
 #   net-smoke         paper-bench net --quick         (JSON under target/)
@@ -69,6 +72,15 @@ tier1_stage() {
     cargo test -q --workspace
 }
 
+# The agreement suites prove bit-identical answers with workers querying
+# shared snapshots; this stage widens the sweep to W=8 and leaves
+# RUST_TEST_THREADS unpinned so test-level and engine-level parallelism
+# collide as hard as the host allows.
+agreement_w8() {
+    CHRONORANK_AGREEMENT_W=8 \
+        cargo test --release -q --test serve_agreement --test live_agreement
+}
+
 serve_smoke() {
     CHRONORANK_SERVE_JSON=target/BENCH_SERVE_ci.json \
         cargo run --release -q -p chronorank-bench --bin paper_bench -- serve --quick \
@@ -99,6 +111,7 @@ stage fmt              cargo fmt --check
 stage clippy           cargo clippy --workspace --all-targets -- -D warnings
 stage doc              doc_stage
 stage tier1            tier1_stage
+stage agreement-w8     agreement_w8
 stage serve-smoke      serve_smoke
 stage live-smoke       live_smoke
 stage net-smoke        net_smoke

@@ -13,7 +13,13 @@
 //!    smoke run's best value must be within a generous factor (default
 //!    10×) of the committed best — quick-scale runs are smaller, not
 //!    order-of-magnitude slower, so a >10× collapse means a real
-//!    regression (or a broken bench).
+//!    regression (or a broken bench);
+//! 4. **parallel monotonicity** — the serve bench's `parallel_speedup`
+//!    series (worker pools over one shared snapshot, ascending W) must be
+//!    monotone-nonworse within a ×[`PARALLEL_SLACK`] tolerance: each
+//!    point must stay above `best-so-far / PARALLEL_SLACK`. A worker pool
+//!    that stops scaling means shared-snapshot parallelism regressed back
+//!    into serialization.
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -298,8 +304,32 @@ pub fn check_regression(baseline: &Json, current: &Json, tolerance: f64) -> Vec<
             problems.push(msg);
         }
     }
+    // 4. Parallel monotonicity: the shared-snapshot speedup series must
+    //    not fall back toward serial as the pool grows.
+    for key in cur_keys {
+        if !key.ends_with("parallel_speedup.series[].io_bound_qps") {
+            continue;
+        }
+        let series: Vec<f64> =
+            cur.iter().filter(|l| l.path == *key).filter_map(|l| l.num).collect();
+        let mut best_so_far = f64::NEG_INFINITY;
+        for (i, &v) in series.iter().enumerate() {
+            if best_so_far.is_finite() && v < best_so_far / PARALLEL_SLACK {
+                problems.push(format!(
+                    "{key}: point {i} ({v:.1}) fell more than {PARALLEL_SLACK}x below the \
+                     best earlier point ({best_so_far:.1}) — the pool stopped scaling"
+                ));
+            }
+            best_so_far = best_so_far.max(v);
+        }
+    }
     problems
 }
+
+/// Tolerance of the `parallel_speedup` monotone-nonworse gate: a point may
+/// sit at worst this factor below the best earlier point (smoke runs are
+/// noisy; a genuine fallback to serial throughput is far larger).
+pub const PARALLEL_SLACK: f64 = 2.0;
 
 /// True for keys the ratio gate applies to: throughputs.
 fn is_rate_key(path: &str) -> bool {
@@ -366,6 +396,29 @@ mod tests {
         .unwrap();
         let problems = check_regression(&base, &broken, 10.0);
         assert!(problems.iter().any(|p| p.contains("missing key")), "{problems:?}");
+    }
+
+    #[test]
+    fn parallel_series_must_be_monotone_nonworse() {
+        let good = parse(
+            r#"{"parallel_speedup": {"series": [
+                {"pool_workers": 1, "io_bound_qps": 100.0},
+                {"pool_workers": 2, "io_bound_qps": 90.0},
+                {"pool_workers": 4, "io_bound_qps": 250.0},
+                {"pool_workers": 8, "io_bound_qps": 240.0}]}}"#,
+        )
+        .unwrap();
+        assert!(check_regression(&good, &good, 10.0).is_empty());
+        // A pool that collapses back toward serial past the slack fails.
+        let bad = parse(
+            r#"{"parallel_speedup": {"series": [
+                {"pool_workers": 1, "io_bound_qps": 100.0},
+                {"pool_workers": 2, "io_bound_qps": 200.0},
+                {"pool_workers": 4, "io_bound_qps": 80.0}]}}"#,
+        )
+        .unwrap();
+        let problems = check_regression(&bad, &bad, 10.0);
+        assert!(problems.iter().any(|p| p.contains("stopped scaling")), "{problems:?}");
     }
 
     #[test]

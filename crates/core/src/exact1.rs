@@ -26,7 +26,7 @@ use crate::IndexConfig;
 use chronorank_curve::Segment;
 use chronorank_index::{BPlusTree, ExternalSorter};
 use chronorank_storage::{Env, IoStats};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Segment record payload: `obj u32 | v0 f64 | t1 f64 | v1 f64`
 /// (the key holds `t0`).
@@ -54,7 +54,9 @@ pub struct Exact1 {
     env: Env,
     tree: BPlusTree,
     num_objects: usize,
-    max_segment_duration: Cell<f64>,
+    /// `f64` bits in a relaxed atomic: read by every query, raised by
+    /// appends (which require external exclusivity, like the tree's).
+    max_segment_duration: AtomicU64,
 }
 
 impl Exact1 {
@@ -91,7 +93,7 @@ impl Exact1 {
             env,
             tree,
             num_objects: set.num_objects(),
-            max_segment_duration: Cell::new(set.max_segment_duration()),
+            max_segment_duration: AtomicU64::new(set.max_segment_duration().to_bits()),
         })
     }
 
@@ -102,8 +104,8 @@ impl Exact1 {
         let mut p = [0u8; PAYLOAD_LEN];
         encode_payload(&mut p, obj, seg);
         self.tree.insert(seg.t0, &p)?;
-        if seg.duration() > self.max_segment_duration.get() {
-            self.max_segment_duration.set(seg.duration());
+        if seg.duration() > f64::from_bits(self.max_segment_duration.load(Ordering::Relaxed)) {
+            self.max_segment_duration.store(seg.duration().to_bits(), Ordering::Relaxed);
         }
         Ok(())
     }
@@ -123,7 +125,7 @@ impl RankMethod for Exact1 {
         check_interval(t1, t2)?;
         let mut sums = vec![0.0f64; self.num_objects];
         // Segments overlapping [t1, t2] have t0 < t2 and t0 ≥ t1 − Δmax.
-        let start = t1 - self.max_segment_duration.get();
+        let start = t1 - f64::from_bits(self.max_segment_duration.load(Ordering::Relaxed));
         let mut cur = self.tree.seek(start)?;
         while cur.valid() {
             let key = cur.key();

@@ -35,7 +35,8 @@ use crate::IndexConfig;
 use chronorank_curve::Segment;
 use chronorank_index::{IntervalEntry, IntervalTree};
 use chronorank_storage::{Env, IoStats, StoreConfig};
-use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::RwLock;
 
 /// Entry payload: `obj u32 | v0 f64 | v1 f64 | prefix f64` (the interval
 /// key holds `t0` / `t1`).
@@ -68,13 +69,18 @@ struct ObjMeta {
 }
 
 /// The EXACT3 index (see module docs).
+/// `Send + Sync`: a built index is an immutable snapshot any number of
+/// threads may query concurrently (the per-object metadata is behind an
+/// `RwLock` that queries only read). Appends take `&self` but require
+/// external exclusivity, matching the underlying [`IntervalTree`]'s
+/// contract.
 pub struct Exact3 {
     env: Env,
     store: StoreConfig,
     tree: IntervalTree,
-    meta: RefCell<Vec<ObjMeta>>,
+    meta: RwLock<Vec<ObjMeta>>,
     /// Counter used to give rebuilt trees fresh file names.
-    generation: std::cell::Cell<u32>,
+    generation: AtomicU32,
 }
 
 impl Exact3 {
@@ -92,7 +98,7 @@ impl Exact3 {
             .iter()
             .map(|o| ObjMeta { start: o.curve.start(), end: o.curve.end(), total: o.curve.total() })
             .collect();
-        Ok(Self { env, store, tree, meta: RefCell::new(meta), generation: std::cell::Cell::new(0) })
+        Ok(Self { env, store, tree, meta: RwLock::new(meta), generation: AtomicU32::new(0) })
     }
 
     fn build_tree(env: &Env, set: &TemporalSet, generation: u32) -> Result<IntervalTree> {
@@ -115,7 +121,7 @@ impl Exact3 {
     /// Cumulative integrals of **all** objects at time `t` with one
     /// stabbing query; `out[i] = cum_i(t)`.
     fn cumulative_all(&self, t: f64, out: &mut [f64]) -> Result<()> {
-        let meta = self.meta.borrow();
+        let meta = self.meta.read().expect("meta lock");
         for (i, m) in meta.iter().enumerate() {
             out[i] = if t < m.start {
                 0.0
@@ -159,7 +165,7 @@ impl Exact3 {
     /// Append a new segment for `obj`: one tail write + in-memory metadata
     /// update (`O(log_B N)` in the paper's accounting).
     pub fn append_segment(&self, obj: ObjectId, seg: Segment) -> Result<()> {
-        let mut meta = self.meta.borrow_mut();
+        let mut meta = self.meta.write().expect("meta lock");
         let m = meta.get_mut(obj as usize).ok_or(crate::CoreError::NoSuchObject(obj))?;
         let prefix = m.total + seg.integral_full();
         self.tree.append(seg.t0, seg.t1, &encode_payload(obj, seg.v0, seg.v1, prefix))?;
@@ -177,10 +183,10 @@ impl Exact3 {
     /// Rebuild the interval tree from the (updated) set, folding the append
     /// tail into the static structure.
     pub fn rebuild(&mut self, set: &TemporalSet) -> Result<()> {
-        let generation = self.generation.get() + 1;
-        self.generation.set(generation);
+        let generation = self.generation.load(Ordering::Relaxed) + 1;
+        self.generation.store(generation, Ordering::Relaxed);
         self.tree = Self::build_tree(&self.env, set, generation)?;
-        *self.meta.borrow_mut() = set
+        *self.meta.write().expect("meta lock") = set
             .objects()
             .iter()
             .map(|o| ObjMeta { start: o.curve.start(), end: o.curve.end(), total: o.curve.total() })
@@ -206,7 +212,7 @@ impl RankMethod for Exact3 {
 
     fn top_k(&self, t1: f64, t2: f64, k: usize, agg: AggKind) -> Result<TopK> {
         check_interval(t1, t2)?;
-        let m = self.meta.borrow().len();
+        let m = self.meta.read().expect("meta lock").len();
         let mut cum1 = vec![0.0f64; m];
         let mut cum2 = vec![0.0f64; m];
         self.cumulative_all(t1, &mut cum1)?;

@@ -68,7 +68,7 @@ pub use error::{CoreError, Result};
 pub use exact1::Exact1;
 pub use exact2::Exact2;
 pub use exact3::Exact3;
-pub use method::{GenerationProfile, MethodProfile, TopKMethod};
+pub use method::{GenerationProfile, MethodProfile, SharedMethod, TopKMethod};
 pub use object::{AppendRecord, ObjectId, TemporalObject, TemporalSet};
 pub use query1::Query1Index;
 pub use query2::Query2Index;

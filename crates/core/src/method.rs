@@ -95,10 +95,19 @@ impl GenerationProfile {
 
 /// The object-safe interface a query planner dispatches through: the common
 /// query surface of [`RankMethod`] plus the method's [`MethodProfile`].
+///
+/// Every built method in this workspace is `Send + Sync`, so serving
+/// layers hold `Box<dyn TopKMethod + Send + Sync>` (or `Arc<dyn …>`) and
+/// query one shared snapshot from many worker threads at once — the
+/// storage layer underneath synchronizes block access and IO counting.
 pub trait TopKMethod: RankMethod {
     /// The guarantee and limits of this built index.
     fn profile(&self) -> MethodProfile;
 }
+
+/// A heterogeneous, shareable built method — the unit serving layers
+/// publish once and query from every worker.
+pub type SharedMethod = Box<dyn TopKMethod + Send + Sync>;
 
 impl TopKMethod for Exact1 {
     fn profile(&self) -> MethodProfile {
@@ -134,6 +143,37 @@ mod tests {
     use super::*;
     use crate::test_support::small_set;
     use crate::{AggKind, ApproxConfig, ApproxVariant, IndexConfig};
+
+    #[test]
+    fn all_built_methods_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Exact1>();
+        assert_send_sync::<Exact2>();
+        assert_send_sync::<Exact3>();
+        assert_send_sync::<ApproxIndex>();
+        assert_send_sync::<SharedMethod>();
+    }
+
+    #[test]
+    fn one_shared_snapshot_answers_identically_from_eight_threads() {
+        let set = small_set();
+        let method: SharedMethod = Box::new(Exact3::build(&set, IndexConfig::default()).unwrap());
+        let want = method.top_k(2.0, 12.0, 3, AggKind::Sum).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let (method, want) = (&method, &want);
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let got = method.top_k(2.0, 12.0, 3, AggKind::Sum).unwrap();
+                        assert_eq!(got.ids(), want.ids());
+                        for (a, b) in got.scores().iter().zip(want.scores()) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "bit-identical across threads");
+                        }
+                    }
+                });
+            }
+        });
+    }
 
     #[test]
     fn exact_methods_report_exact_profiles() {

@@ -29,7 +29,7 @@
 use crate::error::{IndexError, Result};
 use chronorank_storage::page::{get_f64, get_u32, get_u64, put_f64, put_u32, put_u64};
 use chronorank_storage::{PageId, PagedFile};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 const META_MAGIC: u32 = 0xB7EE_0001;
 const LEAF_MAGIC: u32 = 0xB7EE_00AA;
@@ -39,13 +39,22 @@ const LEAF_HDR: usize = 4 + 4 + 8;
 const INTERNAL_HDR: usize = 4 + 4;
 
 /// A disk-based B+-tree (see module docs).
+///
+/// `Send + Sync`: a built tree is an immutable snapshot that any number of
+/// threads may `seek`/scan through a shared reference (the backing
+/// [`PagedFile`] synchronizes block access internally; the metadata below
+/// is relaxed atomics). Mutation ([`BPlusTree::insert`]) still takes
+/// `&self` for API compatibility but requires **external exclusivity** —
+/// exactly one thread may mutate, with no concurrent readers; in this
+/// workspace every mutating owner (live ingest shards, test drivers) holds
+/// its index exclusively.
 pub struct BPlusTree {
     file: PagedFile,
     value_len: usize,
-    root: Cell<PageId>,
-    height: Cell<u32>,
-    count: Cell<u64>,
-    first_leaf: Cell<PageId>,
+    root: AtomicU64,
+    height: AtomicU32,
+    count: AtomicU64,
+    first_leaf: AtomicU64,
 }
 
 impl BPlusTree {
@@ -81,10 +90,10 @@ impl BPlusTree {
         let tree = Self {
             file,
             value_len,
-            root: Cell::new(root),
-            height: Cell::new(1),
-            count: Cell::new(0),
-            first_leaf: Cell::new(root),
+            root: AtomicU64::new(root),
+            height: AtomicU32::new(1),
+            count: AtomicU64::new(0),
+            first_leaf: AtomicU64::new(root),
         };
         tree.write_meta()?;
         Ok(tree)
@@ -105,10 +114,10 @@ impl BPlusTree {
         Ok(Self {
             file,
             value_len,
-            root: Cell::new(root),
-            height: Cell::new(height),
-            count: Cell::new(count),
-            first_leaf: Cell::new(first_leaf),
+            root: AtomicU64::new(root),
+            height: AtomicU32::new(height),
+            count: AtomicU64::new(count),
+            first_leaf: AtomicU64::new(first_leaf),
         })
     }
 
@@ -116,17 +125,17 @@ impl BPlusTree {
         let mut buf = vec![0u8; self.file.block_size()];
         let mut o = put_u32(&mut buf, 0, META_MAGIC);
         o = put_u32(&mut buf, o, self.value_len as u32);
-        o = put_u64(&mut buf, o, self.root.get());
-        o = put_u32(&mut buf, o, self.height.get());
-        o = put_u64(&mut buf, o, self.count.get());
-        put_u64(&mut buf, o, self.first_leaf.get());
+        o = put_u64(&mut buf, o, self.root.load(Ordering::Relaxed));
+        o = put_u32(&mut buf, o, self.height.load(Ordering::Relaxed));
+        o = put_u64(&mut buf, o, self.count.load(Ordering::Relaxed));
+        put_u64(&mut buf, o, self.first_leaf.load(Ordering::Relaxed));
         self.file.write(0, &buf)?;
         Ok(())
     }
 
     /// Number of entries.
     pub fn len(&self) -> u64 {
-        self.count.get()
+        self.count.load(Ordering::Relaxed)
     }
 
     /// True when the tree holds no entries.
@@ -136,7 +145,7 @@ impl BPlusTree {
 
     /// Tree height (1 = root is a leaf).
     pub fn height(&self) -> u32 {
-        self.height.get()
+        self.height.load(Ordering::Relaxed)
     }
 
     /// Payload length in bytes.
@@ -166,8 +175,8 @@ impl BPlusTree {
     /// Position a cursor at the first entry with key ≥ `key`.
     pub fn seek(&self, key: f64) -> Result<Cursor<'_>> {
         let mut buf = vec![0u8; self.file.block_size()];
-        let mut node = self.root.get();
-        let mut level = self.height.get();
+        let mut node = self.root.load(Ordering::Relaxed);
+        let mut level = self.height.load(Ordering::Relaxed);
         while level > 1 {
             self.file.read(node, &mut buf)?;
             check_magic(&buf, INTERNAL_MAGIC)?;
@@ -200,7 +209,7 @@ impl BPlusTree {
     /// Cursor at the first entry of the tree.
     pub fn cursor_first(&self) -> Result<Cursor<'_>> {
         let mut buf = vec![0u8; self.file.block_size()];
-        let leaf = self.first_leaf.get();
+        let leaf = self.first_leaf.load(Ordering::Relaxed);
         self.file.read(leaf, &mut buf)?;
         check_magic(&buf, LEAF_MAGIC)?;
         let n = get_u32(&buf, 4) as usize;
@@ -218,8 +227,8 @@ impl BPlusTree {
             return Ok(None);
         }
         let mut buf = vec![0u8; self.file.block_size()];
-        let mut node = self.root.get();
-        let mut level = self.height.get();
+        let mut node = self.root.load(Ordering::Relaxed);
+        let mut level = self.height.load(Ordering::Relaxed);
         while level > 1 {
             self.file.read(node, &mut buf)?;
             check_magic(&buf, INTERNAL_MAGIC)?;
@@ -252,21 +261,26 @@ impl BPlusTree {
         if !key.is_finite() {
             return Err(IndexError::BadInput("key must be finite".into()));
         }
-        let split = self.insert_rec(self.root.get(), self.height.get(), key, payload)?;
+        let split = self.insert_rec(
+            self.root.load(Ordering::Relaxed),
+            self.height.load(Ordering::Relaxed),
+            key,
+            payload,
+        )?;
         if let Some((sep, right)) = split {
             // Grow the tree: new root with two children.
             let new_root = self.file.allocate(1)?;
             let mut buf = vec![0u8; self.file.block_size()];
             let mut o = put_u32(&mut buf, 0, INTERNAL_MAGIC);
             o = put_u32(&mut buf, o, 2);
-            o = put_u64(&mut buf, o, self.root.get());
+            o = put_u64(&mut buf, o, self.root.load(Ordering::Relaxed));
             o = put_f64(&mut buf, o, sep);
             put_u64(&mut buf, o, right);
             self.file.write(new_root, &buf)?;
-            self.root.set(new_root);
-            self.height.set(self.height.get() + 1);
+            self.root.store(new_root, Ordering::Relaxed);
+            self.height.store(self.height.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
         }
-        self.count.set(self.count.get() + 1);
+        self.count.store(self.count.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
         self.write_meta()?;
         Ok(())
     }
@@ -518,10 +532,10 @@ impl BulkLoader {
         let tree = BPlusTree {
             file: self.file,
             value_len: self.value_len,
-            root: Cell::new(root),
-            height: Cell::new(height),
-            count: Cell::new(self.count),
-            first_leaf: Cell::new(self.first_leaf),
+            root: AtomicU64::new(root),
+            height: AtomicU32::new(height),
+            count: AtomicU64::new(self.count),
+            first_leaf: AtomicU64::new(self.first_leaf),
         };
         tree.write_meta()?;
         Ok(tree)

@@ -31,7 +31,7 @@
 use crate::error::{IndexError, Result};
 use chronorank_storage::page::{get_f64, get_u32, get_u64, put_f64, put_u32, put_u64};
 use chronorank_storage::{PageId, PagedFile};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const META_MAGIC: u32 = 0x17EE_0001;
 const NODE_MAGIC: u32 = 0x17EE_00CC;
@@ -51,17 +51,25 @@ pub struct IntervalEntry {
 }
 
 /// Disk-based centered interval tree (see module docs).
+///
+/// `Send + Sync`: a built tree is an immutable snapshot that any number of
+/// threads may stab concurrently (block access is synchronized inside
+/// [`PagedFile`]; the metadata below is relaxed atomics). Tail appends
+/// ([`IntervalTree::append`]) take `&self` for API compatibility but
+/// require **external exclusivity** — one mutating thread, no concurrent
+/// readers — which every owner in this workspace guarantees (frozen
+/// generations are never appended to; mutable tails are single-owner).
 pub struct IntervalTree {
     file: PagedFile,
     payload_len: usize,
-    root: Cell<PageId>,
-    n: Cell<u64>,
+    root: AtomicU64,
+    n: AtomicU64,
     /// First and last tail blocks (0 = none).
-    tail_head: Cell<PageId>,
-    tail_last: Cell<PageId>,
-    tail_count: Cell<u64>,
+    tail_head: AtomicU64,
+    tail_last: AtomicU64,
+    tail_count: AtomicU64,
     /// Entries folded into the main (static) tree.
-    main_count: Cell<u64>,
+    main_count: AtomicU64,
 }
 
 impl IntervalTree {
@@ -103,16 +111,16 @@ impl IntervalTree {
         let tree = Self {
             file,
             payload_len,
-            root: Cell::new(0),
-            n: Cell::new(n),
-            tail_head: Cell::new(0),
-            tail_last: Cell::new(0),
-            tail_count: Cell::new(0),
-            main_count: Cell::new(n),
+            root: AtomicU64::new(0),
+            n: AtomicU64::new(n),
+            tail_head: AtomicU64::new(0),
+            tail_last: AtomicU64::new(0),
+            tail_count: AtomicU64::new(0),
+            main_count: AtomicU64::new(n),
         };
         let idx: Vec<u32> = (0..entries.len() as u32).collect();
         let root = tree.build_rec(&entries, idx)?;
-        tree.root.set(root.unwrap_or(0));
+        tree.root.store(root.unwrap_or(0), Ordering::Relaxed);
         tree.write_meta()?;
         Ok(tree)
     }
@@ -211,12 +219,12 @@ impl IntervalTree {
         let mut buf = vec![0u8; self.file.block_size()];
         let mut o = put_u32(&mut buf, 0, META_MAGIC);
         o = put_u32(&mut buf, o, self.payload_len as u32);
-        o = put_u64(&mut buf, o, self.root.get());
-        o = put_u64(&mut buf, o, self.n.get());
-        o = put_u64(&mut buf, o, self.tail_head.get());
-        o = put_u64(&mut buf, o, self.tail_last.get());
-        o = put_u64(&mut buf, o, self.tail_count.get());
-        put_u64(&mut buf, o, self.main_count.get());
+        o = put_u64(&mut buf, o, self.root.load(Ordering::Relaxed));
+        o = put_u64(&mut buf, o, self.n.load(Ordering::Relaxed));
+        o = put_u64(&mut buf, o, self.tail_head.load(Ordering::Relaxed));
+        o = put_u64(&mut buf, o, self.tail_last.load(Ordering::Relaxed));
+        o = put_u64(&mut buf, o, self.tail_count.load(Ordering::Relaxed));
+        put_u64(&mut buf, o, self.main_count.load(Ordering::Relaxed));
         self.file.write(0, &buf)?;
         Ok(())
     }
@@ -231,19 +239,19 @@ impl IntervalTree {
         let payload_len = get_u32(&buf, 4) as usize;
         Ok(Self {
             payload_len,
-            root: Cell::new(get_u64(&buf, 8)),
-            n: Cell::new(get_u64(&buf, 16)),
-            tail_head: Cell::new(get_u64(&buf, 24)),
-            tail_last: Cell::new(get_u64(&buf, 32)),
-            tail_count: Cell::new(get_u64(&buf, 40)),
-            main_count: Cell::new(get_u64(&buf, 48)),
+            root: AtomicU64::new(get_u64(&buf, 8)),
+            n: AtomicU64::new(get_u64(&buf, 16)),
+            tail_head: AtomicU64::new(get_u64(&buf, 24)),
+            tail_last: AtomicU64::new(get_u64(&buf, 32)),
+            tail_count: AtomicU64::new(get_u64(&buf, 40)),
+            main_count: AtomicU64::new(get_u64(&buf, 48)),
             file,
         })
     }
 
     /// Total entries (static tree + tail).
     pub fn len(&self) -> u64 {
-        self.n.get()
+        self.n.load(Ordering::Relaxed)
     }
 
     /// True when no entries are present.
@@ -253,7 +261,7 @@ impl IntervalTree {
 
     /// Entries waiting in the append tail.
     pub fn tail_len(&self) -> u64 {
-        self.tail_count.get()
+        self.tail_count.load(Ordering::Relaxed)
     }
 
     /// Bytes allocated on the device.
@@ -277,8 +285,8 @@ impl IntervalTree {
     /// (10 % of the static tree, min 256 entries) and the owner should
     /// rebuild — the paper's rebuild-on-doubling policy uses the same hook.
     pub fn needs_rebuild(&self) -> bool {
-        let tail = self.tail_count.get();
-        tail > 256.max(self.main_count.get() / 10)
+        let tail = self.tail_count.load(Ordering::Relaxed);
+        tail > 256.max(self.main_count.load(Ordering::Relaxed) / 10)
     }
 
     /// Visit every entry whose closed interval contains `t`:
@@ -289,7 +297,7 @@ impl IntervalTree {
         let elen = Self::entry_len(self.payload_len);
         let mut node_buf = vec![0u8; block];
         let mut list_buf = vec![0u8; block];
-        let mut node = self.root.get();
+        let mut node = self.root.load(Ordering::Relaxed);
         while node != 0 {
             self.file.read(node, &mut node_buf)?;
             if get_u32(&node_buf, 0) != NODE_MAGIC {
@@ -345,7 +353,7 @@ impl IntervalTree {
             }
         }
         // Tail scan: the append log is small by the rebuild invariant.
-        let mut blk = self.tail_head.get();
+        let mut blk = self.tail_head.load(Ordering::Relaxed);
         while blk != 0 {
             self.file.read(blk, &mut list_buf)?;
             if get_u32(&list_buf, 0) != TAIL_MAGIC {
@@ -379,7 +387,7 @@ impl IntervalTree {
         let epb = Self::entries_per_block(block, self.payload_len);
         let elen = Self::entry_len(self.payload_len);
         let mut buf = vec![0u8; block];
-        let last = self.tail_last.get();
+        let last = self.tail_last.load(Ordering::Relaxed);
         let mut target = last;
         let mut count_in_block = 0usize;
         if last != 0 {
@@ -393,13 +401,13 @@ impl IntervalTree {
                 put_u64(&mut buf, 8, new_blk);
                 self.file.write(last, &buf)?;
             } else {
-                self.tail_head.set(new_blk);
+                self.tail_head.store(new_blk, Ordering::Relaxed);
             }
             buf.fill(0);
             put_u32(&mut buf, 0, TAIL_MAGIC);
             put_u32(&mut buf, 4, 0);
             put_u64(&mut buf, 8, 0);
-            self.tail_last.set(new_blk);
+            self.tail_last.store(new_blk, Ordering::Relaxed);
             target = new_blk;
             count_in_block = 0;
         }
@@ -409,8 +417,8 @@ impl IntervalTree {
         buf[off + 16..off + 16 + self.payload_len].copy_from_slice(payload);
         put_u32(&mut buf, 4, (count_in_block + 1) as u32);
         self.file.write(target, &buf)?;
-        self.tail_count.set(self.tail_count.get() + 1);
-        self.n.set(self.n.get() + 1);
+        self.tail_count.store(self.tail_count.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        self.n.store(self.n.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
         self.write_meta()?;
         Ok(())
     }

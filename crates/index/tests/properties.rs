@@ -152,3 +152,47 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Cross-thread snapshot reads (ISSUE 5)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn index_structures_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<chronorank_index::BPlusTree>();
+    assert_send_sync::<chronorank_index::IntervalTree>();
+}
+
+#[test]
+fn concurrent_stabs_over_one_shared_interval_tree_agree() {
+    use chronorank_index::{IntervalEntry, IntervalTree};
+    let env = Env::mem(StoreConfig { block_size: 512, pool_capacity: 8 });
+    let entries: Vec<IntervalEntry> = (0..300)
+        .map(|i| {
+            let lo = (i % 37) as f64;
+            IntervalEntry { lo, hi: lo + 1.0 + (i % 5) as f64, payload: vec![i as u8; 4] }
+        })
+        .collect();
+    let tree = IntervalTree::build(env.create_file("shared").unwrap(), 4, entries.clone()).unwrap();
+    // Ground truth on one thread, then 8 threads stab the SAME tree (tiny
+    // pool: they contend on frames and force concurrent evict/reload).
+    let expected: Vec<usize> = (0..40)
+        .map(|t| {
+            let t = t as f64;
+            entries.iter().filter(|e| e.lo <= t && t <= e.hi).count()
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let (tree, expected) = (&tree, &expected);
+            scope.spawn(move || {
+                for (i, want) in expected.iter().enumerate() {
+                    let mut got = 0usize;
+                    tree.stab(i as f64, &mut |_, _, _| got += 1).unwrap();
+                    assert_eq!(got, *want, "stab at t={i}");
+                }
+            });
+        }
+    });
+}

@@ -1,4 +1,10 @@
 //! The ingest engine: durable appends in, fresh answers out.
+//!
+//! Appends take `&mut self` (there is exactly one WAL and one master set),
+//! but the whole query path takes `&self`: every query opens its own reply
+//! channel, so any number of caller threads can query one engine
+//! concurrently — the network tier wraps an `IngestEngine` in an `RwLock`
+//! and lets reads overlap while appends serialize.
 
 use crate::config::LiveConfig;
 use crate::report::{LiveReport, PauseHistogram};
@@ -10,7 +16,9 @@ use chronorank_serve::{
 use chronorank_storage::{FileDevice, IoCounter, StorageError, WriteAheadLog};
 use chronorank_workloads::LiveOp;
 use std::path::PathBuf;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -162,6 +170,13 @@ impl TraceGather {
     }
 }
 
+/// Query-path counters updated under one short lock (the query path is
+/// `&self`, so plain fields will not do).
+struct QueryCounters {
+    queries: u64,
+    elapsed_secs: f64,
+}
+
 /// The WAL-backed live ingest/serving engine (see crate docs).
 ///
 /// Owns the write-ahead log, a master copy of the live [`TemporalSet`]
@@ -172,15 +187,13 @@ pub struct IngestEngine {
     wal: WriteAheadLog,
     snapshot_path: Option<PathBuf>,
     workers: Vec<Worker>,
-    reply_rx: Receiver<ShardReply>,
-    statuses: Vec<ShardStatus>,
+    statuses: Mutex<Vec<ShardStatus>>,
     params: PlannerParams,
-    next_qid: u64,
+    next_qid: AtomicU64,
     // --- accumulated statistics ---
     appends: u64,
     batches: u64,
-    queries: u64,
-    elapsed_secs: f64,
+    query_counters: Mutex<QueryCounters>,
     checkpoints: u64,
 }
 
@@ -193,17 +206,11 @@ impl IngestEngine {
     pub fn new(seed: &TemporalSet, config: LiveConfig) -> Result<Self, LiveError> {
         let (wal, base, snapshot_path) = Self::recover(seed, &config)?;
         let w = config.workers.clamp(1, base.num_objects());
-        let (reply_tx, reply_rx) = channel();
         let (build_tx, build_rx) = channel();
         let mut workers = Vec::with_capacity(w);
         for (shard, (subset, global_ids)) in partition(&base, w).into_iter().enumerate() {
             let (tx, rx) = channel();
-            let channels = ShardChannels {
-                rx,
-                self_tx: tx.clone(),
-                build_tx: build_tx.clone(),
-                reply_tx: reply_tx.clone(),
-            };
+            let channels = ShardChannels { rx, self_tx: tx.clone(), build_tx: build_tx.clone() };
             let cfg = config.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("chronorank-live-{shard}"))
@@ -212,7 +219,6 @@ impl IngestEngine {
             workers.push(Worker { tx, handle: Some(handle) });
         }
         drop(build_tx);
-        drop(reply_tx);
 
         let (mut max_m, mut max_n) = (0u64, 0u64);
         let mut statuses = vec![None; w];
@@ -243,14 +249,12 @@ impl IngestEngine {
             wal,
             snapshot_path,
             workers,
-            reply_rx,
-            statuses,
+            statuses: Mutex::new(statuses),
             params,
-            next_qid: 0,
+            next_qid: AtomicU64::new(0),
             appends: 0,
             batches: 0,
-            queries: 0,
-            elapsed_secs: 0.0,
+            query_counters: Mutex::new(QueryCounters { queries: 0, elapsed_secs: 0.0 }),
             checkpoints: 0,
         })
     }
@@ -332,14 +336,16 @@ impl IngestEngine {
     /// (the network layer) restates each route's achieved ε against the
     /// live mass when reporting what a query was answered with.
     pub fn planner(&self) -> Planner {
-        let profiles: Vec<_> = self.statuses.iter().map(|s| s.profiles).collect();
+        let statuses = self.statuses.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let profiles: Vec<_> = statuses.iter().map(|s| s.profiles).collect();
         Planner::new(self.params, merge_profiles(&profiles))
     }
 
     /// The §4 freshness dimension: mass the serving generations were
     /// built over vs the live (appends-included) mass.
     pub fn freshness(&self) -> Freshness {
-        let built_mass: f64 = self.statuses.iter().map(|s| s.built_mass).sum();
+        let statuses = self.statuses.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let built_mass: f64 = statuses.iter().map(|s| s.built_mass).sum();
         Freshness { built_mass, live_mass: self.master.total_mass() }
     }
 
@@ -429,27 +435,28 @@ impl IngestEngine {
     }
 
     /// Answer one query: route with freshness, scatter, gather, merge.
-    pub fn query(&mut self, q: ServeQuery) -> Result<TopK, LiveError> {
+    pub fn query(&self, q: ServeQuery) -> Result<TopK, LiveError> {
         self.query_routed(q).map(|(top, _)| top)
     }
 
     /// [`IngestEngine::query`], also returning the freshness-aware route
     /// this execution was planned onto (taken atomically with the answer,
     /// so an epoch swap between planning and reporting cannot misattribute
-    /// it).
-    pub fn query_routed(&mut self, q: ServeQuery) -> Result<(TopK, Route), LiveError> {
+    /// it). `&self`: each call gathers on its own private channel, so
+    /// concurrent callers can never cross answers.
+    pub fn query_routed(&self, q: ServeQuery) -> Result<(TopK, Route), LiveError> {
         let t0 = Instant::now();
         let route = self.route_for(&q);
-        let qid = self.next_qid;
-        self.next_qid += 1;
-        self.scatter(LiveJob { qid, query: q, route })?;
+        let qid = self.next_qid.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = channel();
+        self.scatter(LiveJob { qid, query: q, route, reply: reply_tx })?;
         let w = self.workers.len();
         let mut lists = Vec::with_capacity(w);
         let mut first_err = None;
         for _ in 0..w {
-            let reply = self.reply_rx.recv().map_err(|_| LiveError::WorkerGone)?;
+            let reply = reply_rx.recv().map_err(|_| LiveError::WorkerGone)?;
             debug_assert_eq!(reply.qid, qid);
-            self.statuses[reply.shard] = reply.status;
+            self.absorb_status(&reply);
             match reply.result {
                 Ok(entries) => lists.push(entries),
                 Err(e) => first_err = Some(e),
@@ -459,8 +466,10 @@ impl IngestEngine {
             return Err(LiveError::Query(e));
         }
         let top = merge_ranked(&lists, q.k);
-        self.queries += 1;
-        self.elapsed_secs += t0.elapsed().as_secs_f64();
+        let mut counters =
+            self.query_counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        counters.queries += 1;
+        counters.elapsed_secs += t0.elapsed().as_secs_f64();
         Ok((top, route))
     }
 
@@ -485,7 +494,12 @@ impl IngestEngine {
 
     fn run_trace(&mut self, ops: &[LiveOp], eps: Option<f64>) -> Result<LiveOutcome, LiveError> {
         let t0 = Instant::now();
-        let mut gather = TraceGather::new(self.next_qid, self.workers.len());
+        let queries: usize = ops.iter().filter(|op| matches!(op, LiveOp::Query(_))).count();
+        let base_qid = self.next_qid.fetch_add(queries as u64, Ordering::Relaxed);
+        let mut scattered = 0u64;
+        let mut gather = TraceGather::new(base_qid, self.workers.len());
+        // One reply channel for the whole trace; every job carries a clone.
+        let (reply_tx, reply_rx) = channel();
         let mut appends = 0u64;
         let mut trace_err: Option<LiveError> = None;
         for op in ops {
@@ -502,29 +516,35 @@ impl IngestEngine {
                     // the planner's freshness view (built mass, profiles —
                     // the ε re-validation inputs) tracks completed epoch
                     // swaps instead of being frozen at trace start.
-                    while let Ok(reply) = self.reply_rx.try_recv() {
-                        self.absorb_trace_reply(&mut gather, reply);
+                    while let Ok(reply) = reply_rx.try_recv() {
+                        self.absorb_status(&reply);
+                        gather.absorb(reply);
                     }
                     let q = match eps {
                         None => ServeQuery::exact(q.t1, q.t2, q.k),
                         Some(eps) => ServeQuery::approx(q.t1, q.t2, q.k, eps),
                     };
                     let route = self.route_for(&q);
-                    let qid = self.next_qid;
-                    self.next_qid += 1;
+                    let qid = base_qid + scattered;
+                    scattered += 1;
                     gather.scattered(q.k);
-                    if let Err(e) = self.scatter(LiveJob { qid, query: q, route }) {
+                    let job = LiveJob { qid, query: q, route, reply: reply_tx.clone() };
+                    if let Err(e) = self.scatter(job) {
                         trace_err = Some(e);
                         break;
                     }
                 }
             }
         }
+        drop(reply_tx);
         // Drain every outstanding reply even on the error path — a reply
         // left behind would be mis-attributed to a later query.
         while gather.received < gather.expected() {
-            match self.reply_rx.recv() {
-                Ok(reply) => self.absorb_trace_reply(&mut gather, reply),
+            match reply_rx.recv() {
+                Ok(reply) => {
+                    self.absorb_status(&reply);
+                    gather.absorb(reply);
+                }
                 Err(_) => {
                     trace_err.get_or_insert(LiveError::WorkerGone);
                     break;
@@ -540,15 +560,24 @@ impl IngestEngine {
         let answers: Vec<TopK> =
             gather.answers.into_iter().map(|a| a.expect("all shards replied")).collect();
         let elapsed_secs = t0.elapsed().as_secs_f64();
-        self.queries += answers.len() as u64;
-        self.elapsed_secs += elapsed_secs;
+        let mut counters =
+            self.query_counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        counters.queries += answers.len() as u64;
+        counters.elapsed_secs += elapsed_secs;
+        drop(counters);
         Ok(LiveOutcome { answers, appends, elapsed_secs })
     }
 
-    /// Fold one reply into the trace bookkeeping and the shard statuses.
-    fn absorb_trace_reply(&mut self, gather: &mut TraceGather, reply: ShardReply) {
-        self.statuses[reply.shard] = reply.status;
-        gather.absorb(reply);
+    /// Fold one reply's piggybacked status into the shard-status view.
+    /// Replies from concurrent `&self` queries can arrive out of order;
+    /// the shard stamps each status monotonically, so only a strictly
+    /// newer view replaces the stored one (an older reply must never
+    /// regress the planner's freshness to a superseded generation).
+    fn absorb_status(&self, reply: &ShardReply) {
+        let mut statuses = self.statuses.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if reply.status.seq > statuses[reply.shard].seq {
+            statuses[reply.shard] = reply.status;
+        }
     }
 
     /// Checkpoint: barrier every shard (so everything durable is also
@@ -577,38 +606,41 @@ impl IngestEngine {
 
     /// A snapshot of everything ingested and served so far.
     pub fn report(&self) -> LiveReport {
+        let statuses = self.statuses.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let counters =
+            self.query_counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut swap_pause = PauseHistogram::default();
-        for s in &self.statuses {
+        for s in statuses.iter() {
             swap_pause.merge(&s.swap_pause);
         }
         LiveReport {
             workers: self.workers.len(),
             appends: self.appends,
             batches: self.batches,
-            queries: self.queries,
-            elapsed_secs: self.elapsed_secs,
+            queries: counters.queries,
+            elapsed_secs: counters.elapsed_secs,
             wal: self.wal.io_stats(),
-            index_io: self.statuses.iter().map(|s| s.io).sum(),
-            rebuilds: self.statuses.iter().map(|s| s.rebuilds).sum(),
-            rebuilds_in_flight: self.statuses.iter().filter(|s| s.rebuild_in_flight).count() as u64,
-            index_bytes: self.statuses.iter().map(|s| s.size_bytes).sum(),
-            build_secs: self.statuses.iter().map(|s| s.build_secs).sum(),
+            index_io: statuses.iter().map(|s| s.io).sum(),
+            rebuilds: statuses.iter().map(|s| s.rebuilds).sum(),
+            rebuilds_in_flight: statuses.iter().filter(|s| s.rebuild_in_flight).count() as u64,
+            index_bytes: statuses.iter().map(|s| s.size_bytes).sum(),
+            build_secs: statuses.iter().map(|s| s.build_secs).sum(),
             swap_pause,
-            queries_during_rebuild: self.statuses.iter().map(|s| s.queries_during_rebuild).sum(),
-            cache_hits: self.statuses.iter().map(|s| s.cache_hits).sum(),
-            cache_lookups: self.statuses.iter().map(|s| s.cache_lookups).sum(),
-            cache_invalidations: self.statuses.iter().map(|s| s.cache_invalidations).sum(),
-            tail_segments: self.statuses.iter().map(|s| s.tail_segments).sum(),
-            built_mass: self.statuses.iter().map(|s| s.built_mass).sum(),
+            queries_during_rebuild: statuses.iter().map(|s| s.queries_during_rebuild).sum(),
+            cache_hits: statuses.iter().map(|s| s.cache_hits).sum(),
+            cache_lookups: statuses.iter().map(|s| s.cache_lookups).sum(),
+            cache_invalidations: statuses.iter().map(|s| s.cache_invalidations).sum(),
+            tail_segments: statuses.iter().map(|s| s.tail_segments).sum(),
+            built_mass: statuses.iter().map(|s| s.built_mass).sum(),
             live_mass: self.master.total_mass(),
-            generations: self.statuses.iter().map(|s| s.generation).max().unwrap_or(0),
+            generations: statuses.iter().map(|s| s.generation).max().unwrap_or(0),
             checkpoints: self.checkpoints,
         }
     }
 
     fn scatter(&self, job: LiveJob) -> Result<(), LiveError> {
         for worker in &self.workers {
-            worker.tx.send(ToShard::Query(job)).map_err(|_| LiveError::WorkerGone)?;
+            worker.tx.send(ToShard::Query(job.clone())).map_err(|_| LiveError::WorkerGone)?;
         }
         Ok(())
     }

@@ -1,50 +1,37 @@
-//! Generation hosts: the frozen, epoch-swapped index side of a shard.
+//! Generations: the frozen, epoch-swapped index side of a shard.
 //!
-//! The storage layer's `Rc`-based IO counters make every index `!Send`, so
-//! a freshly built generation cannot be handed between threads. Instead the
-//! *builder thread keeps what it builds*: a generation host receives a
-//! `Send`-able [`TemporalSet`] snapshot, constructs EXACT3 (+ optional
-//! EXACT1 / APPX1 / APPX2 / APPX2+ sharing one breakpoint set) locally,
-//! announces readiness to its shard, and then serves candidate probes over
-//! a channel until its sender is dropped at the next epoch swap.
+//! A generation is an **immutable snapshot**: EXACT3 (+ optional EXACT1 /
+//! APPX1 / APPX2 / APPX2+ sharing one breakpoint set) built over a copy of
+//! the live data, plus the metadata the planner and the ε re-validation
+//! need. Since the whole index stack is `Send + Sync`, the builder thread
+//! simply constructs the generation, hands the finished
+//! [`Arc<Generation>`] to its shard through the shard's own mailbox, and
+//! **exits** — the shard probes the shared snapshot directly, in-thread.
+//! (Before the storage layer became thread-safe this took a resident
+//! "generation host" thread serving probes over channels; that machinery
+//! is gone.)
 //!
-//! The shard thread therefore never blocks on a build: it keeps answering
-//! from the old host while the new one constructs, and the swap itself is
-//! a handle replacement (measured in the swap-pause histogram).
+//! The shard never blocks on a build: it keeps answering from the old
+//! generation while the new one constructs, and the swap itself is an
+//! `Arc` replacement (measured in the swap-pause histogram).
 
 use crate::shard::ToShard;
 use chronorank_core::{
-    AggKind, ApproxConfig, ApproxIndex, ApproxVariant, Breakpoints, Exact1, Exact3,
-    GenerationProfile, IndexConfig, ObjectId, TemporalSet, TopKMethod,
+    AggKind, ApproxConfig, Breakpoints, GenerationProfile, ObjectId, SharedMethod, TemporalSet,
 };
 use chronorank_serve::{panic_message, MethodSet, Route, RouteProfiles};
-use chronorank_storage::{Env, IoStats, StoreConfig};
-use std::sync::mpsc::{Receiver, Sender};
+use chronorank_storage::{IoStats, StoreConfig};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
 use std::time::Instant;
 
-/// What a generation host builds (one `Copy` bundle so spawn sites stay
-/// tidy).
+/// What a generation build constructs (one `Copy` bundle so spawn sites
+/// stay tidy).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct GenBuildSpec {
     pub methods: MethodSet,
     pub approx: ApproxConfig,
     pub store: StoreConfig,
-}
-
-/// Shard → generation-host requests.
-pub(crate) enum ToGen {
-    /// Fetch the frozen top-`k` candidates for `[t1, t2]` on `route`.
-    Probe { t1: f64, t2: f64, k: usize, route: Route },
-    /// Stop serving (also implied by the channel closing).
-    Shutdown,
-}
-
-/// Generation-host → shard probe answer.
-pub(crate) struct ProbeReply {
-    /// Frozen candidates, `(local id, frozen score)`, descending score.
-    pub result: Result<Vec<(ObjectId, f64)>, String>,
-    /// Cumulative IO of all this generation's indexes.
-    pub io: IoStats,
 }
 
 /// Everything a shard needs to route against a published generation.
@@ -77,51 +64,44 @@ impl GenMeta {
     }
 }
 
-/// The indexes one host owns (never leaves the host thread).
-struct GenIndexes {
-    methods: [Option<Box<dyn TopKMethod>>; 5],
+/// A published, immutable generation: built methods + metadata, shared as
+/// `Arc<Generation>` between the builder (briefly), the shard, and
+/// whatever the shard is answering right now.
+pub(crate) struct Generation {
+    pub meta: GenMeta,
+    methods: [Option<SharedMethod>; 5],
 }
 
-impl GenIndexes {
+impl Generation {
     fn build(
-        set: &TemporalSet,
-        methods: MethodSet,
-        approx: ApproxConfig,
-        store: StoreConfig,
-    ) -> chronorank_core::Result<(Self, RouteProfiles, Option<Breakpoints>, u64)> {
-        let mut built: [Option<Box<dyn TopKMethod>>; 5] = std::array::from_fn(|_| None);
-        if methods.exact1 {
-            built[Route::Exact1.idx()] = Some(Box::new(Exact1::build(set, IndexConfig { store })?));
-        }
-        built[Route::Exact3.idx()] = Some(Box::new(Exact3::build(set, IndexConfig { store })?));
-        let approx = ApproxConfig { store, ..approx };
-        let breakpoints = if methods.any_approx() {
-            Some(match approx.eps {
-                Some(eps) => Breakpoints::b2_with_eps(set, eps, approx.b2)?,
-                None => Breakpoints::b2_with_count(set, approx.r, approx.b2)?,
-            })
-        } else {
-            None
-        };
-        for (flag, route, variant) in [
-            (methods.appx1, Route::Appx1, ApproxVariant::APPX1),
-            (methods.appx2, Route::Appx2, ApproxVariant::APPX2),
-            (methods.appx2_plus, Route::Appx2Plus, ApproxVariant::APPX2_PLUS),
-        ] {
-            if flag {
-                let bp = breakpoints.clone().expect("breakpoints exist when any approx is built");
-                let idx =
-                    ApproxIndex::build_with_breakpoints(Env::mem(store), set, variant, approx, bp)?;
-                built[route.idx()] = Some(Box::new(idx));
-            }
-        }
+        snapshot: &TemporalSet,
+        generation: u64,
+        spec: GenBuildSpec,
+        build_secs: impl FnOnce() -> f64,
+    ) -> chronorank_core::Result<Self> {
+        let GenBuildSpec { methods, approx, store } = spec;
+        // The one construction path shared with serve shards: what a route
+        // is backed by can never diverge between the two layers.
+        let (built, breakpoints) =
+            chronorank_serve::build_route_methods(snapshot, methods, approx, store)?;
         let profiles: RouteProfiles =
             std::array::from_fn(|i| built[i].as_ref().map(|m| m.profile()));
         let size_bytes = built.iter().flatten().map(|m| m.size_bytes()).sum();
-        Ok((Self { methods: built }, profiles, breakpoints, size_bytes))
+        let meta = GenMeta {
+            generation,
+            built_mass: snapshot.total_mass(),
+            profiles,
+            breakpoints,
+            kmax: approx.kmax,
+            size_bytes,
+            build_secs: build_secs(),
+        };
+        Ok(Self { meta, methods: built })
     }
 
-    fn probe(
+    /// Frozen top-`k` candidates for `[t1, t2]` on `route` — a direct
+    /// in-thread probe of the shared snapshot.
+    pub fn probe(
         &self,
         t1: f64,
         t2: f64,
@@ -135,66 +115,29 @@ impl GenIndexes {
         Ok(top.entries().to_vec())
     }
 
-    fn io_total(&self) -> IoStats {
+    /// Cumulative IO of all this generation's indexes.
+    pub fn io_total(&self) -> IoStats {
         self.methods.iter().flatten().map(|m| m.io_stats()).sum()
     }
 }
 
-/// Thread body of one generation host: build, announce, serve probes.
+/// Thread body of one generation build: construct, hand the finished
+/// `Arc` to the shard's mailbox, exit. No serving loop — the shard owns
+/// the snapshot from here on.
 pub(crate) fn generation_main(
     generation: u64,
     snapshot: TemporalSet,
     spec: GenBuildSpec,
-    rx: Receiver<ToGen>,
-    reply_tx: Sender<ProbeReply>,
     ready_tx: Sender<ToShard>,
 ) {
     let t0 = Instant::now();
     let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        GenIndexes::build(&snapshot, spec.methods, spec.approx, spec.store)
+        Generation::build(&snapshot, generation, spec, || t0.elapsed().as_secs_f64())
     }));
-    let (indexes, meta) = match built {
-        Ok(Ok((indexes, profiles, breakpoints, size_bytes))) => {
-            let meta = GenMeta {
-                generation,
-                built_mass: snapshot.total_mass(),
-                profiles,
-                breakpoints,
-                kmax: spec.approx.kmax,
-                size_bytes,
-                build_secs: t0.elapsed().as_secs_f64(),
-            };
-            (indexes, meta)
-        }
-        Ok(Err(e)) => {
-            ready_tx.send(ToShard::GenReady { generation, result: Err(e.to_string()) }).ok();
-            return;
-        }
-        Err(payload) => {
-            let message = format!("generation build panicked: {}", panic_message(&*payload));
-            ready_tx.send(ToShard::GenReady { generation, result: Err(message) }).ok();
-            return;
-        }
+    let result = match built {
+        Ok(Ok(generation)) => Ok(Arc::new(generation)),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(payload) => Err(format!("generation build panicked: {}", panic_message(&*payload))),
     };
-    drop(snapshot);
-    if ready_tx.send(ToShard::GenReady { generation, result: Ok(Box::new(meta)) }).is_err() {
-        return; // shard gone before the build finished
-    }
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            ToGen::Probe { t1, t2, k, route } => {
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    indexes.probe(t1, t2, k, route)
-                }));
-                let result = outcome.unwrap_or_else(|payload| {
-                    Err(format!("probe panicked: {}", panic_message(&*payload)))
-                });
-                let reply = ProbeReply { result, io: indexes.io_total() };
-                if reply_tx.send(reply).is_err() {
-                    return;
-                }
-            }
-            ToGen::Shutdown => return,
-        }
-    }
+    ready_tx.send(ToShard::GenReady { generation, result }).ok();
 }

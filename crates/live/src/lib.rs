@@ -21,13 +21,14 @@
 //!    point between rebuilds**: the frozen index only nominates
 //!    candidates, never scores the answer.
 //! 3. **Epoch-swapped generations** — the §4 geometric mass-doubling
-//!    policy (or a full tail) triggers a rebuild: a *generation host*
-//!    thread constructs fresh EXACT3/APPX2(+)/breakpoint structures from a
-//!    snapshot **off the serving thread** (the `Rc`-based indexes are
-//!    `!Send`, so the builder keeps and serves what it builds), announces
-//!    readiness, and the shard swaps an `Arc` generation handle — a
-//!    microsecond pause measured in
-//!    [`LiveReport::swap_pause`]. Readers never block on a build.
+//!    policy (or a full tail) triggers a rebuild: a builder thread
+//!    constructs fresh EXACT3/APPX2(+)/breakpoint structures from a
+//!    snapshot **off the serving thread**, hands the finished immutable
+//!    `Arc` generation to the shard, and exits; the shard installs it
+//!    with an `Arc` swap — a microsecond pause measured in
+//!    [`LiveReport::swap_pause`]. Readers never block on a build, and the
+//!    shard probes the shared snapshot directly in-thread (the whole
+//!    index stack is `Send + Sync`).
 //! 4. **ε re-validation** — an approximate generation built over mass
 //!    `M_built` carries an absolute bound `ε·M_built`. As appends grow the
 //!    live mass, the planner

@@ -3,8 +3,9 @@
 //! A shard holds the *mutable* side of its partition — the live
 //! [`TemporalSet`] (appends applied immediately), the per-object frozen
 //! edge of the currently published generation, and the result cache — and
-//! talks to its frozen side (the generation host of [`crate::generation`])
-//! over a probe channel held in an `Arc` generation handle.
+//! probes its frozen side directly: the published generation is an
+//! immutable `Arc`-shared snapshot ([`crate::generation`]), so candidate
+//! fetches are plain in-thread calls, not channel round trips.
 //!
 //! ## Query = frozen candidates ∪ tail, exactly rescored
 //!
@@ -29,26 +30,29 @@
 //! invalidated and recomputed. Epoch swaps clear the cache outright.
 
 use crate::config::LiveConfig;
-use crate::generation::{generation_main, GenBuildSpec, GenMeta, ProbeReply, ToGen};
+use crate::generation::{generation_main, GenBuildSpec, Generation};
 use crate::report::PauseHistogram;
 use chronorank_core::{AppendRecord, ObjectId, TemporalSet};
 use chronorank_serve::{panic_message, LruCache, Route, RouteProfiles, ServeQuery};
 use chronorank_storage::IoStats;
 use std::cell::Cell;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// One routed query, as sent to every shard.
-#[derive(Debug, Clone, Copy)]
+/// One routed query, as sent to every shard. Carries the reply sender of
+/// the query that spawned it, so concurrent callers can never receive
+/// each other's answers.
+#[derive(Debug, Clone)]
 pub(crate) struct LiveJob {
     pub qid: u64,
     pub query: ServeQuery,
     pub route: Route,
+    pub reply: Sender<ShardReply>,
 }
 
-/// Coordinator (and generation hosts) → shard messages.
+/// Coordinator (and generation builders) → shard messages.
 pub(crate) enum ToShard {
     /// Apply a batch of already-durable appends (object ids are **local**).
     Apply(Vec<AppendRecord>),
@@ -56,28 +60,26 @@ pub(crate) enum ToShard {
     Query(LiveJob),
     /// Checkpoint barrier: reply once everything before this is applied.
     Ping(Sender<()>),
-    /// A generation host finished building (success or failure). Boxed:
-    /// the metadata (breakpoints, profiles) dwarfs every other variant.
+    /// A generation build finished (success or failure). On success the
+    /// payload is the finished, immediately shareable snapshot.
     GenReady {
         generation: u64,
-        result: Result<Box<GenMeta>, String>,
+        result: Result<Arc<Generation>, String>,
     },
     Shutdown,
 }
 
 /// The channel bundle one shard thread lives on.
 pub(crate) struct ShardChannels {
-    /// The mailbox (engine messages + generation-host announcements).
+    /// The mailbox (engine messages + generation-build announcements).
     pub rx: Receiver<ToShard>,
-    /// Sender for the same mailbox, cloned into spawned generation hosts.
+    /// Sender for the same mailbox, cloned into spawned builders.
     pub self_tx: Sender<ToShard>,
     /// One-shot build handshake back to the engine.
     pub build_tx: Sender<BuildOutcome>,
-    /// Query replies back to the engine.
-    pub reply_tx: Sender<ShardReply>,
 }
 
-/// Shard → coordinator answer for one query.
+/// Shard → caller answer for one query.
 pub(crate) struct ShardReply {
     pub qid: u64,
     pub shard: usize,
@@ -92,6 +94,11 @@ pub(crate) struct ShardReply {
 /// piggybacked on every reply so planner freshness never goes stale.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct ShardStatus {
+    /// Shard-local monotone stamp (one per status emitted). Concurrent
+    /// `&self` queries gather on private channels, so two replies can
+    /// reach the engine in either order — the stamp lets it keep only
+    /// the newest view instead of regressing to a superseded one.
+    pub seq: u64,
     pub generation: u64,
     pub built_mass: f64,
     pub tail_segments: u64,
@@ -139,26 +146,23 @@ struct Cached {
     snap_t2: f64,
     /// Absolute mass appended (potentially) inside the snapped interval
     /// since this entry was computed. `Cell` so the apply path can charge
-    /// it during a non-removing `retain` walk.
+    /// it during a non-removing `retain` walk. (The cache is shard-thread
+    /// private — mutable state stays single-owner; only the *frozen*
+    /// generations are shared across threads.)
     stale: Cell<f64>,
 }
 
-/// The published generation, as the query path sees it.
-struct GenHandle {
-    meta: Arc<GenMeta>,
-    probe_tx: Sender<ToGen>,
-    reply_rx: Receiver<ProbeReply>,
+/// The published generation plus its (already finished) builder thread,
+/// joined at the next swap.
+struct Installed {
+    gen: Arc<Generation>,
     join: Option<JoinHandle<()>>,
-    /// Latest IO snapshot from this generation's probe replies.
-    last_io: IoStats,
 }
 
-/// A build in flight: channels are pre-wired, the host announces itself
-/// through the shard's own mailbox when done.
+/// A build in flight: the builder announces the finished `Arc` through
+/// the shard's own mailbox and exits.
 struct PendingGen {
     generation: u64,
-    probe_tx: Sender<ToGen>,
-    reply_rx: Receiver<ProbeReply>,
     join: Option<JoinHandle<()>>,
     /// Per-object curve end at snapshot time (the new frozen edge).
     frozen_end: Vec<f64>,
@@ -175,10 +179,10 @@ struct ShardState {
     global_ids: Vec<ObjectId>,
     /// Per-object frozen edge of the published generation.
     frozen_end: Vec<f64>,
-    gen: Option<GenHandle>,
+    gen: Option<Installed>,
     pending: Option<PendingGen>,
     cache: Option<LruCache<CacheKey, Cached>>,
-    /// Mailbox sender, cloned into every spawned generation host.
+    /// Mailbox sender, cloned into every spawned generation build.
     self_tx: Sender<ToShard>,
     // --- counters ---
     applied: u64,
@@ -191,6 +195,8 @@ struct ShardState {
     cache_lookups: u64,
     cache_invalidations: u64,
     retired_io: IoStats,
+    /// Monotone stamp for emitted [`ShardStatus`]es (see its `seq` doc).
+    status_seq: u64,
     /// First unrecoverable error (reported on every later query).
     poisoned: Option<String>,
 }
@@ -225,17 +231,17 @@ impl ShardState {
             cache_lookups: 0,
             cache_invalidations: 0,
             retired_io: IoStats::default(),
+            status_seq: 0,
             poisoned: None,
         }
     }
 
-    /// Spawn a generation host over the current live state. The build runs
-    /// entirely off this thread; `GenReady` arrives through the mailbox.
+    /// Spawn a generation build over the current live state. The build
+    /// runs entirely off this thread; `GenReady` arrives through the
+    /// mailbox with the finished `Arc` and the builder exits.
     fn spawn_generation(&mut self, generation: u64) {
         let snapshot = self.live.clone();
         let frozen_end = self.live.objects().iter().map(|o| o.curve.end()).collect();
-        let (probe_tx, probe_rx) = channel();
-        let (reply_tx, reply_rx) = channel();
         let spec = GenBuildSpec {
             methods: self.config.methods,
             approx: self.config.approx,
@@ -244,27 +250,20 @@ impl ShardState {
         let ready_tx = self.self_tx.clone();
         let join = std::thread::Builder::new()
             .name(format!("chronorank-live-gen{}-{}", self.shard, generation))
-            .spawn(move || {
-                generation_main(generation, snapshot, spec, probe_rx, reply_tx, ready_tx)
-            })
+            .spawn(move || generation_main(generation, snapshot, spec, ready_tx))
             .ok();
         if join.is_none() {
-            self.poisoned = Some("failed to spawn generation host".into());
+            self.poisoned = Some("failed to spawn generation build".into());
             return;
         }
-        self.pending = Some(PendingGen {
-            generation,
-            probe_tx,
-            reply_rx,
-            join,
-            frozen_end,
-            stamp_applied: self.applied,
-        });
+        self.pending =
+            Some(PendingGen { generation, join, frozen_end, stamp_applied: self.applied });
     }
 
-    /// Epoch swap: install a ready generation. Everything here is the
-    /// reader-visible pause, so it is measured into the histogram.
-    fn install(&mut self, generation: u64, meta: GenMeta) {
+    /// Epoch swap: install a finished generation. Everything here is the
+    /// reader-visible pause — an `Arc` replacement plus bookkeeping — so
+    /// it is measured into the histogram.
+    fn install(&mut self, generation: u64, gen: Arc<Generation>) {
         let Some(pending) = self.pending.take() else { return };
         if pending.generation != generation {
             self.pending = Some(pending);
@@ -272,23 +271,15 @@ impl ShardState {
         }
         let t0 = Instant::now();
         if let Some(mut old) = self.gen.take() {
-            self.retired_io += old.last_io;
-            old.probe_tx.send(ToGen::Shutdown).ok();
-            drop(old.probe_tx);
+            self.retired_io += old.gen.io_total();
             if let Some(join) = old.join.take() {
-                join.join().ok();
+                join.join().ok(); // builder exited after its announce
             }
         }
         self.frozen_end = pending.frozen_end;
         self.gen_applied = pending.stamp_applied;
-        self.build_secs += meta.build_secs;
-        self.gen = Some(GenHandle {
-            meta: Arc::new(meta),
-            probe_tx: pending.probe_tx,
-            reply_rx: pending.reply_rx,
-            join: pending.join,
-            last_io: IoStats::default(),
-        });
+        self.build_secs += gen.meta.build_secs;
+        self.gen = Some(Installed { gen, join: pending.join });
         if let Some(cache) = &mut self.cache {
             cache.clear(); // superseded frozen parts
         }
@@ -333,12 +324,12 @@ impl ShardState {
         // Rebuild trigger: geometric mass doubling (core's §4 policy) or a
         // full tail.
         if self.pending.is_none() {
-            if let Some(gen) = &self.gen {
+            if let Some(installed) = &self.gen {
                 let tail = self.applied - self.gen_applied;
-                let mass_due =
-                    self.live.total_mass() >= self.config.rebuild.mass_factor * gen.meta.built_mass;
+                let mass_due = self.live.total_mass()
+                    >= self.config.rebuild.mass_factor * installed.gen.meta.built_mass;
                 if mass_due || tail >= self.config.rebuild.max_tail_segments as u64 {
-                    self.spawn_generation(gen.meta.generation + 1);
+                    self.spawn_generation(installed.gen.meta.generation + 1);
                 }
             }
         }
@@ -353,19 +344,19 @@ impl ShardState {
             self.queries_during_rebuild += 1;
         }
         let q = job.query;
-        let gen_meta = match &self.gen {
-            Some(g) => Arc::clone(&g.meta),
+        let gen = match &self.gen {
+            Some(installed) => Arc::clone(&installed.gen),
             None => return Err("no generation published".into()),
         };
         // APPX1/APPX2 answer over the *snapped* interval — that is route
         // semantics (their index structures only know breakpoint pairs),
         // not a cache artifact, so it must not depend on whether a cache
         // is configured.
-        let snapped = job.route.cacheable() && gen_meta.breakpoints.is_some();
+        let snapped = job.route.cacheable() && gen.meta.breakpoints.is_some();
         if !snapped {
-            return self.merged_answer(&gen_meta, q.t1, q.t2, q.k, job.route);
+            return self.merged_answer(&gen, q.t1, q.t2, q.k, job.route);
         }
-        let bp = gen_meta.breakpoints.as_ref().expect("checked above");
+        let bp = gen.meta.breakpoints.as_ref().expect("checked above");
         let key = CacheKey {
             b1: bp.snap_idx(q.t1) as u32,
             b2: bp.snap_idx(q.t2) as u32,
@@ -374,13 +365,13 @@ impl ShardState {
         };
         let (a, b) = (bp.snap(q.t1), bp.snap(q.t2));
         if self.cache.is_none() || q.tolerance.is_none() {
-            return self.merged_answer(&gen_meta, a, b, q.k, job.route);
+            return self.merged_answer(&gen, a, b, q.k, job.route);
         }
         // Staleness audit: this generation's re-validated absolute bound
         // ε·M_built, plus whatever mass landed inside the snapped interval
         // since the entry was computed, must still fit the query's
         // ε-budget against the *live* mass.
-        let eps_abs = gen_meta.profile(job.route).map_or(0.0, |g| g.eps_abs());
+        let eps_abs = gen.meta.profile(job.route).map_or(0.0, |g| g.eps_abs());
         let budget_abs = q.tolerance.map(|t| t.eps * self.live.total_mass()).unwrap_or(0.0);
         self.cache_lookups += 1;
         let mut invalidate = false;
@@ -395,7 +386,7 @@ impl ShardState {
         if invalidate {
             self.cache_invalidations += 1;
         }
-        let res = self.merged_answer(&gen_meta, a, b, q.k, job.route);
+        let res = self.merged_answer(&gen, a, b, q.k, job.route);
         if let Ok(entries) = &res {
             self.cache.as_mut().expect("cacheable implies cache").insert(
                 key,
@@ -409,7 +400,7 @@ impl ShardState {
     /// live curves over `[t1, t2]`, global ids, descending score.
     fn merged_answer(
         &mut self,
-        meta: &GenMeta,
+        gen: &Generation,
         t1: f64,
         t2: f64,
         k: usize,
@@ -435,9 +426,9 @@ impl ShardState {
         // approximate routes are additionally capped by their built kmax.
         let mut kk = (k + touched.len() + self.config.candidate_slack).min(m);
         if !route.is_exact() {
-            kk = kk.min(meta.kmax).max(k.min(meta.kmax));
+            kk = kk.min(gen.meta.kmax).max(k.min(gen.meta.kmax));
         }
-        let frozen = self.probe(t1, t2, kk, route)?;
+        let frozen = gen.probe(t1, t2, kk, route)?;
         let mut seen = vec![false; m];
         let mut candidates: Vec<ObjectId> = Vec::with_capacity(frozen.len() + touched.len());
         for (id, _) in frozen {
@@ -464,35 +455,22 @@ impl ShardState {
         Ok(scored.into_iter().map(|(id, s)| (self.global_ids[id as usize], s)).collect())
     }
 
-    /// One synchronous candidate probe against the generation host.
-    fn probe(
-        &mut self,
-        t1: f64,
-        t2: f64,
-        k: usize,
-        route: Route,
-    ) -> Result<Vec<(ObjectId, f64)>, String> {
-        let gen = self.gen.as_mut().expect("caller checked generation");
-        gen.probe_tx
-            .send(ToGen::Probe { t1, t2, k, route })
-            .map_err(|_| "generation host terminated".to_string())?;
-        let reply = gen.reply_rx.recv().map_err(|_| "generation host terminated".to_string())?;
-        gen.last_io = reply.io;
-        reply.result
-    }
-
-    fn status(&self) -> ShardStatus {
-        let (generation, built_mass, profiles, size_bytes) = match &self.gen {
-            Some(g) => (g.meta.generation, g.meta.built_mass, g.meta.profiles, g.meta.size_bytes),
-            None => (0, 0.0, [None; 5], 0),
+    fn status(&mut self) -> ShardStatus {
+        self.status_seq += 1;
+        let (generation, built_mass, profiles, size_bytes, gen_io) = match &self.gen {
+            Some(i) => {
+                let m = &i.gen.meta;
+                (m.generation, m.built_mass, m.profiles, m.size_bytes, i.gen.io_total())
+            }
+            None => (0, 0.0, [None; 5], 0, IoStats::default()),
         };
-        let io = self.retired_io + self.gen.as_ref().map(|g| g.last_io).unwrap_or_default();
         ShardStatus {
+            seq: self.status_seq,
             generation,
             built_mass,
             tail_segments: self.applied - self.gen_applied,
             rebuild_in_flight: self.pending.is_some(),
-            io,
+            io: self.retired_io + gen_io,
             profiles,
             rebuilds: self.rebuilds,
             build_secs: self.build_secs,
@@ -506,17 +484,14 @@ impl ShardState {
     }
 
     fn shutdown(&mut self) {
-        if let Some(mut gen) = self.gen.take() {
-            gen.probe_tx.send(ToGen::Shutdown).ok();
-            drop(gen.probe_tx);
-            if let Some(join) = gen.join.take() {
+        if let Some(mut installed) = self.gen.take() {
+            if let Some(join) = installed.join.take() {
                 join.join().ok();
             }
         }
         if let Some(mut pending) = self.pending.take() {
-            // A pending build cannot be interrupted; closing its channel
-            // makes it exit right after the (now unreceivable) announce.
-            drop(pending.probe_tx);
+            // A pending build cannot be interrupted; the builder exits
+            // right after its (now unread) announce.
             if let Some(join) = pending.join.take() {
                 join.join().ok();
             }
@@ -533,7 +508,7 @@ pub(crate) fn shard_main(
     config: LiveConfig,
     channels: ShardChannels,
 ) {
-    let ShardChannels { rx, self_tx, build_tx, reply_tx } = channels;
+    let ShardChannels { rx, self_tx, build_tx } = channels;
     let mut state = ShardState::new(shard, subset, global_ids, config, self_tx);
     state.spawn_generation(0);
     let mut build_tx = Some(build_tx);
@@ -553,16 +528,16 @@ pub(crate) fn shard_main(
                     Err(format!("query panicked: {}", panic_message(&*payload)))
                 });
                 let reply = ShardReply { qid: job.qid, shard, result, status: state.status() };
-                if reply_tx.send(reply).is_err() {
-                    break;
-                }
+                // A dropped receiver only means that query's caller gave
+                // up; later queries carry fresh senders, so keep serving.
+                job.reply.send(reply).ok();
             }
             ToShard::Ping(pong) => {
                 pong.send(()).ok();
             }
             ToShard::GenReady { generation, result } => match result {
-                Ok(meta) => {
-                    state.install(generation, *meta);
+                Ok(gen) => {
+                    state.install(generation, gen);
                     if generation == 0 {
                         if let Some(tx) = build_tx.take() {
                             let info = ShardInfo {
@@ -581,7 +556,11 @@ pub(crate) fn shard_main(
                     }
                 }
                 Err(message) => {
-                    state.pending = None;
+                    if let Some(mut pending) = state.pending.take() {
+                        if let Some(join) = pending.join.take() {
+                            join.join().ok();
+                        }
+                    }
                     if generation == 0 {
                         if let Some(tx) = build_tx.take() {
                             tx.send(BuildOutcome { shard, result: Err(message) }).ok();

@@ -137,7 +137,7 @@ fn checkpoint_then_recover_reproduces_answers() {
         // Simulated crash: engine dropped without another checkpoint.
     }
     {
-        let mut recovered = IngestEngine::new(&seed, config.clone()).unwrap();
+        let recovered = IngestEngine::new(&seed, config.clone()).unwrap();
         let got = recovered.query(q(recovered.live_set())).unwrap();
         assert_top_matches(&want, &got, "post-recovery");
         // The recovered master equals the fully applied stream.
@@ -247,4 +247,40 @@ fn report_renders() {
     let text = engine.report().to_string();
     assert!(text.contains("live report"), "{text}");
     assert!(text.contains("wal:"), "{text}");
+}
+
+#[test]
+fn ingest_engine_is_send_and_sync() {
+    // The network tier shares one engine behind an RwLock: queries (&self)
+    // overlap as readers, appends (&mut self) serialize as writers.
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<IngestEngine>();
+}
+
+#[test]
+fn concurrent_readers_query_one_live_engine() {
+    let stream = stock_stream(24, 16);
+    let seed = stream.base_set();
+    let mut engine = IngestEngine::new(&seed, LiveConfig::default()).unwrap();
+    // Apply half the appends so tails are non-trivial.
+    let records = stream.records();
+    engine.append_batch(&records[..records.len() / 2]).unwrap();
+    let live = engine.live_set().clone();
+    let (t1, t2) = (live.t_min() + 0.3 * live.span(), live.t_min() + 0.8 * live.span());
+    let want = engine.query(ServeQuery::exact(t1, t2, 5)).unwrap();
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let (engine, want) = (&engine, &want);
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    let got = engine.query(ServeQuery::exact(t1, t2, 5)).unwrap();
+                    assert_eq!(got.ids(), want.ids(), "thread {t}");
+                    for (a, b) in got.scores().iter().zip(want.scores()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "thread {t}");
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(engine.report().queries, 1 + 4 * 10);
 }

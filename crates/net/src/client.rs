@@ -15,10 +15,24 @@
 //!   [`PipelineOutcome::busy_retries`], so callers can see overload
 //!   instead of silently absorbing it).
 //!
-//! The server answers one connection's engine ops in submission order, so
-//! pipelined responses arrive in request order; ids are still matched
-//! explicitly, which is what makes BUSY-retry (a new id for the same
-//! query) unambiguous.
+//! ## The two BUSYs
+//!
+//! The server pushes back with `ErrCode::Busy` in two distinct
+//! situations, and the client keeps their accounting apart:
+//!
+//! * **admission** — the `max_in_flight` bound refused one *request*; the
+//!   response echoes that request's id, the connection stays healthy, and
+//!   retrying (what `pipeline_topk` does, counting
+//!   [`PipelineOutcome::busy_retries`]) is safe;
+//! * **connection cap** — the acceptor refused the whole *connection*
+//!   with one goodbye frame carrying request id `0`, then closed it.
+//!   Nothing sent on this connection was (or will be) executed; the
+//!   client surfaces [`NetError::Refused`] instead of retrying, because
+//!   re-sending on a closed connection can only produce IO errors.
+//!
+//! With several server engine threads, responses on one connection may
+//! complete out of submission order; ids are matched explicitly, which is
+//! also what makes BUSY-retry (a new id for the same query) unambiguous.
 
 use crate::frame::{
     encode_append_batch, AppendOk, Decoder, ErrCode, ErrorBody, Frame, FrameError, OpCode,
@@ -47,6 +61,14 @@ pub enum NetError {
     },
     /// The server answered with a well-formed frame of the wrong kind.
     Protocol(String),
+    /// The server refused the whole connection (connection cap): one BUSY
+    /// goodbye with request id 0, then close. Distinct from the per-request
+    /// admission BUSY in [`NetError::Remote`] — nothing on this connection
+    /// was executed, and retrying must reconnect, not re-send.
+    Refused {
+        /// The server's refusal message (names the cap).
+        message: String,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -56,6 +78,7 @@ impl std::fmt::Display for NetError {
             NetError::Frame(e) => write!(f, "frame: {e}"),
             NetError::Remote { code, message } => write!(f, "server error ({code:?}): {message}"),
             NetError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            NetError::Refused { message } => write!(f, "connection refused: {message}"),
         }
     }
 }
@@ -75,10 +98,18 @@ impl From<FrameError> for NetError {
 }
 
 impl NetError {
-    /// True when this is the server's typed admission-control pushback
-    /// (the request was not executed; retrying is safe).
+    /// True when this is the server's typed per-request admission-control
+    /// pushback (the request was not executed; re-sending on this same
+    /// connection is safe). Connection-cap refusals are NOT busy — see
+    /// [`NetError::is_refusal`].
     pub fn is_busy(&self) -> bool {
         matches!(self, NetError::Remote { code: ErrCode::Busy, .. })
+    }
+
+    /// True when the server refused the whole connection (connection
+    /// cap). Recovery means reconnecting later, not re-sending.
+    pub fn is_refusal(&self) -> bool {
+        matches!(self, NetError::Refused { .. })
     }
 }
 
@@ -107,7 +138,11 @@ pub struct PipelineOutcome {
     /// Per-query wall latency (first submission to final answer — a
     /// BUSY-retried query keeps accumulating), input order.
     pub latencies: Vec<Duration>,
-    /// How often the server pushed back with BUSY (each one re-sent).
+    /// How often the server's **admission control** (`max_in_flight`)
+    /// pushed back with a per-request BUSY (each one re-sent under a
+    /// fresh id). Connection-cap refusals never appear here — they abort
+    /// the run with [`NetError::Refused`] instead, since the server
+    /// closes the connection after refusing it.
     pub busy_retries: u64,
     /// Wall time for the whole run.
     pub elapsed: Duration,
@@ -251,12 +286,17 @@ impl NetClient {
             }
             let (id, resp) = self.recv()?;
             if id == 0 {
-                // Connection-scoped error (refused connection, lost
-                // framing): surface its typed code, not a protocol error.
-                if let Response::Error(e) = resp {
-                    return Err(NetError::Remote { code: e.code, message: e.message });
-                }
-                return Err(NetError::Protocol("non-error frame with request id 0".to_string()));
+                // Connection-scoped error: a BUSY here is the acceptor's
+                // connection-cap goodbye (the socket is already closing) —
+                // typed as a refusal so callers never mistake it for
+                // retryable admission pushback.
+                return Err(match resp {
+                    Response::Error(e) if e.code == ErrCode::Busy => {
+                        NetError::Refused { message: e.message }
+                    }
+                    Response::Error(e) => NetError::Remote { code: e.code, message: e.message },
+                    _ => NetError::Protocol("non-error frame with request id 0".to_string()),
+                });
             }
             let Some(i) = in_flight.remove(&id) else {
                 return Err(NetError::Protocol(format!("response for unknown request id {id}")));
@@ -321,6 +361,9 @@ impl NetClient {
         if let Response::Error(e) = resp {
             // Request id 0 marks a connection-scoped error (refused
             // connection, lost framing) — surface it whatever we awaited.
+            if got == 0 && e.code == ErrCode::Busy {
+                return Err(NetError::Refused { message: e.message });
+            }
             if got == id || got == 0 {
                 return Err(NetError::Remote { code: e.code, message: e.message });
             }

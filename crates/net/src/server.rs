@@ -1,17 +1,17 @@
-//! The TCP server: acceptor, per-connection IO threads, one engine
-//! thread, and explicit admission control.
+//! The TCP server: acceptor, per-connection IO threads, a pool of engine
+//! worker threads over one shared backend, and explicit admission control.
 //!
 //! ## Threading model
 //!
-//! The chronorank engines are deliberately single-owner: their shards
-//! keep `Rc`-based IO counters that must never cross a thread, so the
-//! engine handle itself (`ServeEngine` / `IngestEngine`) lives on **one**
-//! dedicated engine thread, constructed there via the `Send` builder
-//! closure passed to [`NetServer::start`]. Parallelism comes from the
-//! engine's own worker shards underneath, not from concurrent engine
-//! handles.
+//! The chronorank engines are `Send + Sync` (the whole index stack is),
+//! so one backend is **shared**: [`NetConfig::engine_threads`] worker
+//! threads drain a common job queue against the same `Arc`'d engine. A
+//! read-only [`ServeEngine`] answers every job through `&self` — engine
+//! workers genuinely overlap. A live [`IngestEngine`] sits behind an
+//! `RwLock`: queries overlap as readers, while appends and checkpoints
+//! serialize as writers (there is exactly one WAL).
 //!
-//! Around that serial resource:
+//! Around that shared resource:
 //!
 //! * an **acceptor** thread owns the listener, enforces the connection
 //!   cap (over-limit connections are answered with one typed BUSY frame
@@ -28,10 +28,15 @@
 //!   pipelined bursts coalesce into few syscalls, single requests flush
 //!   immediately).
 //!
+//! With more than one engine thread, jobs from a single connection may
+//! complete out of submission order; responses carry the request id they
+//! answer, and the client matches ids explicitly, so pipelining stays
+//! unambiguous.
+//!
 //! Shutdown is clean and total: the stop flag is raised, the acceptor is
 //! woken with a loopback connection, every live socket is shut down, and
-//! every thread — acceptor, readers, writers, engine — is joined before
-//! [`NetServer::shutdown`] returns.
+//! every thread — acceptor, readers, writers, engine workers — is joined
+//! before [`NetServer::shutdown`] returns.
 
 use crate::frame::{
     AppendOk, Decoder, ErrCode, ErrorBody, Frame, FrameError, OpCode, StatsBody, TopKRequest,
@@ -44,7 +49,7 @@ use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 /// Server tuning knobs.
@@ -61,11 +66,21 @@ pub struct NetConfig {
     /// Connection cap; over-limit connections receive one BUSY frame and
     /// are closed.
     pub max_connections: usize,
+    /// Engine worker threads draining the shared job queue against one
+    /// shared backend. More than one lets CPU-bound queries overlap
+    /// (reads run through `&self` / a read lock); live-backend writes
+    /// still serialize on the backend's write lock.
+    pub engine_threads: usize,
 }
 
 impl Default for NetConfig {
     fn default() -> Self {
-        Self { addr: "127.0.0.1:0".to_string(), max_in_flight: 256, max_connections: 64 }
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_in_flight: 256,
+            max_connections: 64,
+            engine_threads: 1,
+        }
     }
 }
 
@@ -73,40 +88,58 @@ impl Default for NetConfig {
 /// WAL-backed live ingest engine.
 pub enum Backend {
     /// Read path only: TOPK / STATS / PING (appends answer `Unsupported`).
+    /// Queried concurrently through `&self` by every engine worker.
     Serve(ServeEngine),
     /// Read + write paths: everything, including APPEND_BATCH and
-    /// CHECKPOINT.
-    Live(IngestEngine),
+    /// CHECKPOINT. Queries take the read lock (overlapping); appends and
+    /// checkpoints take the write lock (serialized — one WAL).
+    Live(RwLock<IngestEngine>),
+}
+
+impl From<ServeEngine> for Backend {
+    fn from(e: ServeEngine) -> Self {
+        Backend::Serve(e)
+    }
+}
+
+impl From<IngestEngine> for Backend {
+    fn from(e: IngestEngine) -> Self {
+        Backend::Live(RwLock::new(e))
+    }
 }
 
 impl Backend {
-    fn topk(&mut self, q: ServeQuery) -> Result<TopKResponse, (ErrCode, String)> {
-        let (topk, route): (TopK, Route) = match self {
-            Backend::Serve(e) => e.query_routed(q).map_err(|e| (ErrCode::Engine, e.to_string()))?,
-            Backend::Live(e) => e.query_routed(q).map_err(|e| (ErrCode::Engine, e.to_string()))?,
-        };
-        let (eps_used, appends_applied) = match self {
-            Backend::Serve(e) => (e.planner().profile(route).and_then(|p| p.eps), 0),
-            Backend::Live(e) => {
+    fn topk(&self, q: ServeQuery) -> Result<TopKResponse, (ErrCode, String)> {
+        match self {
+            Backend::Serve(e) => {
+                let (topk, route): (TopK, Route) =
+                    e.query_routed(q).map_err(|e| (ErrCode::Engine, e.to_string()))?;
+                let eps_used = e.planner().profile(route).and_then(|p| p.eps);
+                Ok(TopKResponse { topk, route, eps_used, appends_applied: 0 })
+            }
+            Backend::Live(lock) => {
+                let e = lock.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let (topk, route): (TopK, Route) =
+                    e.query_routed(q).map_err(|e| (ErrCode::Engine, e.to_string()))?;
                 let f = e.freshness();
-                let eps = e
+                let eps_used = e
                     .planner()
                     .profile(route)
                     .map(|p| p.revalidate(f.built_mass, f.live_mass))
                     .and_then(|p| p.eps);
-                (eps, e.appends())
+                Ok(TopKResponse { topk, route, eps_used, appends_applied: e.appends() })
             }
-        };
-        Ok(TopKResponse { topk, route, eps_used, appends_applied })
+        }
     }
 
-    fn append(&mut self, recs: &[AppendRecord]) -> Result<AppendOk, (ErrCode, String)> {
+    fn append(&self, recs: &[AppendRecord]) -> Result<AppendOk, (ErrCode, String)> {
         match self {
             Backend::Serve(_) => Err((
                 ErrCode::Unsupported,
                 "APPEND_BATCH requires a live backend; this server is read-only".to_string(),
             )),
-            Backend::Live(e) => {
+            Backend::Live(lock) => {
+                let mut e = lock.write().unwrap_or_else(std::sync::PoisonError::into_inner);
                 let before = e.appends();
                 e.append_batch(recs).map_err(|err| (ErrCode::Engine, err.to_string()))?;
                 Ok(AppendOk { accepted: e.appends() - before, total_appends: e.appends() })
@@ -114,13 +147,17 @@ impl Backend {
         }
     }
 
-    fn checkpoint(&mut self) -> Result<(), (ErrCode, String)> {
+    fn checkpoint(&self) -> Result<(), (ErrCode, String)> {
         match self {
             Backend::Serve(_) => Err((
                 ErrCode::Unsupported,
                 "CHECKPOINT requires a live backend; this server is read-only".to_string(),
             )),
-            Backend::Live(e) => e.checkpoint().map_err(|err| (ErrCode::Engine, err.to_string())),
+            Backend::Live(lock) => lock
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .checkpoint()
+                .map_err(|err| (ErrCode::Engine, err.to_string())),
         }
     }
 
@@ -130,7 +167,8 @@ impl Backend {
                 let r = e.report();
                 (0, r.workers as u32, r.queries, 0, e.domain())
             }
-            Backend::Live(e) => {
+            Backend::Live(lock) => {
+                let e = lock.read().unwrap_or_else(std::sync::PoisonError::into_inner);
                 let r = e.report();
                 let set = e.live_set();
                 (1, r.workers as u32, r.queries, r.appends, (set.t_min(), set.t_max()))
@@ -230,7 +268,7 @@ pub struct NetServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
-    engine: Option<JoinHandle<()>>,
+    engine_workers: Vec<JoinHandle<()>>,
     conns: Arc<Mutex<ConnRegistry>>,
 }
 
@@ -243,9 +281,9 @@ struct ConnRegistry {
 impl NetServer {
     /// Bind `config.addr` and serve the backend produced by `build`.
     ///
-    /// `build` runs on the dedicated engine thread (the engines hold
-    /// `Rc`-based state and are not `Send`, so they must be *born* where
-    /// they live); a build failure is reported here, not deferred.
+    /// The backend is built once, shared behind an `Arc`, and drained by
+    /// [`NetConfig::engine_threads`] worker threads (the engines are
+    /// `Send + Sync`); a build failure is reported here, not deferred.
     pub fn start<F>(config: NetConfig, build: F) -> Result<Self, ServerError>
     where
         F: FnOnce() -> Result<Backend, String> + Send + 'static,
@@ -262,33 +300,19 @@ impl NetServer {
             busy_rejections: AtomicU64::new(0),
             connections: AtomicU64::new(0),
         });
+        let backend = Arc::new(build().map_err(ServerError::Backend)?);
         let (job_tx, job_rx) = channel::<Job>();
-        let (ready_tx, ready_rx) = channel::<Result<(), String>>();
-        let engine_shared = Arc::clone(&shared);
-        let engine = std::thread::Builder::new()
-            .name("chronorank-net-engine".to_string())
-            .spawn(move || {
-                match build() {
-                    Ok(backend) => {
-                        ready_tx.send(Ok(())).ok();
-                        engine_main(backend, job_rx, &engine_shared);
-                    }
-                    Err(e) => {
-                        ready_tx.send(Err(e)).ok();
-                    }
-                };
-            })
-            .map_err(ServerError::Io)?;
-        match ready_rx.recv() {
-            Ok(Ok(())) => {}
-            Ok(Err(e)) => {
-                engine.join().ok();
-                return Err(ServerError::Backend(e));
-            }
-            Err(_) => {
-                engine.join().ok();
-                return Err(ServerError::Backend("engine thread died during build".to_string()));
-            }
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let mut engine_workers = Vec::with_capacity(config.engine_threads.max(1));
+        for i in 0..config.engine_threads.max(1) {
+            let backend = Arc::clone(&backend);
+            let rx = Arc::clone(&job_rx);
+            let engine_shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("chronorank-net-engine-{i}"))
+                .spawn(move || engine_main(&backend, &rx, &engine_shared))
+                .map_err(ServerError::Io)?;
+            engine_workers.push(handle);
         }
         let conns: Arc<Mutex<ConnRegistry>> = Arc::default();
         let acceptor_shared = Arc::clone(&shared);
@@ -306,30 +330,30 @@ impl NetServer {
                 );
             })
             .map_err(ServerError::Io)?;
-        Ok(Self { addr, shared, acceptor: Some(acceptor), engine: Some(engine), conns })
+        Ok(Self { addr, shared, acceptor: Some(acceptor), engine_workers, conns })
     }
 
     /// [`NetServer::start`] over a read-only [`ServeEngine`] built from
-    /// `set` on the engine thread.
+    /// `set`.
     pub fn start_serve(
         set: TemporalSet,
         engine: ServeConfig,
         net: NetConfig,
     ) -> Result<Self, ServerError> {
         Self::start(net, move || {
-            ServeEngine::new(&set, engine).map(Backend::Serve).map_err(|e| e.to_string())
+            ServeEngine::new(&set, engine).map(Backend::from).map_err(|e| e.to_string())
         })
     }
 
     /// [`NetServer::start`] over a live [`IngestEngine`] seeded with
-    /// `seed` (WAL recovery per `engine.wal_dir`) on the engine thread.
+    /// `seed` (WAL recovery per `engine.wal_dir`).
     pub fn start_live(
         seed: TemporalSet,
         engine: LiveConfig,
         net: NetConfig,
     ) -> Result<Self, ServerError> {
         Self::start(net, move || {
-            IngestEngine::new(&seed, engine).map(Backend::Live).map_err(|e| e.to_string())
+            IngestEngine::new(&seed, engine).map(Backend::from).map_err(|e| e.to_string())
         })
     }
 
@@ -374,7 +398,7 @@ impl NetServer {
         for h in handles {
             h.join().ok();
         }
-        if let Some(h) = self.engine.take() {
+        for h in self.engine_workers.drain(..) {
             h.join().ok();
         }
     }
@@ -386,8 +410,19 @@ impl Drop for NetServer {
     }
 }
 
-fn engine_main(mut backend: Backend, jobs: Receiver<Job>, shared: &Shared) {
-    while let Ok(job) = jobs.recv() {
+/// Thread body of one engine worker: pull a job off the shared queue,
+/// answer it against the shared backend, hand the frame to the writer.
+fn engine_main(backend: &Backend, jobs: &Mutex<Receiver<Job>>, shared: &Shared) {
+    loop {
+        // Idle workers queue on the mutex; the channel closing (acceptor
+        // gone at shutdown) ends the loop for everyone.
+        let job = {
+            let rx = jobs.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            match rx.recv() {
+                Ok(job) => job,
+                Err(_) => return,
+            }
+        };
         let frame = match job.op {
             EngineOp::TopK(q) => match backend.topk(q) {
                 Ok(resp) => Frame::new(OpCode::TopKOk, job.request_id, resp.encode()),

@@ -110,7 +110,7 @@ fn admission_control_answers_busy_instead_of_queueing() {
 }
 
 #[test]
-fn connection_cap_refuses_with_typed_busy_frame() {
+fn connection_cap_refuses_with_typed_refusal_not_busy() {
     let server = NetServer::start_serve(
         tiny_set(8),
         ServeConfig::default(),
@@ -119,9 +119,95 @@ fn connection_cap_refuses_with_typed_busy_frame() {
     .unwrap();
     let mut first = NetClient::connect(server.local_addr()).unwrap();
     assert_eq!(first.ping(b"a").unwrap(), b"a");
-    // The second connection is told why it is being turned away.
+    // The second connection is told why it is being turned away — and the
+    // client types it as a REFUSAL (whole connection, do not re-send),
+    // never as the retryable per-request admission BUSY.
     let mut second = NetClient::connect(server.local_addr()).unwrap();
-    expect_remote(second.ping(b"b"), ErrCode::Busy);
+    let result = second.ping(b"b");
+    match &result {
+        Err(e) => {
+            assert!(e.is_refusal(), "got {result:?}");
+            assert!(!e.is_busy(), "a connection-cap refusal must not look retryable");
+            assert!(e.to_string().contains("connection limit"), "got {e}");
+        }
+        Ok(_) => panic!("over-cap connection must be refused"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn pipeline_distinguishes_admission_busy_from_connection_refusal() {
+    let set = tiny_set(8);
+    // (a) Admission pushback: zero in-flight budget. The pipeline retries
+    // up to its cap, then surfaces the admission BUSY (is_busy, not a
+    // refusal) — the connection itself stays healthy throughout.
+    let server = NetServer::start_serve(
+        set.clone(),
+        ServeConfig::default(),
+        NetConfig { max_in_flight: 0, ..Default::default() },
+    )
+    .unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let qs = [ServeQuery::exact(10.0, 90.0, 2)];
+    let result = client.pipeline_topk(&qs, 1);
+    match &result {
+        Err(e) => {
+            assert!(e.is_busy(), "got {result:?}");
+            assert!(!e.is_refusal());
+        }
+        Ok(_) => panic!("a zero-admission server cannot answer"),
+    }
+    assert_eq!(client.ping(b"alive").unwrap(), b"alive");
+    server.shutdown();
+    // (b) Connection-cap refusal: the pipeline aborts with a typed
+    // refusal immediately — no retry storm against a closed socket.
+    let server = NetServer::start_serve(
+        set,
+        ServeConfig::default(),
+        NetConfig { max_connections: 1, ..Default::default() },
+    )
+    .unwrap();
+    let _first = NetClient::connect(server.local_addr()).unwrap();
+    let mut hold = NetClient::connect(server.local_addr()).unwrap();
+    // `_first` holds the only slot, so `hold` is over the cap.
+    let result = hold.pipeline_topk(&[ServeQuery::exact(10.0, 90.0, 2)], 4);
+    match &result {
+        Err(e) => assert!(e.is_refusal(), "got {result:?}"),
+        Ok(_) => panic!("over-cap pipeline must be refused"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn engine_thread_pool_answers_concurrent_pipelines_correctly() {
+    // N engine workers over ONE shared ServeEngine: concurrent pipelined
+    // clients must each get answers identical to a single-threaded oracle,
+    // even though responses may complete out of submission order.
+    let set = tiny_set(16);
+    let server = NetServer::start_serve(
+        set.clone(),
+        ServeConfig { workers: 2, ..Default::default() },
+        NetConfig { engine_threads: 4, ..Default::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let queries: Vec<ServeQuery> =
+        (0..24).map(|i| ServeQuery::exact(i as f64, 60.0 + i as f64, 3)).collect();
+    let mut oracle = NetClient::connect(addr).unwrap();
+    let want: Vec<_> =
+        queries.iter().map(|q| oracle.topk(*q).unwrap().topk.entries().to_vec()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let (queries, want) = (&queries, &want);
+            scope.spawn(move || {
+                let mut client = NetClient::connect(addr).unwrap();
+                let outcome = client.pipeline_topk(queries, 8).unwrap();
+                for (i, (got, want)) in outcome.answers.iter().zip(want).enumerate() {
+                    assert_eq!(got.topk.entries(), &want[..], "query {i}");
+                }
+            });
+        }
+    });
     server.shutdown();
 }
 

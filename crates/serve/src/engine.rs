@@ -1,13 +1,15 @@
-//! The serving engine: partition, scatter, gather, merge.
+//! The serving engine: partition, build once, scatter to a worker pool
+//! over shared snapshots, gather, merge.
 
 use crate::config::ServeConfig;
+use crate::panic_message;
 use crate::planner::{merge_profiles, Planner, PlannerParams, Route};
 use crate::query::ServeQuery;
 use crate::report::{RouteStats, ServeReport};
-use crate::shard::{worker_main, QueryJob, ToWorker, WorkerReply};
+use crate::shard::{Shard, ShardAnswer};
 use chronorank_core::{ObjectId, TemporalObject, TemporalSet, TopK};
-use chronorank_storage::IoStats;
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -64,105 +66,193 @@ impl StreamOutcome {
     }
 }
 
-struct Worker {
-    tx: Sender<ToWorker>,
-    handle: Option<JoinHandle<()>>,
+/// One unit of pool work: answer `query` on `shard`, reply tagged.
+struct Task {
+    shard: Arc<Shard>,
+    query: ServeQuery,
+    route: Route,
+    /// Index of the query within its stream (0 for single queries).
+    tag: u64,
+    reply: Sender<TaskReply>,
+}
+
+struct TaskReply {
+    tag: u64,
+    result: ShardAnswer,
+}
+
+/// A fixed set of worker threads draining one shared task queue. Workers
+/// hold no state of their own — every task carries the `Arc` of the shard
+/// it probes, so any worker can serve any shard at any time.
+struct WorkerPool {
+    task_tx: Option<Sender<Task>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> Result<Self, ServeError> {
+        let (task_tx, task_rx) = channel::<Task>();
+        let task_rx = Arc::new(Mutex::new(task_rx));
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers.max(1) {
+            let rx = Arc::clone(&task_rx);
+            let handle = std::thread::Builder::new()
+                .name(format!("chronorank-serve-{w}"))
+                .spawn(move || worker_main(&rx))
+                .map_err(|e| ServeError::Spawn(e.to_string()))?;
+            handles.push(handle);
+        }
+        Ok(Self { task_tx: Some(task_tx), handles })
+    }
+
+    fn submit(&self, task: Task) -> Result<(), ServeError> {
+        self.task_tx
+            .as_ref()
+            .expect("pool sender lives until drop")
+            .send(task)
+            .map_err(|_| ServeError::WorkerGone)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the queue is the shutdown signal; workers drain and exit.
+        self.task_tx.take();
+        for handle in self.handles.drain(..) {
+            handle.join().ok();
+        }
+    }
+}
+
+/// Thread body of one pool worker. Panic-safe: a panicking probe becomes
+/// an `Err` reply, so the gathering caller is never left short.
+fn worker_main(task_rx: &Mutex<Receiver<Task>>) {
+    loop {
+        // Holding the lock while blocked in `recv` is the hand-off: idle
+        // siblings queue on the mutex and take the next task in turn.
+        let task = {
+            let rx = task_rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            match rx.recv() {
+                Ok(task) => task,
+                Err(_) => return, // queue closed: engine is shutting down
+            }
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            task.shard.answer(task.query, task.route)
+        }));
+        let result = outcome
+            .unwrap_or_else(|payload| Err(format!("query panicked: {}", panic_message(&*payload))));
+        // A dropped receiver means the query's caller is gone; fine.
+        task.reply.send(TaskReply { tag: task.tag, result }).ok();
+    }
+}
+
+/// Coordinator-side counters behind one mutex (locked once per query or
+/// stream, off the scatter-gather hot path).
+struct Served {
+    routes: [RouteStats; 5],
+    queries: u64,
+    elapsed_secs: f64,
 }
 
 /// The sharded, cost-routed serving engine (see crate docs).
 ///
-/// Owns `W` worker threads, each holding one object partition with its own
-/// indexes, buffer pools, and result cache. Every query is routed once by
-/// the [`Planner`], scattered to all shards, and the shard-local top-k
-/// lists are k-way merged into the global answer.
+/// Data is partitioned once into immutable [`Arc`]-published shard
+/// snapshots; a pool of worker threads answers every query's per-shard
+/// parts in parallel and the shard-local top-k lists are k-way merged
+/// into the global answer. All query methods take `&self` — the engine
+/// itself is `Send + Sync`, so any number of caller threads (e.g. the
+/// network tier's engine workers) can query one engine concurrently.
 pub struct ServeEngine {
-    workers: Vec<Worker>,
-    reply_rx: Receiver<WorkerReply>,
+    shards: Vec<Arc<Shard>>,
+    pool: WorkerPool,
     planner: Planner,
     domain: (f64, f64),
-    next_qid: u64,
-    // --- accumulated statistics ---
-    routes: [RouteStats; 5],
-    shard_io: Vec<IoStats>,
-    cache_hits: u64,
-    cache_lookups: u64,
-    queries: u64,
-    elapsed_secs: f64,
+    served: Mutex<Served>,
     index_bytes: u64,
     build_secs: f64,
 }
 
 impl ServeEngine {
     /// Partition `set` across `config.workers` shards (round-robin by
-    /// object id), build every shard's indexes concurrently, and return
-    /// the ready-to-serve engine.
+    /// object id), build every shard's indexes **concurrently on build
+    /// threads**, and serve them with a same-sized worker pool.
     pub fn new(set: &TemporalSet, config: ServeConfig) -> Result<Self, ServeError> {
         let t0 = Instant::now();
         let w = config.workers.clamp(1, set.num_objects());
-        let (reply_tx, reply_rx) = channel();
-        let (build_tx, build_rx) = channel();
-        let mut workers = Vec::with_capacity(w);
-        for (shard, (subset, global_ids)) in partition(set, w).into_iter().enumerate() {
-            let (tx, rx) = channel();
-            let (btx, rtx) = (build_tx.clone(), reply_tx.clone());
-            let handle = std::thread::Builder::new()
-                .name(format!("chronorank-serve-{shard}"))
-                .spawn(move || worker_main(shard, subset, global_ids, config, rx, btx, rtx))
-                .map_err(|e| ServeError::Spawn(e.to_string()))?;
-            workers.push(Worker { tx, handle: Some(handle) });
-        }
-        drop(build_tx);
-        drop(reply_tx);
-
-        // Build handshake: every shard reports its built methods'
-        // `MethodProfile`s (the object-safe `TopKMethod` surface) and its
-        // size; the planner routes against the worst case across shards.
-        let (mut max_m, mut max_n, mut index_bytes) = (0u64, 0u64, 0u64);
-        let mut shard_profiles = Vec::with_capacity(w);
-        for _ in 0..w {
-            let outcome = build_rx.recv().map_err(|_| ServeError::WorkerGone)?;
-            match outcome.result {
-                Ok(info) => {
-                    max_m = max_m.max(info.m);
-                    max_n = max_n.max(info.n);
-                    index_bytes += info.size_bytes;
-                    shard_profiles.push(info.profiles);
-                }
-                Err(message) => {
-                    return Err(ServeError::Build { shard: outcome.shard, message });
-                }
+        let parts = partition(set, w);
+        let built: Vec<Result<Shard, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|(subset, global_ids)| {
+                    let config = &config;
+                    scope.spawn(move || {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            Shard::build(&subset, global_ids, config)
+                        }))
+                        .map_err(|p| format!("build panicked: {}", panic_message(&*p)))
+                        .and_then(|r| r.map_err(|e| e.to_string()))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("build threads do not panic")).collect()
+        });
+        let mut shards = Vec::with_capacity(w);
+        for (shard, outcome) in built.into_iter().enumerate() {
+            match outcome {
+                Ok(s) => shards.push(Arc::new(s)),
+                Err(message) => return Err(ServeError::Build { shard, message }),
             }
         }
+        let mut engine = Self::from_shards(shards, w)?;
+        engine.build_secs = t0.elapsed().as_secs_f64();
+        Ok(engine)
+    }
+
+    /// Serve an already-built set of shard snapshots with a pool of
+    /// `pool_workers` threads. The same `Arc<Shard>`s can back any number
+    /// of engines — this is how the bench harness measures parallel
+    /// speedup over **one** shared snapshot, and how a deployment could
+    /// resize its worker pool without rebuilding anything.
+    pub fn from_shards(shards: Vec<Arc<Shard>>, pool_workers: usize) -> Result<Self, ServeError> {
+        assert!(!shards.is_empty(), "an engine needs at least one shard");
+        let facts: Vec<_> = shards.iter().map(|s| s.facts()).collect();
+        let t_min = facts.iter().map(|f| f.t_min).fold(f64::INFINITY, f64::min);
+        let t_max = facts.iter().map(|f| f.t_max).fold(f64::NEG_INFINITY, f64::max);
         let planner = Planner::new(
             PlannerParams {
-                shard_m: max_m,
-                shard_n: max_n,
-                block: config.store.block_size as u64,
-                r: config.approx.r as u64,
-                span: set.span(),
+                shard_m: facts.iter().map(|f| f.m).max().unwrap_or(0),
+                shard_n: facts.iter().map(|f| f.n).max().unwrap_or(0),
+                block: facts[0].block,
+                r: facts[0].r,
+                span: (t_max - t_min).max(0.0),
             },
-            merge_profiles(&shard_profiles),
+            merge_profiles(&facts.iter().map(|f| f.profiles).collect::<Vec<_>>()),
         );
         Ok(Self {
-            workers,
-            reply_rx,
+            shards,
+            pool: WorkerPool::new(pool_workers)?,
             planner,
-            domain: (set.t_min(), set.t_max()),
-            next_qid: 0,
-            routes: [RouteStats::default(); 5],
-            shard_io: vec![IoStats::default(); w],
-            cache_hits: 0,
-            cache_lookups: 0,
-            queries: 0,
-            elapsed_secs: 0.0,
-            index_bytes,
-            build_secs: t0.elapsed().as_secs_f64(),
+            domain: (t_min, t_max),
+            served: Mutex::new(Served {
+                routes: [RouteStats::default(); 5],
+                queries: 0,
+                elapsed_secs: 0.0,
+            }),
+            index_bytes: facts.iter().map(|f| f.size_bytes).sum(),
+            build_secs: 0.0,
         })
     }
 
-    /// Number of worker shards actually running.
+    /// Number of shard partitions.
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.shards.len()
+    }
+
+    /// The shard snapshots this engine serves — shareable with further
+    /// engines via [`ServeEngine::from_shards`].
+    pub fn shards(&self) -> Vec<Arc<Shard>> {
+        self.shards.clone()
     }
 
     /// The served data's time domain `(t_min, t_max)` — what remote
@@ -187,40 +277,43 @@ impl ServeEngine {
 
     /// Re-configure the emulated per-block-read device latency on every
     /// shard (see [`crate::ServeConfig::simulated_read_latency`]). Takes
-    /// effect for all queries submitted after this call.
+    /// effect immediately (the knob is atomic).
     pub fn set_simulated_read_latency(
-        &mut self,
+        &self,
         latency: Option<std::time::Duration>,
     ) -> Result<(), ServeError> {
-        for worker in &self.workers {
-            worker.tx.send(ToWorker::SetLatency(latency)).map_err(|_| ServeError::WorkerGone)?;
+        for shard in &self.shards {
+            shard.set_latency(latency);
         }
         Ok(())
     }
 
-    /// Answer one query: route, scatter to all shards, k-way merge.
-    pub fn query(&mut self, q: ServeQuery) -> Result<TopK, ServeError> {
+    /// Answer one query: route, scatter to the pool, k-way merge.
+    pub fn query(&self, q: ServeQuery) -> Result<TopK, ServeError> {
         self.query_routed(q).map(|(top, _)| top)
     }
 
     /// [`ServeEngine::query`], also returning the route the planner chose
-    /// for exactly this execution (the decision and the answer are taken
-    /// atomically, so a reporting layer can never attribute an answer to
-    /// the wrong route).
-    pub fn query_routed(&mut self, q: ServeQuery) -> Result<(TopK, Route), ServeError> {
+    /// for exactly this execution. `&self`: concurrent callers each get
+    /// their own private reply channel, so answers can never cross.
+    pub fn query_routed(&self, q: ServeQuery) -> Result<(TopK, Route), ServeError> {
         let t0 = Instant::now();
         let route = self.planner.route(&q);
-        let qid = self.next_qid;
-        self.next_qid += 1;
-        self.scatter(QueryJob { qid, query: q, route })?;
-
-        let w = self.workers.len();
-        let mut lists = Vec::with_capacity(w);
+        let (reply_tx, reply_rx) = channel();
+        for shard in &self.shards {
+            self.pool.submit(Task {
+                shard: Arc::clone(shard),
+                query: q,
+                route,
+                tag: 0,
+                reply: reply_tx.clone(),
+            })?;
+        }
+        drop(reply_tx);
+        let mut lists = Vec::with_capacity(self.shards.len());
         let mut first_err = None;
-        for _ in 0..w {
-            let reply = self.reply_rx.recv().map_err(|_| ServeError::WorkerGone)?;
-            debug_assert_eq!(reply.qid, qid);
-            self.absorb(&reply);
+        for _ in 0..self.shards.len() {
+            let reply = reply_rx.recv().map_err(|_| ServeError::WorkerGone)?;
             match reply.result {
                 Ok(entries) => lists.push(entries),
                 Err(e) => first_err = Some(e),
@@ -231,36 +324,44 @@ impl ServeEngine {
         }
         let top = merge_ranked(&lists, q.k);
         let dt = t0.elapsed().as_secs_f64();
-        self.routes[route.idx()].queries += 1;
-        self.routes[route.idx()].secs += dt;
-        self.queries += 1;
-        self.elapsed_secs += dt;
+        let mut served = self.served.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        served.routes[route.idx()].queries += 1;
+        served.routes[route.idx()].secs += dt;
+        served.queries += 1;
+        served.elapsed_secs += dt;
         Ok((top, route))
     }
 
-    /// Answer a whole query stream, pipelined: every query is scattered up
-    /// front and the shards drain their queues independently, so the wall
+    /// Answer a whole query stream, pipelined: every per-shard task is
+    /// queued up front and the pool drains them in parallel, so the wall
     /// time measures serving throughput rather than per-query round trips.
-    pub fn run_stream(&mut self, queries: &[ServeQuery]) -> Result<StreamOutcome, ServeError> {
+    pub fn run_stream(&self, queries: &[ServeQuery]) -> Result<StreamOutcome, ServeError> {
         if queries.is_empty() {
             return Ok(StreamOutcome { answers: Vec::new(), elapsed_secs: 0.0 });
         }
         let t0 = Instant::now();
+        let w = self.shards.len();
         let routes: Vec<Route> = queries.iter().map(|q| self.planner.route(q)).collect();
-        let base = self.next_qid;
-        self.next_qid += queries.len() as u64;
+        let (reply_tx, reply_rx) = channel();
         for (i, (q, route)) in queries.iter().zip(&routes).enumerate() {
-            self.scatter(QueryJob { qid: base + i as u64, query: *q, route: *route })?;
+            for shard in &self.shards {
+                self.pool.submit(Task {
+                    shard: Arc::clone(shard),
+                    query: *q,
+                    route: *route,
+                    tag: i as u64,
+                    reply: reply_tx.clone(),
+                })?;
+            }
         }
+        drop(reply_tx);
 
-        let w = self.workers.len();
         let mut partial: Vec<Vec<Vec<(ObjectId, f64)>>> = vec![Vec::new(); queries.len()];
         let mut answers: Vec<Option<TopK>> = (0..queries.len()).map(|_| None).collect();
         let mut first_err = None;
         for _ in 0..queries.len() * w {
-            let reply = self.reply_rx.recv().map_err(|_| ServeError::WorkerGone)?;
-            let i = (reply.qid - base) as usize;
-            self.absorb(&reply);
+            let reply = reply_rx.recv().map_err(|_| ServeError::WorkerGone)?;
+            let i = reply.tag as usize;
             match reply.result {
                 Ok(entries) => {
                     partial[i].push(entries);
@@ -277,57 +378,38 @@ impl ServeEngine {
         }
         let elapsed_secs = t0.elapsed().as_secs_f64();
         let per_query = elapsed_secs / queries.len() as f64;
+        let mut served = self.served.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         for route in &routes {
-            self.routes[route.idx()].queries += 1;
-            self.routes[route.idx()].secs += per_query;
+            served.routes[route.idx()].queries += 1;
+            served.routes[route.idx()].secs += per_query;
         }
-        self.queries += queries.len() as u64;
-        self.elapsed_secs += elapsed_secs;
+        served.queries += queries.len() as u64;
+        served.elapsed_secs += elapsed_secs;
+        drop(served);
         let answers =
             answers.into_iter().map(|a| a.expect("all shards replied")).collect::<Vec<_>>();
         Ok(StreamOutcome { answers, elapsed_secs })
     }
 
-    /// A snapshot of everything served so far.
+    /// A snapshot of everything served so far. Cache and IO counters are
+    /// read straight off the shared shards.
     pub fn report(&self) -> ServeReport {
+        let served = self.served.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let (cache_hits, cache_lookups) = self
+            .shards
+            .iter()
+            .map(|s| s.cache_counters())
+            .fold((0, 0), |(h, l), (sh, sl)| (h + sh, l + sl));
         ServeReport {
-            workers: self.workers.len(),
-            queries: self.queries,
-            elapsed_secs: self.elapsed_secs,
-            routes: self.routes,
-            cache_hits: self.cache_hits,
-            cache_lookups: self.cache_lookups,
-            io: self.shard_io.iter().sum(),
+            workers: self.shards.len(),
+            queries: served.queries,
+            elapsed_secs: served.elapsed_secs,
+            routes: served.routes,
+            cache_hits,
+            cache_lookups,
+            io: self.shards.iter().map(|s| s.io_total()).sum(),
             index_bytes: self.index_bytes,
             build_secs: self.build_secs,
-        }
-    }
-
-    fn scatter(&self, job: QueryJob) -> Result<(), ServeError> {
-        for worker in &self.workers {
-            worker.tx.send(ToWorker::Query(job)).map_err(|_| ServeError::WorkerGone)?;
-        }
-        Ok(())
-    }
-
-    fn absorb(&mut self, reply: &WorkerReply) {
-        self.shard_io[reply.shard] = reply.io;
-        if let Some(hit) = reply.cache {
-            self.cache_lookups += 1;
-            self.cache_hits += hit as u64;
-        }
-    }
-}
-
-impl Drop for ServeEngine {
-    fn drop(&mut self) {
-        for worker in &self.workers {
-            worker.tx.send(ToWorker::Shutdown).ok();
-        }
-        for worker in &mut self.workers {
-            if let Some(handle) = worker.handle.take() {
-                handle.join().ok();
-            }
         }
     }
 }
@@ -380,8 +462,10 @@ impl Ord for Best {
 
 /// K-way merge of per-shard ranked lists (each descending score, ties by
 /// ascending id) into the global top-`k`. Shards partition the objects, so
-/// no deduplication is needed. Public so other sharded layers (the live
-/// ingest engine) can gather with identical ordering semantics.
+/// no deduplication is needed, and the (score, id) order is total, so the
+/// result is identical whatever order the lists were gathered in. Public
+/// so other sharded layers (the live ingest engine) can gather with
+/// identical ordering semantics.
 pub fn merge_ranked(lists: &[Vec<(ObjectId, f64)>], k: usize) -> TopK {
     let mut heap = std::collections::BinaryHeap::with_capacity(lists.len());
     let mut cursors = vec![0usize; lists.len()];
@@ -442,5 +526,14 @@ mod tests {
         flat.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         flat.truncate(7);
         assert_eq!(merge_ranked(&lists, 7).entries(), &flat[..]);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let mut lists =
+            vec![vec![(0u32, 9.0), (4, 1.0)], vec![(1u32, 8.0)], vec![(2u32, 9.0), (5, 0.5)]];
+        let want = merge_ranked(&lists, 4);
+        lists.reverse();
+        assert_eq!(merge_ranked(&lists, 4).entries(), want.entries());
     }
 }

@@ -4,13 +4,16 @@
 //! over large temporal data (`m ≈ 1.5M`, `N = 10⁸`); this crate is the
 //! layer that serves a *stream* of such queries: a [`ServeEngine`] that
 //!
-//! 1. **shards** a [`TemporalSet`] across `W` worker threads (round-robin
-//!    by object id). Each worker owns its own single-threaded index
-//!    structures — the storage layer's `Rc<Cell<_>>` IO counters never
-//!    cross a thread — and every query is answered scatter-gather with a
-//!    k-way merge of the shard-local top-k lists (exact: because shards
-//!    partition the objects, the global top-k is a subset of the union of
-//!    shard top-k's);
+//! 1. **shards** a [`TemporalSet`] into `W` partitions (round-robin by
+//!    object id), builds every partition's indexes concurrently, and
+//!    publishes each as an immutable `Arc<Shard>` **snapshot** — the
+//!    storage layer is `Send + Sync`, so built indexes are shared, not
+//!    duplicated. A pool of worker threads answers every query's per-shard
+//!    parts in parallel (any worker serves any shard) and the shard-local
+//!    top-k lists are k-way merged (exact: because shards partition the
+//!    objects, the global top-k is a subset of the union of shard
+//!    top-k's). All query methods take `&self`, so whole engines are
+//!    themselves shareable across caller threads;
 //! 2. **routes** each query with a cost-based [`Planner`] built on
 //!    [`chronorank_core::cost_model`] (the paper's Figure-3 table as
 //!    executable formulas). Per query `(t1, t2, k, tolerance)` it picks:
@@ -48,7 +51,7 @@
 //!     })
 //!     .collect();
 //! let set = TemporalSet::from_curves(curves).unwrap();
-//! let mut engine =
+//! let engine =
 //!     ServeEngine::new(&set, ServeConfig { workers: 4, ..Default::default() }).unwrap();
 //! // An exact query and an approximate one (ε-budget 5% of total mass).
 //! let exact = engine.query(ServeQuery::exact(10.0, 60.0, 5)).unwrap();
@@ -76,6 +79,7 @@ pub use planner::{
 };
 pub use query::{ServeQuery, Tolerance};
 pub use report::{RouteStats, ServeReport};
+pub use shard::{build_route_methods, Shard};
 
 /// Render a `catch_unwind` payload into a readable error message. Shared
 /// by every worker-thread layer that converts panics into `Err` replies

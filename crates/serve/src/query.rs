@@ -16,9 +16,8 @@ pub struct Tolerance {
 }
 
 /// One serving-layer query: `top-k(t1, t2, sum)` plus the client's error
-/// tolerance. Plain `Copy` data, so it crosses worker-thread channels
-/// freely (unlike the `Rc`-based index structures, which never leave their
-/// worker).
+/// tolerance. Plain `Copy` data, so it crosses worker-thread channels and
+/// task queues freely.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeQuery {
     /// Query interval start.

@@ -1,73 +1,54 @@
-//! The shard worker: one thread owning one partition of the data and its
-//! own single-threaded index structures.
+//! Shared-snapshot shards: one partition's indexes, built once, queried by
+//! any number of worker threads.
 //!
-//! The storage layer's `Rc<Cell<_>>` IO counters make every index
-//! `!Send` by design — so indexes are **built inside** the worker thread
-//! and never cross it. Only plain data crosses the channels: the
-//! [`ServeQuery`] descriptor going in, `(ObjectId, f64)` answer lists and
-//! [`IoStats`] snapshots coming out.
+//! Since the storage layer became `Send + Sync` (atomic IO counters, a
+//! mutex-guarded buffer pool), a fully built index is an immutable
+//! snapshot. A [`Shard`] bundles one partition's built methods behind an
+//! `Arc`: the engine's worker pool scatters every query to all shards and
+//! any free worker answers any shard's part — true parallel
+//! scatter-gather over shared state, with no per-worker index duplication.
+//!
+//! The only mutable pieces are the shard-local result cache (a small LRU
+//! behind its own [`Mutex`]; the critical section is a key lookup or an
+//! insert, never an index probe) and the emulated-device latency knob (a
+//! relaxed atomic read per probe).
 
 use crate::cache::LruCache;
 use crate::config::ServeConfig;
-use crate::panic_message;
-use crate::planner::{Route, RouteProfiles};
+use crate::planner::{MethodSet, Route, RouteProfiles};
 use crate::query::ServeQuery;
 use chronorank_core::{
     AggKind, ApproxConfig, ApproxIndex, ApproxVariant, Breakpoints, Exact1, Exact3, IndexConfig,
-    ObjectId, TemporalSet, TopKMethod,
+    ObjectId, SharedMethod, TemporalSet,
 };
-use chronorank_storage::{Env, IoStats};
-use std::sync::mpsc::{Receiver, Sender};
+use chronorank_storage::{Env, IoStats, StoreConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// A shard-local ranked answer (global ids) or an error message.
 pub(crate) type ShardAnswer = Result<Vec<(ObjectId, f64)>, String>;
 
-/// One routed query, as sent to every worker.
+/// The shard-local result cache under its lock.
+type ResultCache = Mutex<LruCache<CacheKey, Vec<(ObjectId, f64)>>>;
+
+/// Per-shard facts the engine folds into the planner and report.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct QueryJob {
-    pub qid: u64,
-    pub query: ServeQuery,
-    pub route: Route,
-}
-
-/// Coordinator → worker messages.
-pub(crate) enum ToWorker {
-    Query(QueryJob),
-    /// Re-configure the emulated device latency (applies to every later
-    /// query; channels are FIFO, so no acknowledgement is needed).
-    SetLatency(Option<Duration>),
-    Shutdown,
-}
-
-/// Worker → coordinator answer for one query.
-pub(crate) struct WorkerReply {
-    pub qid: u64,
-    pub shard: usize,
-    /// Shard-local top-k with **global** object ids, descending score.
-    pub result: ShardAnswer,
-    /// `None`: the route was not cacheable (or caching is off);
-    /// `Some(hit)`: a cache lookup happened.
-    pub cache: Option<bool>,
-    /// Cumulative IO of all this shard's indexes (snapshot).
-    pub io: IoStats,
-}
-
-/// Worker → coordinator build handshake.
-pub(crate) struct BuildOutcome {
-    pub shard: usize,
-    pub result: Result<BuildInfo, String>,
-}
-
-/// Per-shard facts the coordinator folds into the planner and report.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct BuildInfo {
+pub(crate) struct ShardFacts {
     pub m: u64,
     pub n: u64,
     /// Profile of every built method, per route — the object-safe
-    /// [`TopKMethod::profile`] surface the planner dispatches on.
+    /// [`chronorank_core::TopKMethod::profile`] surface the planner
+    /// dispatches on.
     pub profiles: RouteProfiles,
     pub size_bytes: u64,
+    /// This partition's time domain (the engine merges all shards').
+    pub t_min: f64,
+    pub t_max: f64,
+    /// Inputs the planner needs back when an engine is rebuilt over
+    /// already-built shards ([`crate::ServeEngine::from_shards`]).
+    pub block: u64,
+    pub r: u64,
 }
 
 /// Key of the shard-local result cache: the **snapped** interval (as
@@ -82,90 +63,144 @@ struct CacheKey {
     route: Route,
 }
 
-/// Everything a worker owns. Lives (and dies) on the worker thread.
-struct ShardState {
-    methods: [Option<Box<dyn TopKMethod>>; 5],
-    breakpoints: Option<Breakpoints>,
-    cache: Option<LruCache<CacheKey, Vec<(ObjectId, f64)>>>,
-    /// Local dense id → global id.
-    global_ids: Vec<ObjectId>,
-    latency: Option<Duration>,
+/// Build the per-route method array one serving snapshot needs: optional
+/// EXACT1, mandatory EXACT3, and the enabled APPX variants sharing one
+/// breakpoint set. The single construction path for both serve shards and
+/// live generations — the two layers must never diverge in what a route
+/// is backed by.
+pub fn build_route_methods(
+    set: &TemporalSet,
+    methods: MethodSet,
+    approx: ApproxConfig,
+    store: StoreConfig,
+) -> chronorank_core::Result<([Option<SharedMethod>; 5], Option<Breakpoints>)> {
+    let mut built: [Option<SharedMethod>; 5] = std::array::from_fn(|_| None);
+    if methods.exact1 {
+        built[Route::Exact1.idx()] = Some(Box::new(Exact1::build(set, IndexConfig { store })?));
+    }
+    built[Route::Exact3.idx()] = Some(Box::new(Exact3::build(set, IndexConfig { store })?));
+    let approx = ApproxConfig { store, ..approx };
+    let breakpoints = if methods.any_approx() {
+        Some(match approx.eps {
+            Some(eps) => Breakpoints::b2_with_eps(set, eps, approx.b2)?,
+            None => Breakpoints::b2_with_count(set, approx.r, approx.b2)?,
+        })
+    } else {
+        None
+    };
+    for (flag, route, variant) in [
+        (methods.appx1, Route::Appx1, ApproxVariant::APPX1),
+        (methods.appx2, Route::Appx2, ApproxVariant::APPX2),
+        (methods.appx2_plus, Route::Appx2Plus, ApproxVariant::APPX2_PLUS),
+    ] {
+        if flag {
+            let bp = breakpoints.clone().expect("breakpoints exist when any approx is built");
+            let idx =
+                ApproxIndex::build_with_breakpoints(Env::mem(store), set, variant, approx, bp)?;
+            built[route.idx()] = Some(Box::new(idx));
+        }
+    }
+    Ok((built, breakpoints))
 }
 
-impl ShardState {
-    fn build(
+/// One partition's built, immutable index snapshot (see module docs).
+/// Published as `Arc<Shard>`; every method takes `&self`.
+pub struct Shard {
+    methods: [Option<SharedMethod>; 5],
+    breakpoints: Option<Breakpoints>,
+    cache: Option<ResultCache>,
+    /// Local dense id → global id.
+    global_ids: Vec<ObjectId>,
+    /// Emulated device latency per block read, in µs (`0` = none).
+    latency_us: AtomicU64,
+    facts: ShardFacts,
+}
+
+impl Shard {
+    /// Build one partition's indexes per `cfg`. Runs wherever the caller
+    /// wants (the engine builds all partitions concurrently); the result
+    /// is immediately shareable.
+    pub(crate) fn build(
         set: &TemporalSet,
         global_ids: Vec<ObjectId>,
         cfg: &ServeConfig,
-    ) -> chronorank_core::Result<(Self, BuildInfo)> {
+    ) -> chronorank_core::Result<Self> {
         let store = cfg.store;
-        let mut methods: [Option<Box<dyn TopKMethod>>; 5] = std::array::from_fn(|_| None);
-        if cfg.methods.exact1 {
-            methods[Route::Exact1.idx()] =
-                Some(Box::new(Exact1::build(set, IndexConfig { store })?));
-        }
-        methods[Route::Exact3.idx()] = Some(Box::new(Exact3::build(set, IndexConfig { store })?));
-
-        let approx = ApproxConfig { store, ..cfg.approx };
-        let breakpoints = if cfg.methods.any_approx() {
-            Some(match approx.eps {
-                Some(eps) => Breakpoints::b2_with_eps(set, eps, approx.b2)?,
-                None => Breakpoints::b2_with_count(set, approx.r, approx.b2)?,
-            })
-        } else {
-            None
-        };
-        for (flag, route, variant) in [
-            (cfg.methods.appx1, Route::Appx1, ApproxVariant::APPX1),
-            (cfg.methods.appx2, Route::Appx2, ApproxVariant::APPX2),
-            (cfg.methods.appx2_plus, Route::Appx2Plus, ApproxVariant::APPX2_PLUS),
-        ] {
-            if flag {
-                let bp = breakpoints.clone().expect("breakpoints exist when any approx is built");
-                let idx =
-                    ApproxIndex::build_with_breakpoints(Env::mem(store), set, variant, approx, bp)?;
-                methods[route.idx()] = Some(Box::new(idx));
-            }
-        }
-
+        let (methods, breakpoints) = build_route_methods(set, cfg.methods, cfg.approx, store)?;
         let size_bytes = methods.iter().flatten().map(|m| m.size_bytes()).sum();
-        let info = BuildInfo {
+        let facts = ShardFacts {
             m: set.num_objects() as u64,
             n: set.num_segments(),
             profiles: std::array::from_fn(|i| methods[i].as_ref().map(|m| m.profile())),
             size_bytes,
+            t_min: set.t_min(),
+            t_max: set.t_max(),
+            block: store.block_size as u64,
+            r: cfg.approx.r as u64,
         };
-        let cache = (cfg.cache_capacity > 0).then(|| LruCache::new(cfg.cache_capacity));
-        let state =
-            Self { methods, breakpoints, cache, global_ids, latency: cfg.simulated_read_latency };
-        Ok((state, info))
+        let cache = (cfg.cache_capacity > 0).then(|| Mutex::new(LruCache::new(cfg.cache_capacity)));
+        let latency_us =
+            AtomicU64::new(cfg.simulated_read_latency.map_or(0, |d| d.as_micros() as u64));
+        Ok(Self { methods, breakpoints, cache, global_ids, latency_us, facts })
+    }
+
+    pub(crate) fn facts(&self) -> ShardFacts {
+        self.facts
+    }
+
+    /// Re-configure the emulated per-block-read device latency. Probes
+    /// read the knob atomically, so this takes effect immediately, even
+    /// for queries already queued.
+    pub(crate) fn set_latency(&self, latency: Option<Duration>) {
+        self.latency_us.store(latency.map_or(0, |d| d.as_micros() as u64), Ordering::Relaxed);
+    }
+
+    /// Cumulative IO across all of this shard's indexes.
+    pub(crate) fn io_total(&self) -> IoStats {
+        self.methods.iter().flatten().map(|m| m.io_stats()).sum()
+    }
+
+    /// `(hits, lookups)` of the shard-local result cache.
+    pub(crate) fn cache_counters(&self) -> (u64, u64) {
+        match &self.cache {
+            Some(cache) => {
+                let cache = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                (cache.hits(), cache.hits() + cache.misses())
+            }
+            None => (0, 0),
+        }
     }
 
     /// Answer one routed query, consulting the result cache when the route
-    /// permits. Returns the answer and `Some(hit)` if a lookup happened.
-    fn answer(&mut self, job: &QueryJob) -> (ShardAnswer, Option<bool>) {
-        let q = job.query;
+    /// permits. `&self`: any worker thread may answer for any shard.
+    pub(crate) fn answer(&self, q: ServeQuery, route: Route) -> ShardAnswer {
         let key = match (&self.breakpoints, &self.cache) {
-            (Some(bp), Some(_)) if job.route.cacheable() => Some(CacheKey {
+            (Some(bp), Some(_)) if route.cacheable() => Some(CacheKey {
                 b1: bp.snap_idx(q.t1) as u32,
                 b2: bp.snap_idx(q.t2) as u32,
                 k: q.k as u32,
-                route: job.route,
+                route,
             }),
             _ => None,
         };
-        if let Some(key) = key {
-            if let Some(hit) = self.cache.as_mut().expect("key implies cache").get(&key) {
-                return (Ok(hit.clone()), Some(true));
-            }
-            let res = self.probe(job.route, q);
-            if let Ok(entries) = &res {
-                self.cache.as_mut().expect("key implies cache").insert(key, entries.clone());
-            }
-            (res, Some(false))
-        } else {
-            (self.probe(job.route, q), None)
+        let Some(key) = key else { return self.probe(route, q) };
+        let cache = self.cache.as_ref().expect("key implies cache");
+        if let Some(hit) =
+            cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key).cloned()
+        {
+            return Ok(hit);
         }
+        // The index probe runs outside the cache lock; two workers racing
+        // on the same cold key both probe and the second insert wins —
+        // identical answers either way (cached == uncached is bit-exact).
+        let res = self.probe(route, q);
+        if let Ok(entries) = &res {
+            cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(key, entries.clone());
+        }
+        res
     }
 
     /// Run the routed index probe and translate ids to the global space.
@@ -173,79 +208,23 @@ impl ShardState {
         let method = self.methods[route.idx()]
             .as_ref()
             .ok_or_else(|| format!("route {} not built on this shard", route.name()))?;
-        let before = method.io_stats();
+        let latency_us = self.latency_us.load(Ordering::Relaxed);
+        let before = (latency_us > 0).then(chronorank_storage::IoCounter::thread_reads);
         let top = method.top_k(q.t1, q.t2, q.k, AggKind::Sum).map_err(|e| e.to_string())?;
-        if let Some(latency) = self.latency {
-            let reads = method.io_stats().since(before).reads;
+        if let Some(before) = before {
+            // Emulated device: sleep once per block read THIS probe did.
+            // The thread-local tally attributes reads exactly to the
+            // calling worker, so concurrent probes on one shard never
+            // smear into each other's sleep time — the emulation is
+            // deterministic at any pool size.
+            let reads = chronorank_storage::IoCounter::thread_reads() - before;
             if reads > 0 {
-                std::thread::sleep(latency.saturating_mul(reads.min(u32::MAX as u64) as u32));
+                std::thread::sleep(
+                    Duration::from_micros(latency_us)
+                        .saturating_mul(reads.min(u32::MAX as u64) as u32),
+                );
             }
         }
         Ok(top.entries().iter().map(|&(id, s)| (self.global_ids[id as usize], s)).collect())
-    }
-
-    /// Cumulative IO across all of this shard's indexes.
-    fn io_total(&self) -> IoStats {
-        self.methods.iter().flatten().map(|m| m.io_stats()).sum()
-    }
-}
-
-/// Thread body of one worker: build, handshake, then serve until shutdown.
-///
-/// Panic-safe by contract with the coordinator: the build sender is
-/// dropped right after the handshake and query-time panics are converted
-/// into `Err` replies, so a buggy index can never leave the coordinator
-/// blocked on a reply that will not come.
-pub(crate) fn worker_main(
-    shard: usize,
-    set: TemporalSet,
-    global_ids: Vec<ObjectId>,
-    cfg: ServeConfig,
-    rx: Receiver<ToWorker>,
-    build_tx: Sender<BuildOutcome>,
-    reply_tx: Sender<WorkerReply>,
-) {
-    let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        ShardState::build(&set, global_ids, &cfg)
-    }));
-    let mut state = match built {
-        Ok(Ok((state, info))) => {
-            let alive = build_tx.send(BuildOutcome { shard, result: Ok(info) }).is_ok();
-            // Release the handshake channel: the coordinator detects a
-            // dead sibling worker by its sender dropping, which only works
-            // if healthy workers do not hold clones forever.
-            drop(build_tx);
-            if !alive {
-                return;
-            }
-            state
-        }
-        Ok(Err(e)) => {
-            build_tx.send(BuildOutcome { shard, result: Err(e.to_string()) }).ok();
-            return;
-        }
-        Err(payload) => {
-            let message = format!("build panicked: {}", panic_message(&*payload));
-            build_tx.send(BuildOutcome { shard, result: Err(message) }).ok();
-            return;
-        }
-    };
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            ToWorker::Query(job) => {
-                let outcome =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.answer(&job)));
-                let (result, cache) = outcome.unwrap_or_else(|payload| {
-                    (Err(format!("query panicked: {}", panic_message(&*payload))), None)
-                });
-                let reply =
-                    WorkerReply { qid: job.qid, shard, result, cache, io: state.io_total() };
-                if reply_tx.send(reply).is_err() {
-                    return;
-                }
-            }
-            ToWorker::SetLatency(latency) => state.latency = latency,
-            ToWorker::Shutdown => return,
-        }
     }
 }

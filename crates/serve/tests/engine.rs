@@ -22,7 +22,7 @@ fn exact_queries_match_bruteforce_at_any_width() {
     let (t1, t2) = (set.t_min() + 0.3 * set.span(), set.t_min() + 0.7 * set.span());
     let truth = set.top_k_bruteforce(t1, t2, 8);
     for w in [1usize, 3, 4] {
-        let mut engine = ServeEngine::new(&set, config(w)).unwrap();
+        let engine = ServeEngine::new(&set, config(w)).unwrap();
         assert_eq!(engine.workers(), w);
         let got = engine.query(ServeQuery::exact(t1, t2, 8)).unwrap();
         assert_eq!(got.ids(), truth.ids(), "W = {w}");
@@ -42,7 +42,7 @@ fn worker_count_is_clamped_to_objects() {
 #[test]
 fn repeated_hot_queries_hit_the_cache() {
     let set = dataset(50);
-    let mut engine = ServeEngine::new(&set, config(2)).unwrap();
+    let engine = ServeEngine::new(&set, config(2)).unwrap();
     let (t1, t2) = (set.t_min() + 0.2 * set.span(), set.t_min() + 0.5 * set.span());
     let q = ServeQuery::approx(t1, t2, 6, 0.2);
     assert_eq!(engine.route_for(&q), Route::Appx2);
@@ -61,7 +61,7 @@ fn repeated_hot_queries_hit_the_cache() {
 #[test]
 fn snapped_neighbours_share_a_cache_entry() {
     let set = dataset(50);
-    let mut engine = ServeEngine::new(&set, config(1)).unwrap();
+    let engine = ServeEngine::new(&set, config(1)).unwrap();
     let (t1, t2) = (set.t_min() + 0.31 * set.span(), set.t_min() + 0.62 * set.span());
     engine.query(ServeQuery::approx(t1, t2, 5, 0.2)).unwrap();
     // A slightly perturbed interval snaps to the same breakpoint pair (the
@@ -89,10 +89,10 @@ fn stream_matches_one_by_one_queries() {
         store: chronorank_storage::StoreConfig { block_size: 4096, pool_capacity: 8 },
         ..Default::default()
     };
-    let mut streamed = ServeEngine::new(&set, cfg).unwrap();
+    let streamed = ServeEngine::new(&set, cfg).unwrap();
     let outcome = streamed.run_stream(&qs).unwrap();
     assert_eq!(outcome.answers.len(), qs.len());
-    let mut serial = ServeEngine::new(&set, config(4)).unwrap();
+    let serial = ServeEngine::new(&set, config(4)).unwrap();
     for (i, q) in qs.iter().enumerate() {
         let one = serial.query(*q).unwrap();
         assert_eq!(one.entries(), outcome.answers[i].entries(), "query {i}");
@@ -121,7 +121,7 @@ fn zipf_streams_are_mostly_cache_hits() {
     );
     let qs: Vec<ServeQuery> =
         workload.generate().iter().map(|q| ServeQuery::approx(q.t1, q.t2, q.k, 0.3)).collect();
-    let mut engine = ServeEngine::new(&set, config(2)).unwrap();
+    let engine = ServeEngine::new(&set, config(2)).unwrap();
     engine.run_stream(&qs).unwrap();
     let report = engine.report();
     assert!(
@@ -135,7 +135,7 @@ fn zipf_streams_are_mostly_cache_hits() {
 #[test]
 fn unsatisfiable_budgets_are_served_exactly() {
     let set = dataset(40);
-    let mut engine = ServeEngine::new(&set, config(2)).unwrap();
+    let engine = ServeEngine::new(&set, config(2)).unwrap();
     // ε far below what r = 128 breakpoints achieve on 40 objects.
     let q = ServeQuery::approx(set.t_min(), set.t_min() + 0.4 * set.span(), 5, 1e-12);
     let route = engine.route_for(&q);
@@ -152,7 +152,7 @@ fn k_beyond_kmax_falls_back_to_exact() {
         approx: chronorank_core::ApproxConfig { kmax: 8, ..Default::default() },
         ..Default::default()
     };
-    let mut engine = ServeEngine::new(&set, cfg).unwrap();
+    let engine = ServeEngine::new(&set, cfg).unwrap();
     let q = ServeQuery::approx(set.t_min(), set.t_min() + 0.5 * set.span(), 20, 0.3);
     assert!(engine.route_for(&q).is_exact());
     assert_eq!(engine.query(q).unwrap().len(), 20);
@@ -162,7 +162,7 @@ fn k_beyond_kmax_falls_back_to_exact() {
 fn disabled_cache_never_reports_lookups() {
     let set = dataset(40);
     let cfg = ServeConfig { workers: 2, cache_capacity: 0, ..Default::default() };
-    let mut engine = ServeEngine::new(&set, cfg).unwrap();
+    let engine = ServeEngine::new(&set, cfg).unwrap();
     let q = ServeQuery::approx(set.t_min(), set.t_min() + 0.4 * set.span(), 5, 0.3);
     engine.query(q).unwrap();
     engine.query(q).unwrap();
@@ -182,7 +182,7 @@ fn latency_toggle_slows_and_restores_io_bound_queries() {
         store: chronorank_storage::StoreConfig { block_size: 4096, pool_capacity: 8 },
         ..Default::default()
     };
-    let mut engine = ServeEngine::new(&set, cfg).unwrap();
+    let engine = ServeEngine::new(&set, cfg).unwrap();
     let q = ServeQuery::exact(set.t_min() + 0.1 * set.span(), set.t_min() + 0.6 * set.span(), 5);
     let fast = engine.query(q).unwrap();
     engine.set_simulated_read_latency(Some(std::time::Duration::from_millis(4))).unwrap();
@@ -226,9 +226,65 @@ fn methods_can_be_trimmed_to_exact3_only() {
         methods: MethodSet { exact1: false, appx1: false, appx2: false, appx2_plus: false },
         ..Default::default()
     };
-    let mut engine = ServeEngine::new(&set, cfg).unwrap();
+    let engine = ServeEngine::new(&set, cfg).unwrap();
     // Approximate tolerance cannot be honoured: exact fallback.
     let q = ServeQuery::approx(set.t_min(), set.t_min() + 0.3 * set.span(), 4, 0.5);
     assert_eq!(engine.route_for(&q), Route::Exact3);
     assert_eq!(engine.query(q).unwrap().len(), 4);
+}
+
+#[test]
+fn engine_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServeEngine>();
+    assert_send_sync::<std::sync::Arc<chronorank_serve::Shard>>();
+}
+
+#[test]
+fn concurrent_callers_share_one_engine() {
+    // The network tier's engine workers do exactly this: many threads
+    // querying one ServeEngine through a shared reference. Every thread
+    // must see answers bit-identical to a serial oracle.
+    let set = dataset(60);
+    let engine = ServeEngine::new(&set, config(4)).unwrap();
+    let qs: Vec<ServeQuery> = (0..12)
+        .map(|i| {
+            let a = set.t_min() + (0.05 + 0.03 * i as f64) * set.span();
+            ServeQuery::exact(a, a + 0.25 * set.span(), 6)
+        })
+        .collect();
+    let want: Vec<_> = qs.iter().map(|q| engine.query(*q).unwrap()).collect();
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let (engine, qs, want) = (&engine, &qs, &want);
+            scope.spawn(move || {
+                for round in 0..5 {
+                    let i = (t + round * 3) % qs.len();
+                    let got = engine.query(qs[i]).unwrap();
+                    assert_eq!(got.entries(), want[i].entries(), "thread {t} query {i}");
+                }
+            });
+        }
+    });
+    assert_eq!(engine.report().queries, 12 + 4 * 5);
+}
+
+#[test]
+fn engines_over_shared_shards_answer_identically() {
+    // The parallel-speedup bench shape: build the partitions ONCE, then
+    // serve the same Arc<Shard> snapshots from pools of different sizes.
+    let set = dataset(60);
+    let base = ServeEngine::new(&set, config(4)).unwrap();
+    let shards = base.shards();
+    let q = ServeQuery::exact(set.t_min() + 0.2 * set.span(), set.t_min() + 0.7 * set.span(), 7);
+    let want = base.query(q).unwrap();
+    for pool_workers in [1usize, 2, 8] {
+        let engine = ServeEngine::from_shards(shards.clone(), pool_workers).unwrap();
+        assert_eq!(engine.workers(), 4, "shard count is independent of the pool size");
+        let got = engine.query(q).unwrap();
+        assert_eq!(got.ids(), want.ids(), "pool = {pool_workers}");
+        for (a, b) in got.scores().iter().zip(want.scores()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "pool = {pool_workers}");
+        }
+    }
 }

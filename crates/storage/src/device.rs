@@ -11,7 +11,13 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// An array of fixed-size blocks addressed by [`PageId`].
-pub trait BlockDevice {
+///
+/// `Send + Sync` are supertraits: devices live inside pools and logs that
+/// move between (and are shared by) threads, so every implementation must
+/// be transferable and reference-shareable. Devices take `&mut self` —
+/// exclusion is the caller's job (the pool's internal lock, or plain
+/// ownership) — so `Sync` costs implementations nothing.
+pub trait BlockDevice: Send + Sync {
     /// Block size in bytes; all buffers passed in must be exactly this long.
     fn block_size(&self) -> usize;
 

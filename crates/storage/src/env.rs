@@ -5,14 +5,20 @@
 //! [`Env`]; the environment's counter then reports the structure's total IO,
 //! mirroring how the paper charges all block transfers of a method to one
 //! budget.
+//!
+//! `Env` is `Send + Sync`: the name registry sits behind a [`Mutex`] and the
+//! child counter is atomic, so concurrent builders (parallel shard builds,
+//! generation hosts) can open files and spawn sub-environments from one
+//! shared environment without racing the namespace bookkeeping.
 
 use crate::device::{FileDevice, MemDevice};
 use crate::error::{Result, StorageError};
 use crate::pool::{PagedFile, StoreConfig};
 use crate::stats::{IoCounter, IoStats};
-use std::cell::RefCell;
 use std::collections::HashSet;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 
 /// Where an [`Env`] places its files.
 #[derive(Debug, Clone)]
@@ -28,11 +34,11 @@ pub struct Env {
     backing: EnvBacking,
     config: StoreConfig,
     counter: IoCounter,
-    names: RefCell<HashSet<String>>,
+    names: Mutex<HashSet<String>>,
     /// Name prefix (used by [`Env::child`] to give sub-environments their
     /// own namespace while sharing the counter).
     prefix: String,
-    children: std::cell::Cell<u32>,
+    children: AtomicU32,
 }
 
 impl Env {
@@ -42,9 +48,9 @@ impl Env {
             backing: EnvBacking::Memory,
             config,
             counter: IoCounter::new(),
-            names: RefCell::new(HashSet::new()),
+            names: Mutex::new(HashSet::new()),
             prefix: String::new(),
-            children: std::cell::Cell::new(0),
+            children: AtomicU32::new(0),
         }
     }
 
@@ -56,25 +62,26 @@ impl Env {
             backing: EnvBacking::Directory(path),
             config,
             counter: IoCounter::new(),
-            names: RefCell::new(HashSet::new()),
+            names: Mutex::new(HashSet::new()),
             prefix: String::new(),
-            children: std::cell::Cell::new(0),
+            children: AtomicU32::new(0),
         })
     }
 
     /// A sub-environment with its own file namespace but **sharing this
     /// environment's IO counter** — used by composite indexes (e.g. APPX2+
     /// combines QUERY2 with an EXACT2 forest and reports one IO total).
+    /// Concurrent callers get distinct namespaces: the child ordinal is a
+    /// single atomic increment.
     pub fn child(&self) -> Env {
-        let n = self.children.get();
-        self.children.set(n + 1);
+        let n = self.children.fetch_add(1, Ordering::Relaxed);
         Env {
             backing: self.backing.clone(),
             config: self.config,
             counter: self.counter.clone(),
-            names: RefCell::new(HashSet::new()),
+            names: Mutex::new(HashSet::new()),
             prefix: format!("{}c{n}_", self.prefix),
-            children: std::cell::Cell::new(0),
+            children: AtomicU32::new(0),
         }
     }
 
@@ -89,10 +96,14 @@ impl Env {
     }
 
     /// Create a new logical file. Names must be unique within the
-    /// environment.
+    /// environment; the check-and-insert is atomic under the registry
+    /// lock, so two threads racing on one name see exactly one winner.
     pub fn create_file(&self, name: &str) -> Result<PagedFile> {
-        if !self.names.borrow_mut().insert(name.to_string()) {
-            return Err(StorageError::DuplicateFile(name.to_string()));
+        {
+            let mut names = self.names.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if !names.insert(name.to_string()) {
+                return Err(StorageError::DuplicateFile(name.to_string()));
+            }
         }
         let device: Box<dyn crate::BlockDevice> = match &self.backing {
             EnvBacking::Memory => Box::new(MemDevice::new(self.config.block_size)),
@@ -184,5 +195,44 @@ mod tests {
         assert!(env.io_stats().writes > 0);
         env.reset_io();
         assert_eq!(env.io_stats(), IoStats::default());
+    }
+
+    #[test]
+    fn env_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Env>();
+    }
+
+    #[test]
+    fn concurrent_create_file_and_child_never_collide() {
+        // Regression for the pre-refactor `RefCell<HashSet>` / `Cell<u32>`
+        // bookkeeping: 8 threads hammer one shared Env with unique names,
+        // one contended duplicate name, and child() spawns. Exactly one
+        // thread may win the duplicate; child prefixes must all differ.
+        let env = Env::mem(StoreConfig { block_size: 128, pool_capacity: 2 });
+        let dup_wins = std::sync::atomic::AtomicU32::new(0);
+        let prefixes = Mutex::new(HashSet::new());
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let env = &env;
+                let dup_wins = &dup_wins;
+                let prefixes = &prefixes;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        env.create_file(&format!("t{t}_f{i}")).unwrap();
+                        let child = env.child();
+                        // Children share the counter but not the namespace.
+                        child.create_file("same-name-every-child").unwrap();
+                        assert!(prefixes.lock().unwrap().insert(child.prefix.clone()));
+                    }
+                    if env.create_file("contended").is_ok() {
+                        dup_wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(dup_wins.load(Ordering::Relaxed), 1, "exactly one winner for a raced name");
+        assert_eq!(prefixes.lock().unwrap().len(), 8 * 50);
+        assert_eq!(env.children.load(Ordering::Relaxed), 8 * 50);
     }
 }

@@ -19,9 +19,16 @@
 //!   ingest path (CRC'd records, crash replay, truncation on checkpoint),
 //!   counted separately as `wal_writes`/`wal_bytes`.
 //!
-//! All structures are single-threaded by design (queries in the paper are
-//! sequential); the pool uses interior mutability so that read paths take
-//! `&self`.
+//! ## Concurrency
+//!
+//! Every structure here is **thread-safe**: [`IoCounter`] is an `Arc` of
+//! atomics (lock-free adds), [`PagedFile`] synchronizes its pool behind an
+//! internal mutex so all methods take `&self`, and [`Env`] guards its name
+//! registry the same way. A fully built index is therefore an immutable,
+//! shareable snapshot — serving layers put one behind an `Arc` and query it
+//! from any number of worker threads. [`WriteAheadLog`] takes `&mut self`
+//! (a log has exactly one appender); it is `Send`, so the single owner can
+//! live on whichever thread ingests.
 //!
 //! ## Example
 //!

@@ -6,9 +6,25 @@
 //! an [`crate::Env`] hands the same counter to every file it creates, and an
 //! index structure built from several files (EXACT2 uses `m` of them) still
 //! reports one total.
+//!
+//! Counters are lock-free and cross-thread: an [`IoCounter`] is an `Arc` of
+//! atomics, so any number of worker threads can charge IOs to one shared
+//! budget without synchronizing, and a coordinator can snapshot totals at
+//! any time. Relaxed ordering is enough — the counters are statistics, not
+//! synchronization; publication of the *structures* that do the IO happens
+//! through channels, `Arc`s and locks elsewhere.
 
 use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    /// Per-thread tally of block reads charged through ANY [`IoCounter`]
+    /// on this thread. Lets a caller measure exactly the reads *its own*
+    /// probe performed even while other threads charge the same shared
+    /// counter (see [`IoCounter::thread_reads`]).
+    static THREAD_READS: Cell<u64> = const { Cell::new(0) };
+}
 
 /// A snapshot of IO activity.
 ///
@@ -78,10 +94,20 @@ impl<'a> std::iter::Sum<&'a IoStats> for IoStats {
     }
 }
 
-/// A cheaply clonable, shared IO counter (single-threaded: `Rc<Cell<_>>`).
+/// The shared atomic cells behind an [`IoCounter`].
+#[derive(Debug, Default)]
+struct Cells {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    wal_writes: AtomicU64,
+    wal_bytes: AtomicU64,
+}
+
+/// A cheaply clonable, shared, **thread-safe** IO counter
+/// (`Arc`-of-atomics; adds are lock-free, `Relaxed`).
 #[derive(Debug, Clone, Default)]
 pub struct IoCounter {
-    inner: Rc<Cell<IoStats>>,
+    inner: Arc<Cells>,
 }
 
 impl IoCounter {
@@ -92,34 +118,48 @@ impl IoCounter {
 
     /// Record `n` block reads.
     pub fn add_reads(&self, n: u64) {
-        let mut s = self.inner.get();
-        s.reads += n;
-        self.inner.set(s);
+        self.inner.reads.fetch_add(n, Ordering::Relaxed);
+        THREAD_READS.with(|c| c.set(c.get() + n));
+    }
+
+    /// Block reads charged by the **current thread** (across all
+    /// counters) since thread start. Shared counters make per-caller
+    /// deltas ambiguous under concurrency; a synchronous caller can
+    /// instead difference this around an operation to get exactly its
+    /// own read count — deterministic no matter what other threads do.
+    pub fn thread_reads() -> u64 {
+        THREAD_READS.with(Cell::get)
     }
 
     /// Record `n` block writes.
     pub fn add_writes(&self, n: u64) {
-        let mut s = self.inner.get();
-        s.writes += n;
-        self.inner.set(s);
+        self.inner.writes.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Record one WAL block flush carrying `bytes` of fresh payload.
     pub fn add_wal_write(&self, bytes: u64) {
-        let mut s = self.inner.get();
-        s.wal_writes += 1;
-        s.wal_bytes += bytes;
-        self.inner.set(s);
+        self.inner.wal_writes.fetch_add(1, Ordering::Relaxed);
+        self.inner.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
-    /// Current totals.
+    /// Current totals. Each field is read atomically; a snapshot taken
+    /// while other threads are counting is a consistent point between
+    /// whole increments per field, not across fields.
     pub fn snapshot(&self) -> IoStats {
-        self.inner.get()
+        IoStats {
+            reads: self.inner.reads.load(Ordering::Relaxed),
+            writes: self.inner.writes.load(Ordering::Relaxed),
+            wal_writes: self.inner.wal_writes.load(Ordering::Relaxed),
+            wal_bytes: self.inner.wal_bytes.load(Ordering::Relaxed),
+        }
     }
 
-    /// Reset both counters to zero.
+    /// Reset all counters to zero.
     pub fn reset(&self) {
-        self.inner.set(IoStats::default());
+        self.inner.reads.store(0, Ordering::Relaxed);
+        self.inner.writes.store(0, Ordering::Relaxed);
+        self.inner.wal_writes.store(0, Ordering::Relaxed);
+        self.inner.wal_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -195,5 +235,52 @@ mod tests {
         assert_eq!(twice.since(s), s);
         let summed: IoStats = [s, s, IoStats::default()].iter().sum();
         assert_eq!(summed, twice);
+    }
+
+    #[test]
+    fn concurrent_adds_from_eight_threads_never_lose_increments() {
+        let c = IoCounter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..5_000 {
+                        c.add_reads(1);
+                        c.add_writes(2);
+                        c.add_wal_write(3);
+                    }
+                });
+            }
+        });
+        let s = c.snapshot();
+        assert_eq!(s.reads, 8 * 5_000);
+        assert_eq!(s.writes, 2 * 8 * 5_000);
+        assert_eq!(s.wal_writes, 8 * 5_000);
+        assert_eq!(s.wal_bytes, 3 * 8 * 5_000);
+    }
+
+    #[test]
+    fn thread_reads_attributes_exactly_to_the_calling_thread() {
+        let shared = IoCounter::new();
+        std::thread::scope(|scope| {
+            for mine in [3u64, 7, 11] {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    let before = IoCounter::thread_reads();
+                    for _ in 0..mine {
+                        shared.add_reads(1);
+                    }
+                    assert_eq!(IoCounter::thread_reads() - before, mine);
+                });
+            }
+        });
+        assert_eq!(shared.snapshot().reads, 3 + 7 + 11);
+    }
+
+    #[test]
+    fn counter_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IoCounter>();
+        assert_send_sync::<IoStats>();
     }
 }

@@ -409,6 +409,14 @@ mod tests {
     }
 
     #[test]
+    fn wal_is_send() {
+        // One appender, movable between threads (the ingest engine owns it
+        // wherever it lives); `Sync` is deliberately not required.
+        fn assert_send<T: Send>() {}
+        assert_send::<WriteAheadLog>();
+    }
+
+    #[test]
     fn crc32_matches_known_vector() {
         // The canonical IEEE check value for "123456789".
         assert_eq!(crc32(0, b"123456789"), 0xCBF4_3926);

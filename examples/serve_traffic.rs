@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. The engine: 4 shards, each with EXACT1 + EXACT3 + APPX2 + APPX2+
     //    and a shard-local result cache (the defaults).
-    let mut engine = ServeEngine::new(&set, ServeConfig { workers: 4, ..Default::default() })?;
+    let engine = ServeEngine::new(&set, ServeConfig { workers: 4, ..Default::default() })?;
 
     // 3. A Zipf-skewed interval stream: 8 hot intervals, exponent 1,
     //    10% uniform background.

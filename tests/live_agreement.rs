@@ -2,7 +2,8 @@
 //!
 //! (a) after **any** prefix of an append trace, the live engine's exact
 //!     answers are bit-identical to a fresh bulk build over that prefix,
-//!     for W ∈ {1, 4};
+//!     for W ∈ {1, 4} (plus `$CHRONORANK_AGREEMENT_W` — CI re-runs at
+//!     W = 8 with `RUST_TEST_THREADS` unpinned);
 //! (b) WAL replay after a simulated crash reproduces the pre-crash
 //!     answers bit-for-bit, with and without an intervening checkpoint;
 //! (c) property test (`PROPTEST_CASES`-scaled): approximate answers —
@@ -17,6 +18,18 @@ use chronorank::workloads::{
     AppendStream, AppendStreamConfig, StockConfig, StockGenerator, TempConfig, TempGenerator,
 };
 use proptest::prelude::*;
+
+/// {1, 4} plus `$CHRONORANK_AGREEMENT_W` when set (the CI wide sweep).
+fn worker_widths() -> Vec<usize> {
+    let mut widths = vec![1usize, 4];
+    if let Ok(w) = std::env::var("CHRONORANK_AGREEMENT_W") {
+        let w: usize = w.parse().expect("CHRONORANK_AGREEMENT_W must be a worker count");
+        if !widths.contains(&w) {
+            widths.push(w);
+        }
+    }
+    widths
+}
 
 fn temp_stream(objects: usize, batch: usize, skew: f64) -> AppendStream {
     let generator =
@@ -50,7 +63,7 @@ fn probe_windows(set: &TemporalSet) -> [(f64, f64); 3] {
 fn streamed_ingest_equals_fresh_bulk_build_at_every_prefix() {
     let stream = temp_stream(40, 24, 0.0);
     let seed = stream.base_set();
-    for w in [1usize, 4] {
+    for w in worker_widths() {
         let mut engine =
             IngestEngine::new(&seed, LiveConfig { workers: w, ..Default::default() }).unwrap();
         let mut oracle_objects = seed.objects().to_vec();
@@ -130,14 +143,14 @@ fn wal_replay_after_crash_reproduces_pre_crash_answers() {
         // Simulated crash: drop without checkpoint or graceful teardown.
     }
     {
-        let mut recovered = IngestEngine::new(&seed, config.clone()).unwrap();
+        let recovered = IngestEngine::new(&seed, config.clone()).unwrap();
         for (t1, t2, want) in &pre_crash {
             let got = recovered.query(ServeQuery::exact(*t1, *t2, 8)).unwrap();
             assert_bit_identical(want, &got, &format!("recovered [{t1},{t2}]"));
         }
         // Recovery is idempotent: a second recovery sees the same state.
         drop(recovered);
-        let mut again = IngestEngine::new(&seed, config.clone()).unwrap();
+        let again = IngestEngine::new(&seed, config.clone()).unwrap();
         let (t1, t2, want) = &pre_crash[2];
         let got = again.query(ServeQuery::exact(*t1, *t2, 8)).unwrap();
         assert_bit_identical(want, &got, "second recovery");

@@ -70,7 +70,7 @@ fn wire_topk_is_bit_identical_to_in_process_serve() {
     let queries = mixed_queries(&set, 24);
     for w in [1usize, 4] {
         let cfg = ServeConfig { workers: w, ..Default::default() };
-        let mut oracle = ServeEngine::new(&set, cfg).unwrap();
+        let oracle = ServeEngine::new(&set, cfg).unwrap();
         let server = NetServer::start_serve(set.clone(), cfg, NetConfig::default()).unwrap();
         let mut client = NetClient::connect(server.local_addr()).unwrap();
         for (i, q) in queries.iter().enumerate() {
@@ -91,7 +91,7 @@ fn pipelined_wire_answers_match_in_process_in_order() {
     let queries = mixed_queries(&set, 40);
     for w in [1usize, 4] {
         let cfg = ServeConfig { workers: w, ..Default::default() };
-        let mut oracle = ServeEngine::new(&set, cfg).unwrap();
+        let oracle = ServeEngine::new(&set, cfg).unwrap();
         let server = NetServer::start_serve(set.clone(), cfg, NetConfig::default()).unwrap();
         let mut client = NetClient::connect(server.local_addr()).unwrap();
         let outcome = client.pipeline_topk(&queries, 8).unwrap();

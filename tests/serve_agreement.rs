@@ -2,9 +2,14 @@
 //! not change answers.
 //!
 //! * Exact-routed answers from the sharded engine equal single-threaded
-//!   EXACT3 on the same workload, for W ∈ {1, 4}.
+//!   EXACT3 on the same workload, for W ∈ {1, 4} (workers query *shared*
+//!   `Arc` snapshots — no per-worker index duplication; ISSUE 5).
 //! * Cached answers are byte-identical to uncached ones (same engine
 //!   re-asked, and a cache-disabled twin engine).
+//!
+//! CI additionally re-runs this suite with `CHRONORANK_AGREEMENT_W=8`
+//! (and `RUST_TEST_THREADS` unpinned), which appends that width to every
+//! W sweep below.
 
 use chronorank::core::{AggKind, Exact3, IndexConfig, RankMethod, TemporalSet, TopK};
 use chronorank::serve::{ServeConfig, ServeEngine, ServeQuery};
@@ -12,6 +17,19 @@ use chronorank::workloads::{
     DatasetGenerator, IntervalPattern, MemeConfig, MemeGenerator, QueryWorkload,
     QueryWorkloadConfig, TempConfig, TempGenerator,
 };
+
+/// The worker widths under test: {1, 4}, plus `$CHRONORANK_AGREEMENT_W`
+/// when set (the CI wide-sweep hook).
+fn worker_widths() -> Vec<usize> {
+    let mut widths = vec![1usize, 4];
+    if let Ok(w) = std::env::var("CHRONORANK_AGREEMENT_W") {
+        let w: usize = w.parse().expect("CHRONORANK_AGREEMENT_W must be a worker count");
+        if !widths.contains(&w) {
+            widths.push(w);
+        }
+    }
+    widths
+}
 
 fn datasets() -> Vec<(&'static str, TemporalSet)> {
     vec![
@@ -72,8 +90,8 @@ fn sharded_exact_equals_single_threaded_exact3() {
     for (name, set) in datasets() {
         let exact3 = Exact3::build(&set, IndexConfig::default()).unwrap();
         let queries = uniform_queries(&set, 10, 8);
-        for w in [1usize, 4] {
-            let mut engine =
+        for w in worker_widths() {
+            let engine =
                 ServeEngine::new(&set, ServeConfig { workers: w, ..Default::default() }).unwrap();
             assert_eq!(engine.workers(), w);
             for (i, q) in queries.iter().enumerate() {
@@ -104,11 +122,11 @@ fn cached_answers_are_byte_identical_to_uncached() {
         .iter()
         .map(|q| ServeQuery::approx(q.t1, q.t2, q.k, 0.4))
         .collect();
-        for w in [1usize, 4] {
+        for w in worker_widths() {
             let cached_cfg = ServeConfig { workers: w, ..Default::default() };
             let uncached_cfg = ServeConfig { workers: w, cache_capacity: 0, ..Default::default() };
-            let mut cached = ServeEngine::new(&set, cached_cfg).unwrap();
-            let mut uncached = ServeEngine::new(&set, uncached_cfg).unwrap();
+            let cached = ServeEngine::new(&set, cached_cfg).unwrap();
+            let uncached = ServeEngine::new(&set, uncached_cfg).unwrap();
             for (i, q) in zipf.iter().enumerate() {
                 let a = cached.query(*q).unwrap();
                 let b = uncached.query(*q).unwrap();
@@ -133,8 +151,8 @@ fn streamed_exact_equals_single_threaded_exact3() {
     let (_, set) = datasets().remove(0);
     let exact3 = Exact3::build(&set, IndexConfig::default()).unwrap();
     let queries = uniform_queries(&set, 12, 5);
-    for w in [1usize, 4] {
-        let mut engine =
+    for w in worker_widths() {
+        let engine =
             ServeEngine::new(&set, ServeConfig { workers: w, ..Default::default() }).unwrap();
         let outcome = engine.run_stream(&queries).unwrap();
         for (i, (q, got)) in queries.iter().zip(&outcome.answers).enumerate() {
