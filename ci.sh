@@ -12,9 +12,12 @@
 #   serve-smoke       paper-bench serve --quick       (JSON under target/)
 #   live-smoke        paper-bench live --quick        (JSON under target/)
 #   net-smoke         paper-bench net --quick         (JSON under target/)
+#   coldstart-smoke   paper-bench coldstart --quick   (bulk load vs insert
+#                     build, image cold start vs WAL replay; the bench
+#                     asserts bit-identical answers across every restart)
 #   bench-regression  paper-bench check-regression    (smoke JSONs vs the
-#                     committed BENCH_SERVE/LIVE/NET.json: same key shape,
-#                     sane rates, no >10x throughput collapse)
+#                     committed BENCH_SERVE/LIVE/NET/COLDSTART.json: same
+#                     key shape, sane rates, no >10x throughput collapse)
 #
 # Every smoke artifact goes under target/ so the committed full-scale
 # BENCH_*.json and results/ CSVs are never clobbered by quick numbers.
@@ -99,11 +102,21 @@ net_smoke() {
         --out target/paper-bench-smoke
 }
 
+# The coldstart smoke doubles as the recovery gate: the bench itself
+# asserts that an image boot preloads every shard, a replay boot none,
+# and that both restarts answer the pre-restart probe bit-identically.
+coldstart_smoke() {
+    CHRONORANK_COLDSTART_JSON=target/BENCH_COLDSTART_ci.json \
+        cargo run --release -q -p chronorank-bench --bin paper_bench -- coldstart --quick \
+        --out target/paper-bench-smoke
+}
+
 bench_regression() {
     cargo run --release -q -p chronorank-bench --bin paper_bench -- check-regression \
         --pair BENCH_SERVE.json=target/BENCH_SERVE_ci.json \
         --pair BENCH_LIVE.json=target/BENCH_LIVE_ci.json \
         --pair BENCH_NET.json=target/BENCH_NET_ci.json \
+        --pair BENCH_COLDSTART.json=target/BENCH_COLDSTART_ci.json \
         --tolerance 10
 }
 
@@ -115,6 +128,7 @@ stage agreement-w8     agreement_w8
 stage serve-smoke      serve_smoke
 stage live-smoke       live_smoke
 stage net-smoke        net_smoke
+stage coldstart-smoke  coldstart_smoke
 stage bench-regression bench_regression
 
 print_timings

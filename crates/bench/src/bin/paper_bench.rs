@@ -5,7 +5,7 @@
 //! paper-bench <figure> [options]
 //!
 //! figures: fig3 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20
-//!          ablation serve live net all
+//!          ablation serve live coldstart net all
 //! check-regression --pair BASELINE.json=CURRENT.json [--pair ...]
 //!                  [--tolerance N]        compare bench JSON shapes/rates
 //! options:
@@ -72,7 +72,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: paper-bench <fig3|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|ablation|serve|live|net|all> \
+            "usage: paper-bench <fig3|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|ablation|serve|live|coldstart|net|all> \
              [--m N] [--navg N] [--r N] [--kmax N] [--k N] [--queries N] [--meme-m N] [--out DIR] [--quick]\n\
              \x20      paper-bench check-regression --pair BASELINE.json=CURRENT.json [--pair ...] [--tolerance N]"
         );
@@ -143,6 +143,7 @@ fn main() {
         "ablation" => ablation(&opts),
         "serve" => serve(&opts),
         "live" => live(&opts),
+        "coldstart" => coldstart(&opts),
         "net" => net(&opts),
         "all" => {
             fig3(&opts);
@@ -157,6 +158,7 @@ fn main() {
             ablation(&opts);
             serve(&opts);
             live(&opts);
+            coldstart(&opts);
             net(&opts);
         }
         other => {
@@ -1156,6 +1158,187 @@ fn live(opts: &Opts) {
     );
     let mut f = std::fs::File::create(&json_path).expect("create BENCH_LIVE.json");
     f.write_all(json.as_bytes()).expect("write BENCH_LIVE.json");
+    println!("wrote {json_path}");
+}
+
+// ---------------------------------------------------------------------------
+// Cold start: bulk load + image-backed recovery (BENCH_COLDSTART.json)
+// ---------------------------------------------------------------------------
+
+/// Benchmark the persistence stack: bottom-up bulk loading against
+/// top-down insertion at the index layer, and an image-backed cold start
+/// against full WAL replay at the engine layer.
+///
+/// **Build path** — N sorted entries go once through the fill-1.0
+/// [`chronorank_index::BulkLoader`] (sequential leaves, inner layers
+/// stacked bottom-up, no splits) and once through the `insert` path it
+/// replaces on the frozen side. Both trees are checked for agreement
+/// before any timing is reported.
+///
+/// **Cold-start path** — one stock ingest run is checkpointed and
+/// restarted: the frozen generations reopen page-for-page from the
+/// on-disk image and only the (empty) WAL suffix past the image's epoch
+/// stamp replays. A second identical run is killed *without* a
+/// checkpoint and restarted: full WAL replay plus fresh index builds.
+/// Both boots must answer the pre-restart probe bit-identically; the
+/// image boot must preload every shard, the replay boot none.
+///
+/// Writes `BENCH_COLDSTART.json` (cwd, or `$CHRONORANK_COLDSTART_JSON`)
+/// plus a CSV under `--out`.
+fn coldstart(opts: &Opts) {
+    use chronorank_index::{BPlusTree, BulkLoader};
+    use chronorank_live::{IngestEngine, LiveConfig};
+    use chronorank_workloads::{AppendStream, AppendStreamConfig, StockConfig, StockGenerator};
+    use std::io::Write as _;
+
+    // --- index layer: bulk load vs insert build over identical data ---
+    let n = if opts.quick { 20_000usize } else { 120_000 };
+    let env = Env::mem(StoreConfig::default());
+
+    let t0 = Instant::now();
+    let mut loader = BulkLoader::new(env.create_file("cs-bulk").expect("file"), 8).expect("loader");
+    for i in 0..n {
+        loader.push(i as f64, &(i as u64).to_le_bytes()).expect("push");
+    }
+    let bulk_tree = loader.finish().expect("finish");
+    let bulk_secs = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let t0 = Instant::now();
+    let insert_tree = BPlusTree::create(env.create_file("cs-ins").expect("file"), 8).expect("tree");
+    for i in 0..n {
+        insert_tree.insert(i as f64, &(i as u64).to_le_bytes()).expect("insert");
+    }
+    let insert_secs = t0.elapsed().as_secs_f64().max(1e-9);
+
+    assert_eq!(bulk_tree.len(), insert_tree.len(), "bulk and insert builds must agree");
+    assert_eq!(
+        bulk_tree.last_entry().expect("last"),
+        insert_tree.last_entry().expect("last"),
+        "bulk and insert builds must agree on the last entry"
+    );
+
+    // --- engine layer: image-backed cold start vs full WAL replay ---
+    let (tickers, days, batch) = if opts.quick { (120, 10, 32) } else { (600, 24, 64) };
+    let generator =
+        StockGenerator::new(StockConfig { objects: tickers, days, readings_per_day: 8, seed: 42 });
+    let stream = AppendStream::from_generator(
+        &generator,
+        AppendStreamConfig { base_fraction: 0.5, batch, skew: 0.0, seed: 7 },
+    );
+    let seed_set = stream.base_set();
+    let full = stream.full_set();
+    let live_segments = full.num_segments() as usize;
+    let workers = 2usize;
+    let probe = chronorank_serve::ServeQuery::exact(
+        full.t_min() + 0.25 * full.span(),
+        full.t_max(),
+        opts.k.min(opts.kmax),
+    );
+    let base_dir =
+        std::env::temp_dir().join(format!("chronorank-coldstart-{}", std::process::id()));
+
+    // One ingest run per boot mode: identical trace, then a restart timed
+    // from `IngestEngine::new` to first serviceable state. Returns
+    // (boot seconds, preloaded shard count).
+    let boot = |name: &str, take_checkpoint: bool| -> (f64, u64) {
+        let dir = base_dir.join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        let config = LiveConfig { workers, wal_dir: Some(dir.clone()), ..Default::default() };
+        let want;
+        {
+            let mut engine = IngestEngine::new(&seed_set, config.clone()).expect("build engine");
+            for b in stream.batches() {
+                engine.append_batch(b).expect("append");
+            }
+            if take_checkpoint {
+                engine.checkpoint().expect("checkpoint");
+            }
+            want = engine.query(probe).expect("pre-restart probe");
+            // Engine dropped here: a crash for the replay run, a clean
+            // restart for the checkpointed one.
+        }
+        let t0 = Instant::now();
+        let recovered = IngestEngine::new(&seed_set, config).expect("recover engine");
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let got = recovered.query(probe).expect("post-restart probe");
+        assert_eq!(want.ids(), got.ids(), "{name}: restart changed the answer ids");
+        for (j, (ws, gs)) in want.scores().iter().zip(got.scores()).enumerate() {
+            assert_eq!(ws.to_bits(), gs.to_bits(), "{name}: restart changed score at rank {j}");
+        }
+        let preloaded = recovered.report().preloaded_shards;
+        drop(recovered);
+        std::fs::remove_dir_all(&dir).ok();
+        (secs, preloaded)
+    };
+
+    let (image_secs, image_preloaded) = boot("image", true);
+    let (replay_secs, replay_preloaded) = boot("replay", false);
+    assert_eq!(image_preloaded, workers as u64, "image boot must preload every shard");
+    assert_eq!(replay_preloaded, 0, "replay boot must not find an image");
+
+    let mut table = Table::new(
+        "Cold start — bulk load vs insert build, image boot vs WAL replay",
+        &["series", "mode", "items", "secs", "items/s"],
+    );
+    let rate = |items: usize, secs: f64| items as f64 / secs;
+    for (series, mode, items, secs) in [
+        ("btree build", "bulk", n, bulk_secs),
+        ("btree build", "insert", n, insert_secs),
+        ("engine boot", "image", live_segments, image_secs),
+        ("engine boot", "replay", live_segments, replay_secs),
+    ] {
+        table.row(vec![
+            series.to_string(),
+            mode.to_string(),
+            items.to_string(),
+            format!("{secs:.4}"),
+            format!("{:.0}", rate(items, secs)),
+        ]);
+    }
+    table.print();
+    table.write_csv(&opts.out, "coldstart").expect("csv");
+    println!(
+        "bulk load {:.2}x over insert; image cold start {:.2}x over WAL replay",
+        insert_secs / bulk_secs,
+        replay_secs / image_secs
+    );
+
+    let json_path = std::env::var("CHRONORANK_COLDSTART_JSON")
+        .unwrap_or_else(|_| "BENCH_COLDSTART.json".to_string());
+    let json = format!(
+        "{{\n  \"harness\": \"chronorank-coldstart-bench\",\n  \"quick\": {},\n  \
+         \"scenario\": {{\n    \"bulk_entries\": {n}, \"dataset\": \"stock\", \
+         \"tickers\": {tickers}, \"days\": {days},\n    \"batch\": {batch}, \
+         \"workers\": {workers}, \"ingested_records\": {}, \
+         \"live_segments\": {live_segments}\n  }},\n  \
+         \"note\": \"bulk_load times the fill-1.0 bottom-up B+-tree loader against the \
+         top-down insert path over identical sorted data (both products are checked for \
+         agreement first). cold_start restarts the same ingest run twice: once from a \
+         checkpoint image (generations reopen page-for-page, only the empty WAL suffix \
+         past the epoch stamp replays) and once from the bare WAL (full replay + fresh \
+         builds). Both boots must answer the pre-restart probe bit-identically; \
+         preloaded_shards is the image-boot evidence.\",\n  \
+         \"bulk_load\": {{\n    \"entries\": {n},\n    \
+         \"bulk\": {{\"secs\": {bulk_secs:.4}, \"entries_per_sec\": {:.1}}},\n    \
+         \"insert\": {{\"secs\": {insert_secs:.4}, \"entries_per_sec\": {:.1}}},\n    \
+         \"bulk_over_insert_speedup\": {:.3}\n  }},\n  \
+         \"cold_start\": {{\n    \"workers\": {workers}, \"segments\": {live_segments},\n    \
+         \"image\": {{\"secs\": {image_secs:.4}, \"boot_segments_per_sec\": {:.1}, \
+         \"preloaded_shards\": {image_preloaded}}},\n    \
+         \"replay\": {{\"secs\": {replay_secs:.4}, \"boot_segments_per_sec\": {:.1}, \
+         \"preloaded_shards\": {replay_preloaded}}},\n    \
+         \"image_over_replay_speedup\": {:.3}\n  }}\n}}\n",
+        opts.quick,
+        stream.records().len(),
+        rate(n, bulk_secs),
+        rate(n, insert_secs),
+        insert_secs / bulk_secs,
+        rate(live_segments, image_secs),
+        rate(live_segments, replay_secs),
+        replay_secs / image_secs,
+    );
+    let mut f = std::fs::File::create(&json_path).expect("create BENCH_COLDSTART.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_COLDSTART.json");
     println!("wrote {json_path}");
 }
 

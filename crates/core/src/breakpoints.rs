@@ -170,6 +170,51 @@ impl Breakpoints {
         self.mass
     }
 
+    /// Serialize for a persistent generation image: kind tag, `ε` and `M`
+    /// as exact bits, then every breakpoint time as exact bits — enough
+    /// to rebuild the approximate indexes deterministically on reopen.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(21 + 8 * self.points.len());
+        out.push(match self.kind {
+            BreakpointsKind::B1 => 1u8,
+            BreakpointsKind::B2 => 2u8,
+        });
+        out.extend_from_slice(&self.eps.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.mass.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.points.len() as u32).to_le_bytes());
+        for &p in &self.points {
+            out.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`Breakpoints::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let corrupt = || CoreError::BadQuery("corrupt breakpoint table".into());
+        if bytes.len() < 21 {
+            return Err(corrupt());
+        }
+        let kind = match bytes[0] {
+            1 => BreakpointsKind::B1,
+            2 => BreakpointsKind::B2,
+            _ => return Err(corrupt()),
+        };
+        let f = |at: usize| {
+            f64::from_bits(u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes")))
+        };
+        let eps = f(1);
+        let mass = f(9);
+        let r = u32::from_le_bytes(bytes[17..21].try_into().expect("4 bytes")) as usize;
+        if bytes.len() != 21 + 8 * r {
+            return Err(corrupt());
+        }
+        let points: Vec<f64> = (0..r).map(|i| f(21 + 8 * i)).collect();
+        if points.iter().any(|p| !p.is_finite()) || points.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(corrupt());
+        }
+        Ok(Self { kind, points, eps, mass })
+    }
+
     /// `B(t)`: index of the smallest breakpoint ≥ `t` (paper Fig. 8),
     /// clamped into range (`t` beyond the last breakpoint snaps to it).
     pub fn snap_idx(&self, t: f64) -> usize {

@@ -25,7 +25,7 @@ use crate::topk::{check_interval, top_k_from_scores, RankMethod, TopK};
 use crate::IndexConfig;
 use chronorank_curve::Segment;
 use chronorank_index::{BPlusTree, ExternalSorter};
-use chronorank_storage::{Env, IoStats};
+use chronorank_storage::{Env, IoStats, PagedFile};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Segment record payload: `obj u32 | v0 f64 | t1 f64 | v1 f64`
@@ -113,6 +113,38 @@ impl Exact1 {
     /// Number of indexed segments.
     pub fn num_segments(&self) -> u64 {
         self.tree.len()
+    }
+
+    /// The B+-tree's backing file — what a generation image captures
+    /// page-for-page. Call [`Exact1::flush`] first so the pages are clean.
+    pub fn tree_file(&self) -> &PagedFile {
+        self.tree.file()
+    }
+
+    /// Persist tree metadata and flush dirty pages to the device.
+    pub fn flush(&self) -> Result<()> {
+        Ok(self.tree.flush()?)
+    }
+
+    /// Serialize the in-memory side state (`m` + the max segment duration
+    /// as exact bits) for a generation image.
+    pub fn meta_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&(self.num_objects as u64).to_le_bytes());
+        out.extend_from_slice(&self.max_segment_duration.load(Ordering::Relaxed).to_le_bytes());
+        out
+    }
+
+    /// Reopen from a page-captured tree file plus [`Exact1::meta_bytes`]
+    /// — no set scan, no sort, no rebuild.
+    pub fn open_parts(env: Env, file: PagedFile, bytes: &[u8]) -> Result<Self> {
+        if bytes.len() != 16 {
+            return Err(crate::CoreError::BadQuery("corrupt EXACT1 generation metadata".into()));
+        }
+        let num_objects = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
+        let max_dur = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let tree = BPlusTree::open(file)?;
+        Ok(Self { env, tree, num_objects, max_segment_duration: AtomicU64::new(max_dur) })
     }
 }
 

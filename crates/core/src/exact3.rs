@@ -33,14 +33,19 @@ use crate::object::{ObjectId, TemporalSet};
 use crate::topk::{check_interval, top_k_from_scores, RankMethod, TopK};
 use crate::IndexConfig;
 use chronorank_curve::Segment;
-use chronorank_index::{IntervalEntry, IntervalTree};
-use chronorank_storage::{Env, IoStats, StoreConfig};
+use chronorank_index::{ExternalSorter, IntervalBulkLoader, IntervalTree};
+use chronorank_storage::{Env, IoStats, PagedFile, StoreConfig};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::RwLock;
 
 /// Entry payload: `obj u32 | v0 f64 | v1 f64 | prefix f64` (the interval
 /// key holds `t0` / `t1`).
 const PAYLOAD_LEN: usize = 4 + 8 + 8 + 8;
+
+/// External-sort record for the bulk build: `lo f64 | hi f64 | payload`.
+const SORT_RECORD_LEN: usize = 16 + PAYLOAD_LEN;
+/// Records the build sort buffers in memory before spilling a run.
+const SORT_MEM_RECORDS: usize = 1 << 16;
 
 fn encode_payload(obj: ObjectId, v0: f64, v1: f64, prefix: f64) -> Vec<u8> {
     let mut p = Vec::with_capacity(PAYLOAD_LEN);
@@ -101,21 +106,36 @@ impl Exact3 {
         Ok(Self { env, store, tree, meta: RwLock::new(meta), generation: AtomicU32::new(0) })
     }
 
+    /// Bottom-up bulk build: stream all `N` entries through an external
+    /// sort on `lo` (`O((N/B) log_B N)` IOs, the paper's construction
+    /// preamble) and feed the sorted stream straight into the interval
+    /// tree's leaf-fill-1.0 bulk loader. Peak memory is the sort buffer
+    /// (`SORT_MEM_RECORDS` records) plus one fence per leaf — never the
+    /// full entry set.
     fn build_tree(env: &Env, set: &TemporalSet, generation: u32) -> Result<IntervalTree> {
-        let mut entries = Vec::with_capacity(set.num_segments() as usize);
+        let scratch = env.create_file(&format!("exact3_sort_gen{generation}"))?;
+        let key = |rec: &[u8]| f64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
+        let mut sorter = ExternalSorter::new(scratch, SORT_RECORD_LEN, SORT_MEM_RECORDS, key)?;
+        let mut rec = [0u8; SORT_RECORD_LEN];
         for o in set.objects() {
             let mut prefix = 0.0f64;
             for seg in o.curve.segments() {
                 prefix += seg.integral_full();
-                entries.push(IntervalEntry {
-                    lo: seg.t0,
-                    hi: seg.t1,
-                    payload: encode_payload(o.id, seg.v0, seg.v1, prefix),
-                });
+                rec[..8].copy_from_slice(&seg.t0.to_le_bytes());
+                rec[8..16].copy_from_slice(&seg.t1.to_le_bytes());
+                rec[16..].copy_from_slice(&encode_payload(o.id, seg.v0, seg.v1, prefix));
+                sorter.push(&rec)?;
             }
         }
+        let mut stream = sorter.finish()?;
         let file = env.create_file(&format!("exact3_tree_gen{generation}"))?;
-        Ok(IntervalTree::build(file, PAYLOAD_LEN, entries)?)
+        let mut loader = IntervalBulkLoader::new(file, PAYLOAD_LEN)?;
+        while stream.next_into(&mut rec)? {
+            let lo = f64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
+            let hi = f64::from_le_bytes(rec[8..16].try_into().expect("8 bytes"));
+            loader.push(lo, hi, &rec[16..])?;
+        }
+        Ok(loader.finish()?)
     }
 
     /// Cumulative integrals of **all** objects at time `t` with one
@@ -202,6 +222,64 @@ impl Exact3 {
     /// The store configuration this index was built with.
     pub fn store_config(&self) -> StoreConfig {
         self.store
+    }
+
+    /// The interval tree's backing file — what a generation image captures
+    /// page-for-page. Call [`Exact3::flush`] first so the pages are clean.
+    pub fn tree_file(&self) -> &PagedFile {
+        self.tree.file()
+    }
+
+    /// Persist tree metadata and flush dirty pages to the device.
+    pub fn flush(&self) -> Result<()> {
+        Ok(self.tree.flush()?)
+    }
+
+    /// Serialize the in-memory side state (rebuild generation + per-object
+    /// `(start, end, total)` triples) for a generation image. All floats
+    /// cross as raw bits, so a reopened index rescored bit-identically.
+    pub fn meta_bytes(&self) -> Vec<u8> {
+        let meta = self.meta.read().expect("meta lock");
+        let mut out = Vec::with_capacity(8 + 24 * meta.len());
+        out.extend_from_slice(&self.generation.load(Ordering::Relaxed).to_le_bytes());
+        out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+        for m in meta.iter() {
+            out.extend_from_slice(&m.start.to_bits().to_le_bytes());
+            out.extend_from_slice(&m.end.to_bits().to_le_bytes());
+            out.extend_from_slice(&m.total.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Reopen from a page-captured tree file plus [`Exact3::meta_bytes`]
+    /// — no set scan, no sort, no rebuild.
+    pub fn open_parts(env: Env, store: StoreConfig, file: PagedFile, bytes: &[u8]) -> Result<Self> {
+        let corrupt = || crate::CoreError::BadQuery("corrupt EXACT3 generation metadata".into());
+        if bytes.len() < 8 {
+            return Err(corrupt());
+        }
+        let generation = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+        let m = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+        if bytes.len() != 8 + 24 * m {
+            return Err(corrupt());
+        }
+        let f = |at: usize| {
+            f64::from_bits(u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes")))
+        };
+        let meta = (0..m)
+            .map(|i| {
+                let at = 8 + 24 * i;
+                ObjMeta { start: f(at), end: f(at + 8), total: f(at + 16) }
+            })
+            .collect();
+        let tree = IntervalTree::open(file)?;
+        Ok(Self {
+            env,
+            store,
+            tree,
+            meta: RwLock::new(meta),
+            generation: AtomicU32::new(generation),
+        })
     }
 }
 

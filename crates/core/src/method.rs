@@ -109,6 +109,36 @@ pub trait TopKMethod: RankMethod {
 /// publish once and query from every worker.
 pub type SharedMethod = Box<dyn TopKMethod + Send + Sync>;
 
+// `Arc<M>` answers exactly like `M`, so a layer that keeps a concrete
+// handle (e.g. for persistence) can publish `Box::new(Arc<M>)` as a
+// [`SharedMethod`] without building the index twice.
+impl<T: RankMethod + ?Sized> RankMethod for std::sync::Arc<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn top_k(&self, t1: f64, t2: f64, k: usize, agg: crate::AggKind) -> crate::Result<crate::TopK> {
+        (**self).top_k(t1, t2, k, agg)
+    }
+    fn size_bytes(&self) -> u64 {
+        (**self).size_bytes()
+    }
+    fn io_stats(&self) -> chronorank_storage::IoStats {
+        (**self).io_stats()
+    }
+    fn reset_io(&self) {
+        (**self).reset_io()
+    }
+    fn drop_caches(&self) -> crate::Result<()> {
+        (**self).drop_caches()
+    }
+}
+
+impl<T: TopKMethod + ?Sized> TopKMethod for std::sync::Arc<T> {
+    fn profile(&self) -> MethodProfile {
+        (**self).profile()
+    }
+}
+
 impl TopKMethod for Exact1 {
     fn profile(&self) -> MethodProfile {
         MethodProfile::EXACT

@@ -224,6 +224,96 @@ impl TemporalSet {
     pub fn apply(&mut self, rec: AppendRecord) -> Result<()> {
         self.append_segment(rec.object, rec.t, rec.v)
     }
+
+    /// Serialize every curve with exact `f64` bits: `m`, then per object
+    /// the point count followed by its `(t, v)` pairs. The persistent
+    /// generation image stores this instead of re-parsing a CSV snapshot
+    /// on recovery; [`TemporalSet::from_bytes`] reproduces a bit-identical
+    /// set (statistics are recomputed from the same bits).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let total_points: usize = self.objects.iter().map(|o| o.curve.num_points()).sum();
+        let mut out = Vec::with_capacity(4 + 4 * self.objects.len() + 16 * total_points);
+        out.extend_from_slice(&(self.objects.len() as u32).to_le_bytes());
+        for o in &self.objects {
+            out.extend_from_slice(&(o.curve.num_points() as u32).to_le_bytes());
+            for (&t, &v) in o.curve.times().iter().zip(o.curve.values()) {
+                out.extend_from_slice(&t.to_bits().to_le_bytes());
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`TemporalSet::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let corrupt = || CoreError::BadQuery("corrupt serialized temporal set".into());
+        let mut at = 0usize;
+        let u32_at = |at: &mut usize| -> Result<u32> {
+            let v = bytes.get(*at..*at + 4).ok_or_else(corrupt)?;
+            *at += 4;
+            Ok(u32::from_le_bytes(v.try_into().expect("4 bytes")))
+        };
+        let m = u32_at(&mut at)? as usize;
+        let mut objects = Vec::with_capacity(m);
+        for id in 0..m {
+            let n_points = u32_at(&mut at)? as usize;
+            let mut times = Vec::with_capacity(n_points);
+            let mut values = Vec::with_capacity(n_points);
+            for _ in 0..n_points {
+                let raw = bytes.get(at..at + 16).ok_or_else(corrupt)?;
+                times.push(f64::from_bits(u64::from_le_bytes(
+                    raw[..8].try_into().expect("8 bytes"),
+                )));
+                values.push(f64::from_bits(u64::from_le_bytes(
+                    raw[8..].try_into().expect("8 bytes"),
+                )));
+                at += 16;
+            }
+            let curve = PiecewiseLinear::from_times_values(times, values)?;
+            objects.push(TemporalObject { id: id as ObjectId, curve });
+        }
+        if at != bytes.len() {
+            return Err(corrupt());
+        }
+        Self::from_objects(objects)
+    }
+
+    /// The set as it looked when object `i` ended at `ends[i]`: every
+    /// curve truncated to its point-prefix with `t ≤ ends[i]`. Because the
+    /// §4 update model only ever extends curves at the right edge, this
+    /// prefix is **bit-identical** to the historical snapshot — which is
+    /// how a persisted generation's approximate indexes are rebuilt
+    /// deterministically from the recovered live set plus the frozen-end
+    /// stamps, without persisting a second copy of the curves.
+    pub fn truncated_at(&self, ends: &[f64]) -> Result<Self> {
+        if ends.len() != self.objects.len() {
+            return Err(CoreError::BadQuery(format!(
+                "frozen-end table covers {} objects, set holds {}",
+                ends.len(),
+                self.objects.len()
+            )));
+        }
+        let objects = self
+            .objects
+            .iter()
+            .zip(ends)
+            .map(|(o, &end)| {
+                let keep = o.curve.times().partition_point(|&t| t <= end);
+                if keep < 2 {
+                    return Err(CoreError::BadQuery(format!(
+                        "frozen end {end} precedes object {}'s second point",
+                        o.id
+                    )));
+                }
+                let curve = PiecewiseLinear::from_times_values(
+                    o.curve.times()[..keep].to_vec(),
+                    o.curve.values()[..keep].to_vec(),
+                )?;
+                Ok(TemporalObject { id: o.id, curve })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Self::from_objects(objects)
+    }
 }
 
 #[cfg(test)]

@@ -1,23 +1,34 @@
-//! A disk-resident centered interval tree with stabbing queries — the
-//! backbone of EXACT3.
+//! A disk-resident interval tree with stabbing queries — the backbone of
+//! EXACT3 — built **bottom-up from lo-sorted streams**.
 //!
 //! The paper indexes the `N` interval-keyed entries
 //! `(I⁻_{i,ℓ}, (g_{i,ℓ}, σ_i(I_{i,ℓ})))` in an external interval tree and
 //! answers a query with **two stabbing queries** whose cost is
-//! `O(log_B N + m/B)` IOs. We implement the classic centered form laid out
-//! in blocks:
+//! `O(log_B N + m/B)` IOs. Construction in the paper starts by sorting all
+//! `N` segments externally (`O((N/B) log_B N)` IOs); this implementation
+//! takes the same shape end to end:
 //!
-//! * every node stores a center point and the intervals containing it,
-//!   twice — sorted by left endpoint ascending (scanned when the probe is
-//!   left of center) and by right endpoint descending (probe right of
-//!   center);
-//! * intervals entirely left/right of the center go to the child subtrees;
-//!   centers are endpoint medians, so the height is `O(log N)`;
-//! * a stab at `t` walks one root-to-leaf path, scanning only list prefixes
-//!   that match, for `O(height + output/B)` block reads. (The Arge–Vitter
-//!   structure sharpens the additive term to `O(log_B N)`; the dominant
-//!   `output/B` term — which is what the paper's experiments measure at
-//!   `m/B` per stab — is identical. See DESIGN.md §5.)
+//! * **leaves** hold the entries in `lo` order at fill rate 1.0, written
+//!   sequentially as the sorted stream arrives ([`IntervalBulkLoader`],
+//!   the sweep-bptree pattern: never insert, only append);
+//! * **inner levels** are stacked bottom-up; an inner node stores, per
+//!   child, the page id plus two fences — the child subtree's minimum
+//!   `lo` and maximum `hi` (a B-tree-order max-augmented interval tree);
+//! * a **stab** at `t` walks the tree with an explicit work stack,
+//!   descending exactly into subtrees with `min_lo ≤ t ≤ max_hi`. Leaves
+//!   scan their lo-ascending prefix while `lo ≤ t` and report entries with
+//!   `hi ≥ t`. The boundary path costs `O(log_B N)`; reported leaves are
+//!   full by construction, so the output term is `O(output/B)` whenever
+//!   long intervals are not vastly outnumbered by short ones sharing their
+//!   leaves — and EXACT3's stabs report ~one entry per alive object
+//!   (`≈ m/B` blocks), which is exactly the regime the paper measures.
+//!   (A centered/fractionally-cascaded structure would sharpen the
+//!   adversarial case; see DESIGN.md §5.)
+//!
+//! Nothing here recurses: both the build and the stab are loops over
+//! explicit stacks, so degenerate inputs (all-identical intervals, fully
+//! nested endpoint chains) cannot blow the call stack no matter how large
+//! `N` grows.
 //!
 //! **Appends** (the paper's right-edge update model) go to a chained tail
 //! of blocks scanned lineally by stabs; [`IntervalTree::needs_rebuild`]
@@ -33,11 +44,18 @@ use chronorank_storage::page::{get_f64, get_u32, get_u64, put_f64, put_u32, put_
 use chronorank_storage::{PageId, PagedFile};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-const META_MAGIC: u32 = 0x17EE_0001;
-const NODE_MAGIC: u32 = 0x17EE_00CC;
+const META_MAGIC: u32 = 0x17EE_0002;
+const LEAF_MAGIC: u32 = 0x17EE_00AA;
+const INNER_MAGIC: u32 = 0x17EE_00BB;
 const TAIL_MAGIC: u32 = 0x17EE_00DD;
 
-const TAIL_HDR: usize = 4 + 4 + 8; // magic, count, next
+/// Leaf and tail blocks share one header shape: magic, count, next-link
+/// (leaves leave the link zero — they are physically consecutive).
+const TAIL_HDR: usize = 4 + 4 + 8;
+/// Inner node header: magic, child count.
+const INNER_HDR: usize = 4 + 4;
+/// Per-child fence record in an inner node: page, min lo, max hi.
+const FENCE_LEN: usize = 8 + 8 + 8;
 
 /// One interval-keyed entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,7 +68,7 @@ pub struct IntervalEntry {
     pub payload: Vec<u8>,
 }
 
-/// Disk-based centered interval tree (see module docs).
+/// Disk-based bottom-up interval tree (see module docs).
 ///
 /// `Send + Sync`: a built tree is an immutable snapshot that any number of
 /// threads may stab concurrently (block access is synchronized inside
@@ -72,6 +90,164 @@ pub struct IntervalTree {
     main_count: AtomicU64,
 }
 
+/// Streaming bottom-up builder: push entries in **nondecreasing `lo`
+/// order** (an [`crate::ExternalSorter`] stream, typically) and leaves are
+/// written at fill 1.0 as they close; [`IntervalBulkLoader::finish`]
+/// stacks the inner levels over the collected fences and returns the
+/// ready tree. Memory held during the build is one leaf buffer plus one
+/// 24-byte fence per leaf (`O(N/B)`), shrinking by the inner fanout per
+/// level.
+pub struct IntervalBulkLoader {
+    file: PagedFile,
+    payload_len: usize,
+    buf: Vec<u8>,
+    within: usize,
+    /// `(page, min_lo, max_hi)` of every closed leaf, in lo order.
+    fences: Vec<(PageId, f64, f64)>,
+    count: u64,
+    last_lo: f64,
+    cur_min_lo: f64,
+    cur_max_hi: f64,
+}
+
+impl IntervalBulkLoader {
+    /// Start a bulk load into `file` (freshly created; block 0 becomes the
+    /// metadata page).
+    pub fn new(file: PagedFile, payload_len: usize) -> Result<Self> {
+        let block = file.block_size();
+        if IntervalTree::entries_per_block(block, payload_len) < 1 {
+            return Err(IndexError::BadInput(format!(
+                "payload of {payload_len} bytes does not fit a {block}-byte block"
+            )));
+        }
+        if (block - INNER_HDR) / FENCE_LEN < 2 {
+            return Err(IndexError::BadInput(format!(
+                "{block}-byte blocks cannot hold two child fences"
+            )));
+        }
+        let meta = file.allocate(1)?;
+        debug_assert_eq!(meta, 0);
+        Ok(Self {
+            buf: vec![0u8; block],
+            within: 0,
+            fences: Vec::new(),
+            count: 0,
+            last_lo: f64::NEG_INFINITY,
+            cur_min_lo: f64::INFINITY,
+            cur_max_hi: f64::NEG_INFINITY,
+            file,
+            payload_len,
+        })
+    }
+
+    /// Append the next entry; `lo` must be ≥ every previously pushed `lo`.
+    pub fn push(&mut self, lo: f64, hi: f64, payload: &[u8]) -> Result<()> {
+        if payload.len() != self.payload_len {
+            return Err(IndexError::BadInput(format!(
+                "payload length {} != {}",
+                payload.len(),
+                self.payload_len
+            )));
+        }
+        if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+            return Err(IndexError::BadInput(format!("bad interval [{lo}, {hi}]")));
+        }
+        if lo < self.last_lo {
+            return Err(IndexError::BadInput(format!(
+                "bulk load requires nondecreasing lo keys: {lo} after {}",
+                self.last_lo
+            )));
+        }
+        self.last_lo = lo;
+        let epb = IntervalTree::entries_per_block(self.file.block_size(), self.payload_len);
+        if self.within == epb {
+            self.close_leaf()?;
+        }
+        let off = TAIL_HDR + self.within * IntervalTree::entry_len(self.payload_len);
+        put_f64(&mut self.buf, off, lo);
+        put_f64(&mut self.buf, off + 8, hi);
+        self.buf[off + 16..off + 16 + self.payload_len].copy_from_slice(payload);
+        self.within += 1;
+        self.count += 1;
+        self.cur_min_lo = self.cur_min_lo.min(lo);
+        self.cur_max_hi = self.cur_max_hi.max(hi);
+        Ok(())
+    }
+
+    /// Write out the leaf under construction and record its fence.
+    fn close_leaf(&mut self) -> Result<()> {
+        if self.within == 0 {
+            return Ok(());
+        }
+        put_u32(&mut self.buf, 0, LEAF_MAGIC);
+        put_u32(&mut self.buf, 4, self.within as u32);
+        put_u64(&mut self.buf, 8, 0);
+        let page = self.file.allocate(1)?;
+        self.file.write(page, &self.buf)?;
+        self.fences.push((page, self.cur_min_lo, self.cur_max_hi));
+        self.buf.fill(0);
+        self.within = 0;
+        self.cur_min_lo = f64::INFINITY;
+        self.cur_max_hi = f64::NEG_INFINITY;
+        Ok(())
+    }
+
+    /// Entries pushed so far.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing was pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Close the last leaf, stack the inner levels bottom-up, persist the
+    /// metadata page, and return the finished tree.
+    pub fn finish(mut self) -> Result<IntervalTree> {
+        self.close_leaf()?;
+        let block = self.file.block_size();
+        let per_inner = (block - INNER_HDR) / FENCE_LEN;
+        let mut level = std::mem::take(&mut self.fences);
+        let mut buf = vec![0u8; block];
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(per_inner));
+            for group in level.chunks(per_inner) {
+                buf.fill(0);
+                put_u32(&mut buf, 0, INNER_MAGIC);
+                put_u32(&mut buf, 4, group.len() as u32);
+                let mut min_lo = f64::INFINITY;
+                let mut max_hi = f64::NEG_INFINITY;
+                for (i, &(page, lo, hi)) in group.iter().enumerate() {
+                    let off = INNER_HDR + i * FENCE_LEN;
+                    put_u64(&mut buf, off, page);
+                    put_f64(&mut buf, off + 8, lo);
+                    put_f64(&mut buf, off + 16, hi);
+                    min_lo = min_lo.min(lo);
+                    max_hi = max_hi.max(hi);
+                }
+                let page = self.file.allocate(1)?;
+                self.file.write(page, &buf)?;
+                next.push((page, min_lo, max_hi));
+            }
+            level = next;
+        }
+        let root = level.first().map(|&(page, _, _)| page).unwrap_or(0);
+        let tree = IntervalTree {
+            file: self.file,
+            payload_len: self.payload_len,
+            root: AtomicU64::new(root),
+            n: AtomicU64::new(self.count),
+            tail_head: AtomicU64::new(0),
+            tail_last: AtomicU64::new(0),
+            tail_count: AtomicU64::new(0),
+            main_count: AtomicU64::new(self.count),
+        };
+        tree.write_meta()?;
+        Ok(tree)
+    }
+}
+
 impl IntervalTree {
     fn entry_len(payload_len: usize) -> usize {
         16 + payload_len
@@ -81,16 +257,16 @@ impl IntervalTree {
         (block - TAIL_HDR) / Self::entry_len(payload_len)
     }
 
-    /// Build a tree over `entries` in `file` (freshly created).
-    /// `entries` is consumed; the build is `O(N log N)` comparisons and
-    /// `O(N/B · log N)` writes.
-    pub fn build(file: PagedFile, payload_len: usize, entries: Vec<IntervalEntry>) -> Result<Self> {
-        let block = file.block_size();
-        if Self::entries_per_block(block, payload_len) < 1 {
-            return Err(IndexError::BadInput(format!(
-                "payload of {payload_len} bytes does not fit a {block}-byte block"
-            )));
-        }
+    /// Build a tree over `entries` in `file` (freshly created): validate,
+    /// sort by `lo`, and feed the [`IntervalBulkLoader`]. `entries` is
+    /// consumed; the build is `O(N log N)` comparisons and `O(N/B)`
+    /// writes. Callers that already hold a lo-sorted stream (EXACT3's
+    /// external sort) should drive the loader directly.
+    pub fn build(
+        file: PagedFile,
+        payload_len: usize,
+        mut entries: Vec<IntervalEntry>,
+    ) -> Result<Self> {
         for (i, e) in entries.iter().enumerate() {
             if e.payload.len() != payload_len {
                 return Err(IndexError::BadInput(format!(
@@ -105,114 +281,12 @@ impl IntervalTree {
                 )));
             }
         }
-        let meta = file.allocate(1)?;
-        debug_assert_eq!(meta, 0);
-        let n = entries.len() as u64;
-        let tree = Self {
-            file,
-            payload_len,
-            root: AtomicU64::new(0),
-            n: AtomicU64::new(n),
-            tail_head: AtomicU64::new(0),
-            tail_last: AtomicU64::new(0),
-            tail_count: AtomicU64::new(0),
-            main_count: AtomicU64::new(n),
-        };
-        let idx: Vec<u32> = (0..entries.len() as u32).collect();
-        let root = tree.build_rec(&entries, idx)?;
-        tree.root.store(root.unwrap_or(0), Ordering::Relaxed);
-        tree.write_meta()?;
-        Ok(tree)
-    }
-
-    /// Recursive build over entry indices; returns the node page id.
-    fn build_rec(&self, entries: &[IntervalEntry], idx: Vec<u32>) -> Result<Option<PageId>> {
-        if idx.is_empty() {
-            return Ok(None);
+        entries.sort_by(|a, b| a.lo.total_cmp(&b.lo));
+        let mut loader = IntervalBulkLoader::new(file, payload_len)?;
+        for e in &entries {
+            loader.push(e.lo, e.hi, &e.payload)?;
         }
-        // Center = median endpoint of the subset (guarantees balance).
-        let mut endpoints: Vec<f64> = Vec::with_capacity(idx.len() * 2);
-        for &i in &idx {
-            endpoints.push(entries[i as usize].lo);
-            endpoints.push(entries[i as usize].hi);
-        }
-        let mid = endpoints.len() / 2;
-        endpoints.select_nth_unstable_by(mid, f64::total_cmp);
-        let center = endpoints[mid];
-
-        let mut here: Vec<u32> = Vec::new();
-        let mut left: Vec<u32> = Vec::new();
-        let mut right: Vec<u32> = Vec::new();
-        for &i in &idx {
-            let e = &entries[i as usize];
-            if e.hi < center {
-                left.push(i);
-            } else if e.lo > center {
-                right.push(i);
-            } else {
-                here.push(i);
-            }
-        }
-        drop(idx);
-        debug_assert!(!here.is_empty(), "median endpoint must pin an interval");
-
-        // Write the node's two lists: by lo ascending, then by hi descending.
-        let count = here.len();
-        let mut by_lo = here.clone();
-        by_lo.sort_by(|&a, &b| entries[a as usize].lo.total_cmp(&entries[b as usize].lo));
-        let mut by_hi = here;
-        by_hi.sort_by(|&a, &b| entries[b as usize].hi.total_cmp(&entries[a as usize].hi));
-
-        let block = self.file.block_size();
-        let epb = Self::entries_per_block(block, self.payload_len);
-        let total_entries = 2 * count;
-        let list_blocks = total_entries.div_ceil(epb) as u64;
-        let node_id = self.file.allocate(1)?;
-        let list_start = self.file.allocate(list_blocks)?;
-
-        let mut buf = vec![0u8; block];
-        let mut blk = 0u64;
-        let mut within = 0usize;
-        let write_entry = |e: &IntervalEntry,
-                           buf: &mut Vec<u8>,
-                           blk: &mut u64,
-                           within: &mut usize|
-         -> Result<()> {
-            if *within == epb {
-                self.file.write(list_start + *blk, buf)?;
-                buf.fill(0);
-                *blk += 1;
-                *within = 0;
-            }
-            let off = TAIL_HDR + *within * Self::entry_len(self.payload_len);
-            put_f64(buf, off, e.lo);
-            put_f64(buf, off + 8, e.hi);
-            buf[off + 16..off + 16 + self.payload_len].copy_from_slice(&e.payload);
-            *within += 1;
-            Ok(())
-        };
-        for &i in &by_lo {
-            write_entry(&entries[i as usize], &mut buf, &mut blk, &mut within)?;
-        }
-        for &i in &by_hi {
-            write_entry(&entries[i as usize], &mut buf, &mut blk, &mut within)?;
-        }
-        if within > 0 {
-            self.file.write(list_start + blk, &buf)?;
-        }
-
-        let lchild = self.build_rec(entries, left)?;
-        let rchild = self.build_rec(entries, right)?;
-
-        buf.fill(0);
-        let o = put_u32(&mut buf, 0, NODE_MAGIC);
-        let o = put_u32(&mut buf, o, count as u32);
-        let o = put_f64(&mut buf, o, center);
-        let o = put_u64(&mut buf, o, lchild.unwrap_or(0));
-        let o = put_u64(&mut buf, o, rchild.unwrap_or(0));
-        put_u64(&mut buf, o, list_start);
-        self.file.write(node_id, &buf)?;
-        Ok(Some(node_id))
+        loader.finish()
     }
 
     fn write_meta(&self) -> Result<()> {
@@ -290,85 +364,69 @@ impl IntervalTree {
     }
 
     /// Visit every entry whose closed interval contains `t`:
-    /// `visit(lo, hi, payload)`.
+    /// `visit(lo, hi, payload)`. Iterative — an explicit work stack of
+    /// page ids bounded by `height × fanout`, never the call stack.
     pub fn stab(&self, t: f64, visit: &mut dyn FnMut(f64, f64, &[u8])) -> Result<()> {
         let block = self.file.block_size();
-        let epb = Self::entries_per_block(block, self.payload_len);
         let elen = Self::entry_len(self.payload_len);
-        let mut node_buf = vec![0u8; block];
-        let mut list_buf = vec![0u8; block];
-        let mut node = self.root.load(Ordering::Relaxed);
-        while node != 0 {
-            self.file.read(node, &mut node_buf)?;
-            if get_u32(&node_buf, 0) != NODE_MAGIC {
-                return Err(IndexError::Corrupt("bad interval node magic".into()));
-            }
-            let count = get_u32(&node_buf, 4) as usize;
-            let center = get_f64(&node_buf, 8);
-            let left = get_u64(&node_buf, 16);
-            let right = get_u64(&node_buf, 24);
-            let list_start = get_u64(&node_buf, 32);
-            if t <= center {
-                // Scan by-lo-ascending list (entry ordinals 0..count) while
-                // lo ≤ t; every such interval contains t because hi ≥ center ≥ t.
-                for ord in 0..count {
-                    let blk = (ord / epb) as u64;
-                    let within = ord % epb;
-                    if within == 0 {
-                        self.file.read(list_start + blk, &mut list_buf)?;
+        let mut buf = vec![0u8; block];
+        let mut stack: Vec<PageId> = Vec::new();
+        let root = self.root.load(Ordering::Relaxed);
+        if root != 0 {
+            stack.push(root);
+        }
+        while let Some(page) = stack.pop() {
+            self.file.read(page, &mut buf)?;
+            match get_u32(&buf, 0) {
+                INNER_MAGIC => {
+                    let count = get_u32(&buf, 4) as usize;
+                    for i in 0..count {
+                        let off = INNER_HDR + i * FENCE_LEN;
+                        let min_lo = get_f64(&buf, off + 8);
+                        if min_lo > t {
+                            // Children are in lo order; the rest start
+                            // strictly after t and cannot contain it.
+                            break;
+                        }
+                        if get_f64(&buf, off + 16) >= t {
+                            stack.push(get_u64(&buf, off));
+                        }
                     }
-                    let off = TAIL_HDR + within * elen;
-                    let lo = get_f64(&list_buf, off);
-                    if lo > t {
-                        break;
-                    }
-                    let hi = get_f64(&list_buf, off + 8);
-                    visit(lo, hi, &list_buf[off + 16..off + 16 + self.payload_len]);
                 }
-                if t == center {
-                    break;
-                }
-                node = left;
-            } else {
-                // Scan by-hi-descending list (ordinals count..2count) while
-                // hi ≥ t; lo ≤ center < t guarantees containment.
-                for i in 0..count {
-                    let ord = count + i;
-                    let blk = (ord / epb) as u64;
-                    let within = ord % epb;
-                    // The first touched block may be mid-run; always (re)read
-                    // when crossing a block boundary or on the first entry.
-                    if within == 0 || i == 0 {
-                        self.file.read(list_start + blk, &mut list_buf)?;
+                LEAF_MAGIC => {
+                    let count = get_u32(&buf, 4) as usize;
+                    for i in 0..count {
+                        let off = TAIL_HDR + i * elen;
+                        let lo = get_f64(&buf, off);
+                        if lo > t {
+                            break;
+                        }
+                        let hi = get_f64(&buf, off + 8);
+                        if hi >= t {
+                            visit(lo, hi, &buf[off + 16..off + 16 + self.payload_len]);
+                        }
                     }
-                    let off = TAIL_HDR + within * elen;
-                    let hi = get_f64(&list_buf, off + 8);
-                    if hi < t {
-                        break;
-                    }
-                    let lo = get_f64(&list_buf, off);
-                    visit(lo, hi, &list_buf[off + 16..off + 16 + self.payload_len]);
                 }
-                node = right;
+                _ => return Err(IndexError::Corrupt("bad interval node magic".into())),
             }
         }
         // Tail scan: the append log is small by the rebuild invariant.
         let mut blk = self.tail_head.load(Ordering::Relaxed);
         while blk != 0 {
-            self.file.read(blk, &mut list_buf)?;
-            if get_u32(&list_buf, 0) != TAIL_MAGIC {
+            self.file.read(blk, &mut buf)?;
+            if get_u32(&buf, 0) != TAIL_MAGIC {
                 return Err(IndexError::Corrupt("bad tail block magic".into()));
             }
-            let cnt = get_u32(&list_buf, 4) as usize;
+            let cnt = get_u32(&buf, 4) as usize;
             for i in 0..cnt {
                 let off = TAIL_HDR + i * elen;
-                let lo = get_f64(&list_buf, off);
-                let hi = get_f64(&list_buf, off + 8);
+                let lo = get_f64(&buf, off);
+                let hi = get_f64(&buf, off + 8);
                 if lo <= t && t <= hi {
-                    visit(lo, hi, &list_buf[off + 16..off + 16 + self.payload_len]);
+                    visit(lo, hi, &buf[off + 16..off + 16 + self.payload_len]);
                 }
             }
-            blk = get_u64(&list_buf, 8);
+            blk = get_u64(&buf, 8);
         }
         Ok(())
     }
@@ -515,6 +573,44 @@ mod tests {
     }
 
     #[test]
+    fn bulk_loader_rejects_out_of_order_keys() {
+        let e = env();
+        let mut loader = IntervalBulkLoader::new(e.create_file("bl").unwrap(), 4).unwrap();
+        loader.push(5.0, 6.0, &0u32.to_le_bytes()).unwrap();
+        loader.push(5.0, 9.0, &1u32.to_le_bytes()).unwrap(); // ties are fine
+        assert!(loader.push(4.0, 10.0, &2u32.to_le_bytes()).is_err());
+    }
+
+    #[test]
+    fn bulk_loaded_stream_equals_vec_build() {
+        // The loader fed a lo-sorted stream must answer identically to
+        // `build` over the same entries in arbitrary order.
+        let e = env();
+        let mut x = 7u64;
+        let mut rnd = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut entries = Vec::new();
+        for i in 0..500u32 {
+            let lo = rnd() * 800.0;
+            entries.push(entry(lo, lo + rnd() * 120.0, i));
+        }
+        let built = IntervalTree::build(e.create_file("vec").unwrap(), 4, entries.clone()).unwrap();
+        entries.sort_by(|a, b| a.lo.total_cmp(&b.lo));
+        let mut loader = IntervalBulkLoader::new(e.create_file("stream").unwrap(), 4).unwrap();
+        for en in &entries {
+            loader.push(en.lo, en.hi, &en.payload).unwrap();
+        }
+        let loaded = loader.finish().unwrap();
+        assert_eq!(loaded.len(), built.len());
+        for probe in 0..90 {
+            let t = probe as f64 * 9.7;
+            assert_eq!(stab_tags(&loaded, t), stab_tags(&built, t), "probe t={t}");
+        }
+    }
+
+    #[test]
     fn appended_entries_are_stabbed() {
         let e = env();
         let entries = vec![entry(0.0, 10.0, 1)];
@@ -600,5 +696,35 @@ mod tests {
         assert_eq!(got.len(), 32);
         let reads = e.io_stats().reads;
         assert!(reads < 64, "stab read {reads} blocks for 32 matches");
+    }
+
+    #[test]
+    fn degenerate_inputs_build_and_stab_without_recursion() {
+        // Regression for the old recursive `build_rec`: 10⁵ all-identical
+        // intervals (every one pinned at the median endpoint) and 10⁵
+        // fully nested intervals (a linear containment chain) both used to
+        // risk linear recursion depth. The whole build + stab now runs in
+        // a 512 KiB stack because nothing recurses.
+        let run = || {
+            let e = Env::mem(StoreConfig { block_size: 4096, pool_capacity: 256 });
+            let n: u32 = 100_000;
+            let identical: Vec<_> = (0..n).map(|i| entry(5.0, 5.0, i)).collect();
+            let tree = IntervalTree::build(e.create_file("same").unwrap(), 4, identical).unwrap();
+            let mut hits = 0u64;
+            tree.stab(5.0, &mut |_, _, _| hits += 1).unwrap();
+            assert_eq!(hits, n as u64);
+            let nested: Vec<_> = (0..n).map(|i| entry(i as f64, (2 * n - i) as f64, i)).collect();
+            let tree = IntervalTree::build(e.create_file("nested").unwrap(), 4, nested).unwrap();
+            let mut hits = 0u64;
+            tree.stab(n as f64, &mut |_, _, _| hits += 1).unwrap();
+            assert_eq!(hits, n as u64);
+        };
+        std::thread::Builder::new()
+            .name("degenerate-build".into())
+            .stack_size(512 * 1024)
+            .spawn(run)
+            .unwrap()
+            .join()
+            .unwrap();
     }
 }

@@ -9,9 +9,10 @@
 //!   lower-bound search, and leaf-linked range cursors. EXACT1 indexes all
 //!   `N` segments in one such tree; EXACT2 builds a forest of `m`; QUERY1's
 //!   nested breakpoint directory is two levels of them.
-//! * [`IntervalTree`] — a disk-resident centered interval tree with
-//!   stabbing queries (`O(height + output/B)` IOs) and right-edge appends,
-//!   the backbone of EXACT3.
+//! * [`IntervalTree`] — a disk-resident interval tree with stabbing
+//!   queries (`O(height + output/B)` IOs) and right-edge appends, the
+//!   backbone of EXACT3. Built bottom-up at leaf fill 1.0 from lo-sorted
+//!   streams via [`IntervalBulkLoader`].
 //! * [`ExternalSorter`] / [`ExternalPq`] — run-based external merge sort
 //!   and a buffered external priority queue, used by the construction
 //!   sweeps (the paper sorts all `N` segments before every build).
@@ -29,4 +30,4 @@ mod interval;
 pub use btree::{BPlusTree, BulkLoader, Cursor};
 pub use error::{IndexError, Result};
 pub use extsort::{ExternalPq, ExternalSorter, RunCursor};
-pub use interval::{IntervalEntry, IntervalTree};
+pub use interval::{IntervalBulkLoader, IntervalEntry, IntervalTree};

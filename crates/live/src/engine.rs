@@ -7,15 +7,21 @@
 //! and lets reads overlap while appends serialize.
 
 use crate::config::LiveConfig;
+use crate::generation::{GenPart, GenParts};
 use crate::report::{LiveReport, PauseHistogram};
-use crate::shard::{shard_main, LiveJob, ShardChannels, ShardReply, ShardStatus, ToShard};
-use chronorank_core::{AppendRecord, ObjectId, TemporalObject, TemporalSet, TopK};
-use chronorank_serve::{
-    merge_profiles, merge_ranked, partition, Freshness, Planner, PlannerParams, Route, ServeQuery,
+use crate::shard::{
+    shard_main, LiveJob, ShardChannels, ShardCheckpoint, ShardReply, ShardStatus, ToShard,
 };
-use chronorank_storage::{FileDevice, IoCounter, StorageError, WriteAheadLog};
+use chronorank_core::{AppendRecord, ObjectId, TemporalSet, TopK};
+use chronorank_serve::{
+    merge_profiles, merge_ranked, partition, Freshness, MethodSet, Planner, PlannerParams, Route,
+    ServeQuery,
+};
+use chronorank_storage::{
+    Env, FileDevice, GenerationImage, ImageWriter, IoCounter, StorageError, WriteAheadLog,
+};
 use chronorank_workloads::LiveOp;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Mutex;
@@ -185,7 +191,7 @@ struct QueryCounters {
 pub struct IngestEngine {
     master: TemporalSet,
     wal: WriteAheadLog,
-    snapshot_path: Option<PathBuf>,
+    image_path: Option<PathBuf>,
     workers: Vec<Worker>,
     statuses: Mutex<Vec<ShardStatus>>,
     params: PlannerParams,
@@ -195,6 +201,17 @@ pub struct IngestEngine {
     batches: u64,
     query_counters: Mutex<QueryCounters>,
     checkpoints: u64,
+    /// Shards that reopened their frozen generation from the checkpoint
+    /// image at boot instead of rebuilding it (cold-start observability).
+    preloaded_shards: u64,
+    /// Config facts stamped into checkpoint images (the preload gate).
+    config_kmax: usize,
+    config_flags: u8,
+}
+
+/// Bit-packed [`MethodSet`] for the image's engine metadata.
+fn method_flags(m: MethodSet) -> u8 {
+    (m.exact1 as u8) | ((m.appx1 as u8) << 1) | ((m.appx2 as u8) << 2) | ((m.appx2_plus as u8) << 3)
 }
 
 impl IngestEngine {
@@ -204,17 +221,22 @@ impl IngestEngine {
     /// record is replayed onto it, and the shards bootstrap from the
     /// recovered set — so answers after a crash equal answers before it.
     pub fn new(seed: &TemporalSet, config: LiveConfig) -> Result<Self, LiveError> {
-        let (wal, base, snapshot_path) = Self::recover(seed, &config)?;
+        let (wal, base, image_path, mut preloads) = Self::recover(seed, &config)?;
         let w = config.workers.clamp(1, base.num_objects());
+        if preloads.len() != w {
+            preloads = (0..w).map(|_| None).collect();
+        }
+        let preloaded_shards = preloads.iter().filter(|p| p.is_some()).count() as u64;
         let (build_tx, build_rx) = channel();
         let mut workers = Vec::with_capacity(w);
         for (shard, (subset, global_ids)) in partition(&base, w).into_iter().enumerate() {
             let (tx, rx) = channel();
             let channels = ShardChannels { rx, self_tx: tx.clone(), build_tx: build_tx.clone() };
             let cfg = config.clone();
+            let preload = preloads[shard].take();
             let handle = std::thread::Builder::new()
                 .name(format!("chronorank-live-{shard}"))
-                .spawn(move || shard_main(shard, subset, global_ids, cfg, channels))
+                .spawn(move || shard_main(shard, subset, global_ids, cfg, channels, preload))
                 .map_err(|e| LiveError::Spawn(e.to_string()))?;
             workers.push(Worker { tx, handle: Some(handle) });
         }
@@ -247,7 +269,7 @@ impl IngestEngine {
         Ok(Self {
             master: base,
             wal,
-            snapshot_path,
+            image_path,
             workers,
             statuses: Mutex::new(statuses),
             params,
@@ -256,62 +278,150 @@ impl IngestEngine {
             batches: 0,
             query_counters: Mutex::new(QueryCounters { queries: 0, elapsed_secs: 0.0 }),
             checkpoints: 0,
+            preloaded_shards,
+            config_kmax: config.approx.kmax,
+            config_flags: method_flags(config.methods),
         })
     }
 
-    /// Recovery half of [`IngestEngine::new`] — resolves the WAL and the
-    /// base set.
+    /// Recovery half of [`IngestEngine::new`] — resolves the WAL, the base
+    /// set, and (when a checkpoint image exists and matches the config)
+    /// the per-shard frozen generations to reopen instead of rebuilding.
+    ///
+    /// The WAL epoch decides what replays: a checkpoint stamps its image
+    /// with `S = epoch + 1` *before* truncating the log (which bumps the
+    /// epoch to exactly `S`). So `wal.epoch() >= S` means the log holds
+    /// only post-checkpoint records — replay all of them; `< S` means the
+    /// checkpoint crashed between image publish and truncation, and every
+    /// logged record is already inside the image — skip the log entirely.
+    #[allow(clippy::type_complexity)]
     fn recover(
         seed: &TemporalSet,
         config: &LiveConfig,
-    ) -> Result<(WriteAheadLog, TemporalSet, Option<PathBuf>), LiveError> {
-        match &config.wal_dir {
-            None => Ok((WriteAheadLog::mem(config.store.block_size), seed.clone(), None)),
-            Some(dir) => {
-                std::fs::create_dir_all(dir).map_err(|e| LiveError::Snapshot(e.to_string()))?;
-                let wal_path = dir.join("wal.blk");
-                let device = if wal_path.exists() {
-                    FileDevice::open(&wal_path, config.store.block_size)?
-                } else {
-                    FileDevice::create(&wal_path, config.store.block_size)?
-                };
-                let mut wal = WriteAheadLog::open_or_create(Box::new(device), IoCounter::new())?;
-                let snapshot_path = dir.join("snapshot.csv");
-                let mut base = if snapshot_path.exists() {
-                    let ds = chronorank_workloads::read_csv_file(&snapshot_path)
-                        .map_err(|e| LiveError::Snapshot(e.to_string()))?;
-                    TemporalSet::from_objects(ds.objects)
-                        .map_err(|e| LiveError::Snapshot(e.to_string()))?
-                } else {
-                    seed.clone()
-                };
-                // Replay is idempotent: a record whose time does not extend
-                // its object is already part of the snapshot (a checkpoint
-                // that crashed between snapshot write and truncation).
-                let mut bad: Option<String> = None;
-                wal.replay(|lsn, payload| {
-                    if bad.is_some() {
-                        return;
-                    }
-                    match AppendRecord::decode(payload) {
-                        Some(rec) => match base.object(rec.object) {
-                            Ok(o) if rec.t > o.curve.end() => {
-                                if let Err(e) = base.apply(rec) {
-                                    bad = Some(format!("replay lsn {lsn}: {e}"));
-                                }
-                            }
-                            Ok(_) => {} // already absorbed by the snapshot
-                            Err(e) => bad = Some(format!("replay lsn {lsn}: {e}")),
-                        },
-                        None => bad = Some(format!("replay lsn {lsn}: undecodable record")),
-                    }
-                })?;
-                if let Some(e) = bad {
-                    return Err(LiveError::Snapshot(e));
+    ) -> Result<(WriteAheadLog, TemporalSet, Option<PathBuf>, Vec<Option<GenParts>>), LiveError>
+    {
+        let Some(dir) = &config.wal_dir else {
+            return Ok((
+                WriteAheadLog::mem(config.store.block_size),
+                seed.clone(),
+                None,
+                Vec::new(),
+            ));
+        };
+        std::fs::create_dir_all(dir).map_err(|e| LiveError::Snapshot(e.to_string()))?;
+        let wal_path = dir.join("wal.blk");
+        let device = if wal_path.exists() {
+            FileDevice::open(&wal_path, config.store.block_size)?
+        } else {
+            FileDevice::create(&wal_path, config.store.block_size)?
+        };
+        let mut wal = WriteAheadLog::open_or_create(Box::new(device), IoCounter::new())?;
+        let image_path = dir.join("generation.img");
+        let (mut base, image_epoch, preloads) = if image_path.exists() {
+            let (set, epoch, preloads) = Self::load_image(&image_path, config)?;
+            (set, Some(epoch), preloads)
+        } else {
+            (seed.clone(), None, Vec::new())
+        };
+        if image_epoch.is_none_or(|s| wal.epoch() >= s) {
+            // Replay stays idempotent as a second line of defense: a record
+            // whose time does not extend its object is already part of the
+            // image.
+            let mut bad: Option<String> = None;
+            wal.replay(|lsn, payload| {
+                if bad.is_some() {
+                    return;
                 }
-                Ok((wal, base, Some(snapshot_path)))
+                match AppendRecord::decode(payload) {
+                    Some(rec) => match base.object(rec.object) {
+                        Ok(o) if rec.t > o.curve.end() => {
+                            if let Err(e) = base.apply(rec) {
+                                bad = Some(format!("replay lsn {lsn}: {e}"));
+                            }
+                        }
+                        Ok(_) => {} // already absorbed by the checkpoint
+                        Err(e) => bad = Some(format!("replay lsn {lsn}: {e}")),
+                    },
+                    None => bad = Some(format!("replay lsn {lsn}: undecodable record")),
+                }
+            })?;
+            if let Some(e) = bad {
+                return Err(LiveError::Snapshot(e));
             }
         }
+        Ok((wal, base, Some(image_path), preloads))
+    }
+
+    /// Load a checkpoint image: the master set (always used — it IS the
+    /// checkpoint) and, when the persisted topology matches the current
+    /// config, the per-shard generation parts to reopen. A topology
+    /// mismatch (worker count, block size, kmax, method set) only forfeits
+    /// the index preload — the data still recovers from the image.
+    fn load_image(
+        path: &Path,
+        config: &LiveConfig,
+    ) -> Result<(TemporalSet, u64, Vec<Option<GenParts>>), LiveError> {
+        let mut img = GenerationImage::open(path)?;
+        let set = TemporalSet::from_bytes(&img.blob("live_set")?)
+            .map_err(|e| LiveError::Snapshot(format!("live_set: {e}")))?;
+        let epoch = img.epoch();
+        let meta = img.blob("engine")?;
+        if meta.len() != 25 {
+            return Err(LiveError::Snapshot("corrupt engine metadata".into()));
+        }
+        let u64_at = |at: usize| u64::from_le_bytes(meta[at..at + 8].try_into().expect("8"));
+        let w = u64_at(0) as usize;
+        let compatible = w == config.workers.clamp(1, set.num_objects())
+            && u64_at(8) as usize == config.store.block_size
+            && u64_at(16) as usize == config.approx.kmax
+            && meta[24] == method_flags(config.methods);
+        if !compatible {
+            return Ok((set, epoch, Vec::new()));
+        }
+        let mut preloads = Vec::with_capacity(w);
+        for shard in 0..w {
+            // A missing shard section (e.g. a shard that had no installed
+            // generation at checkpoint time) falls back to a fresh build
+            // for that shard only.
+            preloads.push(Self::load_shard_parts(&mut img, shard, config).ok());
+        }
+        Ok((set, epoch, preloads))
+    }
+
+    /// Extract one shard's generation parts from an open image.
+    fn load_shard_parts(
+        img: &mut GenerationImage,
+        shard: usize,
+        config: &LiveConfig,
+    ) -> Result<GenParts, LiveError> {
+        let meta = img.blob(&format!("s{shard}/meta"))?;
+        if meta.len() < 14 {
+            return Err(LiveError::Snapshot("corrupt shard metadata".into()));
+        }
+        let generation = u64::from_le_bytes(meta[..8].try_into().expect("8"));
+        let (has_exact1, has_bp) = (meta[8] != 0, meta[9] != 0);
+        let count = u32::from_le_bytes(meta[10..14].try_into().expect("4")) as usize;
+        if meta.len() != 14 + 8 * count {
+            return Err(LiveError::Snapshot("corrupt shard metadata".into()));
+        }
+        let frozen_end: Vec<f64> = (0..count)
+            .map(|i| {
+                let at = 14 + 8 * i;
+                f64::from_bits(u64::from_le_bytes(meta[at..at + 8].try_into().expect("8")))
+            })
+            .collect();
+        let mut part = |name: &str| -> Result<GenPart, LiveError> {
+            let env = Env::mem(config.store);
+            let file =
+                img.paged(&format!("s{shard}/{name}_pages"), config.store.pool_capacity, env.io())?;
+            let meta = img.blob(&format!("s{shard}/{name}_meta"))?;
+            Ok(GenPart { env, file, meta })
+        };
+        let exact1 = if has_exact1 { Some(part("exact1")?) } else { None };
+        let exact3 = part("exact3")?;
+        let breakpoints =
+            if has_bp { Some(img.blob(&format!("s{shard}/breakpoints"))?) } else { None };
+        Ok(GenParts { generation, frozen_end, exact1, exact3, breakpoints })
     }
 
     /// Number of ingest shards.
@@ -581,26 +691,62 @@ impl IngestEngine {
     }
 
     /// Checkpoint: barrier every shard (so everything durable is also
-    /// applied), write the master snapshot next to the WAL, then truncate
-    /// the WAL — after which recovery starts from the snapshot alone.
+    /// applied), publish a generation image next to the WAL — the master
+    /// set, plus every shard's frozen generation captured page-for-page —
+    /// then truncate the WAL. The image is stamped `wal.epoch() + 1` and
+    /// written tmp+rename *before* the truncation bumps the epoch to that
+    /// stamp, so a crash anywhere in between recovers exactly (see
+    /// [`IngestEngine::new`]'s recovery contract).
     pub fn checkpoint(&mut self) -> Result<(), LiveError> {
-        let (pong_tx, pong_rx) = channel();
-        for worker in &self.workers {
-            worker.tx.send(ToShard::Ping(pong_tx.clone())).map_err(|_| LiveError::WorkerGone)?;
-        }
-        drop(pong_tx);
-        for _ in 0..self.workers.len() {
-            pong_rx.recv().map_err(|_| LiveError::WorkerGone)?;
-        }
-        if let Some(path) = &self.snapshot_path {
-            let tmp = path.with_extension("csv.tmp");
-            let objects: Vec<TemporalObject> = self.master.objects().to_vec();
-            chronorank_workloads::write_csv_file(&objects, &tmp)
-                .map_err(|e| LiveError::Snapshot(e.to_string()))?;
-            std::fs::rename(&tmp, path).map_err(|e| LiveError::Snapshot(e.to_string()))?;
-        }
+        self.write_checkpoint_image()?;
         self.wal.truncate()?;
         self.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Fault-injection hook: the first half of [`IngestEngine::checkpoint`]
+    /// only — publishes the image but "crashes" before the WAL truncation.
+    /// Recovery after this must produce the same answers as a completed
+    /// checkpoint (the epoch gate skips the already-absorbed records).
+    #[doc(hidden)]
+    pub fn checkpoint_without_truncate(&mut self) -> Result<(), LiveError> {
+        self.write_checkpoint_image()
+    }
+
+    /// Gather every shard's installed generation (the gather doubles as
+    /// the apply barrier) and publish the checkpoint image.
+    fn write_checkpoint_image(&mut self) -> Result<(), LiveError> {
+        let (cp_tx, cp_rx) = channel();
+        for worker in &self.workers {
+            worker
+                .tx
+                .send(ToShard::Checkpoint(cp_tx.clone()))
+                .map_err(|_| LiveError::WorkerGone)?;
+        }
+        drop(cp_tx);
+        let w = self.workers.len();
+        let mut shards: Vec<Option<ShardCheckpoint>> = (0..w).map(|_| None).collect();
+        for _ in 0..w {
+            let cp = cp_rx.recv().map_err(|_| LiveError::WorkerGone)?;
+            let shard = cp.shard;
+            shards[shard] = Some(cp);
+        }
+        let Some(path) = &self.image_path else { return Ok(()) };
+        let mut writer = ImageWriter::create(path)?;
+        writer.add_blob("live_set", &self.master.to_bytes())?;
+        let mut meta = Vec::with_capacity(25);
+        meta.extend_from_slice(&(w as u64).to_le_bytes());
+        meta.extend_from_slice(&(self.params.block).to_le_bytes());
+        meta.extend_from_slice(&(self.config_kmax as u64).to_le_bytes());
+        meta.push(self.config_flags);
+        writer.add_blob("engine", &meta)?;
+        for cp in shards.into_iter().flatten() {
+            if let Some(gen) = &cp.gen {
+                gen.add_to_image(&mut writer, &format!("s{}/", cp.shard), &cp.frozen_end)
+                    .map_err(|e| LiveError::Snapshot(e.to_string()))?;
+            }
+        }
+        writer.finish(self.wal.epoch() + 1)?;
         Ok(())
     }
 
@@ -635,6 +781,7 @@ impl IngestEngine {
             live_mass: self.master.total_mass(),
             generations: statuses.iter().map(|s| s.generation).max().unwrap_or(0),
             checkpoints: self.checkpoints,
+            preloaded_shards: self.preloaded_shards,
         }
     }
 

@@ -17,10 +17,11 @@
 
 use crate::shard::ToShard;
 use chronorank_core::{
-    AggKind, ApproxConfig, Breakpoints, GenerationProfile, ObjectId, SharedMethod, TemporalSet,
+    AggKind, ApproxConfig, Breakpoints, Exact1, Exact3, GenerationProfile, ObjectId, SharedMethod,
+    TemporalSet,
 };
 use chronorank_serve::{panic_message, MethodSet, Route, RouteProfiles};
-use chronorank_storage::{IoStats, StoreConfig};
+use chronorank_storage::{Env, ImageWriter, IoStats, PagedFile, StoreConfig};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::time::Instant;
@@ -64,12 +65,37 @@ impl GenMeta {
     }
 }
 
+/// One reopened index extracted from a generation image: its environment
+/// (IO counter owner), the page-captured tree file, and the serialized
+/// side metadata.
+pub(crate) struct GenPart {
+    pub env: Env,
+    pub file: PagedFile,
+    pub meta: Vec<u8>,
+}
+
+/// Everything a shard needs to reopen its frozen generation from a
+/// checkpoint image: EXACT3 (always), optional EXACT1, the breakpoint
+/// table (APPX variants rebuild deterministically from it), and the
+/// per-object frozen edges that reconstruct the build-time snapshot.
+pub(crate) struct GenParts {
+    pub generation: u64,
+    pub frozen_end: Vec<f64>,
+    pub exact1: Option<GenPart>,
+    pub exact3: GenPart,
+    pub breakpoints: Option<Vec<u8>>,
+}
+
 /// A published, immutable generation: built methods + metadata, shared as
 /// `Arc<Generation>` between the builder (briefly), the shard, and
-/// whatever the shard is answering right now.
+/// whatever the shard is answering right now. Also keeps the concrete
+/// EXACT1/EXACT3 handles (the `methods` array holds `Arc` clones of the
+/// same indexes) so a checkpoint can capture the trees page-for-page.
 pub(crate) struct Generation {
     pub meta: GenMeta,
     methods: [Option<SharedMethod>; 5],
+    exact1: Option<Arc<Exact1>>,
+    exact3: Arc<Exact3>,
 }
 
 impl Generation {
@@ -82,21 +108,100 @@ impl Generation {
         let GenBuildSpec { methods, approx, store } = spec;
         // The one construction path shared with serve shards: what a route
         // is backed by can never diverge between the two layers.
-        let (built, breakpoints) =
-            chronorank_serve::build_route_methods(snapshot, methods, approx, store)?;
+        let built =
+            chronorank_serve::build_route_methods_with_handles(snapshot, methods, approx, store)?;
+        Ok(Self::assembled(snapshot, generation, approx.kmax, built, build_secs()))
+    }
+
+    /// Reopen from the parts of a checkpoint image: the exact trees come
+    /// back page-for-page (no sort, no build), and the APPX variants are
+    /// rebuilt deterministically from the persisted breakpoints over the
+    /// reconstructed build-time snapshot.
+    pub(crate) fn open(
+        snapshot: &TemporalSet,
+        parts: GenParts,
+        spec: GenBuildSpec,
+    ) -> chronorank_core::Result<Self> {
+        let GenBuildSpec { methods, approx, store } = spec;
+        let exact1 = match parts.exact1 {
+            Some(p) => Some(Arc::new(Exact1::open_parts(p.env, p.file, &p.meta)?)),
+            None => None,
+        };
+        let p3 = parts.exact3;
+        let exact3 = Arc::new(Exact3::open_parts(p3.env, store, p3.file, &p3.meta)?);
+        let breakpoints = match &parts.breakpoints {
+            Some(bytes) => Some(Breakpoints::from_bytes(bytes)?),
+            None => None,
+        };
+        if methods.exact1 != exact1.is_some() || methods.any_approx() != breakpoints.is_some() {
+            return Err(chronorank_core::CoreError::BadQuery(
+                "generation image does not match the configured method set".into(),
+            ));
+        }
+        let built = chronorank_serve::assemble_route_methods(
+            snapshot,
+            methods,
+            approx,
+            store,
+            exact1,
+            exact3,
+            breakpoints,
+        )?;
+        Ok(Self::assembled(snapshot, parts.generation, approx.kmax, built, 0.0))
+    }
+
+    fn assembled(
+        snapshot: &TemporalSet,
+        generation: u64,
+        kmax: usize,
+        built: chronorank_serve::BuiltRoutes,
+        build_secs: f64,
+    ) -> Self {
+        let chronorank_serve::BuiltRoutes { methods, breakpoints, exact1, exact3 } = built;
         let profiles: RouteProfiles =
-            std::array::from_fn(|i| built[i].as_ref().map(|m| m.profile()));
-        let size_bytes = built.iter().flatten().map(|m| m.size_bytes()).sum();
+            std::array::from_fn(|i| methods[i].as_ref().map(|m| m.profile()));
+        let size_bytes = methods.iter().flatten().map(|m| m.size_bytes()).sum();
         let meta = GenMeta {
             generation,
             built_mass: snapshot.total_mass(),
             profiles,
             breakpoints,
-            kmax: approx.kmax,
+            kmax,
             size_bytes,
-            build_secs: build_secs(),
+            build_secs,
         };
-        Ok(Self { meta, methods: built })
+        Self { meta, methods, exact1, exact3 }
+    }
+
+    /// Write this generation's persistent form under `prefix` in an image:
+    /// the exact trees page-for-page, their side metadata, the breakpoint
+    /// table, and the frozen edges that let a reopen reconstruct the
+    /// build-time snapshot from the recovered live set.
+    pub(crate) fn add_to_image(
+        &self,
+        w: &mut ImageWriter,
+        prefix: &str,
+        frozen_end: &[f64],
+    ) -> chronorank_core::Result<()> {
+        let mut meta = Vec::with_capacity(14 + 8 * frozen_end.len());
+        meta.extend_from_slice(&self.meta.generation.to_le_bytes());
+        meta.push(self.exact1.is_some() as u8);
+        meta.push(self.meta.breakpoints.is_some() as u8);
+        meta.extend_from_slice(&(frozen_end.len() as u32).to_le_bytes());
+        for &e in frozen_end {
+            meta.extend_from_slice(&e.to_bits().to_le_bytes());
+        }
+        w.add_blob(&format!("{prefix}meta"), &meta)?;
+        if let Some(e1) = &self.exact1 {
+            w.add_paged(&format!("{prefix}exact1_pages"), e1.tree_file())?;
+            w.add_blob(&format!("{prefix}exact1_meta"), &e1.meta_bytes())?;
+        }
+        w.add_paged(&format!("{prefix}exact3_pages"), self.exact3.tree_file())?;
+        w.add_blob(&format!("{prefix}exact3_meta"), &self.exact3.meta_bytes())?;
+        if let Some(bp) = &self.meta.breakpoints {
+            w.add_blob(&format!("{prefix}breakpoints"), &bp.to_bytes())?;
+        }
+        Ok(())
     }
 
     /// Frozen top-`k` candidates for `[t1, t2]` on `route` — a direct

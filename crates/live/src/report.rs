@@ -90,6 +90,9 @@ pub struct LiveReport {
     pub generations: u64,
     /// Checkpoints taken (WAL truncations).
     pub checkpoints: u64,
+    /// Shards whose frozen generation was reopened page-for-page from the
+    /// checkpoint image at boot (0 on a fresh build or mismatched config).
+    pub preloaded_shards: u64,
 }
 
 impl LiveReport {
@@ -158,6 +161,11 @@ impl std::fmt::Display for LiveReport {
             self.cache_invalidations,
             self.tail_segments,
             100.0 * self.mass_growth()
+        )?;
+        writeln!(
+            f,
+            "  durability: {} checkpoints, {}/{} shards preloaded from image",
+            self.checkpoints, self.preloaded_shards, self.workers
         )
     }
 }
@@ -207,6 +215,7 @@ mod tests {
             live_mass: 0.0,
             generations: 0,
             checkpoints: 0,
+            preloaded_shards: 0,
         };
         assert_eq!(r.qps(), 0.0);
         assert_eq!(r.cache_hit_rate(), 0.0);

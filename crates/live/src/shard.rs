@@ -30,7 +30,7 @@
 //! invalidated and recomputed. Epoch swaps clear the cache outright.
 
 use crate::config::LiveConfig;
-use crate::generation::{generation_main, GenBuildSpec, Generation};
+use crate::generation::{generation_main, GenBuildSpec, GenParts, Generation};
 use crate::report::PauseHistogram;
 use chronorank_core::{AppendRecord, ObjectId, TemporalSet};
 use chronorank_serve::{panic_message, LruCache, Route, RouteProfiles, ServeQuery};
@@ -58,8 +58,10 @@ pub(crate) enum ToShard {
     Apply(Vec<AppendRecord>),
     /// Answer one routed query.
     Query(LiveJob),
-    /// Checkpoint barrier: reply once everything before this is applied.
-    Ping(Sender<()>),
+    /// Checkpoint gather: reply with the installed frozen generation and
+    /// its frozen edges. Doubles as the barrier — the FIFO mailbox means
+    /// every apply sent before this message is applied by the reply.
+    Checkpoint(Sender<ShardCheckpoint>),
     /// A generation build finished (success or failure). On success the
     /// payload is the finished, immediately shareable snapshot.
     GenReady {
@@ -77,6 +79,15 @@ pub(crate) struct ShardChannels {
     pub self_tx: Sender<ToShard>,
     /// One-shot build handshake back to the engine.
     pub build_tx: Sender<BuildOutcome>,
+}
+
+/// One shard's contribution to a checkpoint image: the installed frozen
+/// generation (`None` only before bootstrap completes) plus the frozen
+/// edges its snapshot was cut at.
+pub(crate) struct ShardCheckpoint {
+    pub shard: usize,
+    pub gen: Option<Arc<Generation>>,
+    pub frozen_end: Vec<f64>,
 }
 
 /// Shard → caller answer for one query.
@@ -499,19 +510,66 @@ impl ShardState {
     }
 }
 
-/// Thread body of one ingest shard: bootstrap generation 0, handshake,
-/// then apply/answer/swap until shutdown.
+/// Thread body of one ingest shard: bootstrap generation 0 (or reopen a
+/// preloaded one from a checkpoint image), handshake, then
+/// apply/answer/swap until shutdown.
 pub(crate) fn shard_main(
     shard: usize,
     subset: TemporalSet,
     global_ids: Vec<ObjectId>,
     config: LiveConfig,
     channels: ShardChannels,
+    preload: Option<GenParts>,
 ) {
     let ShardChannels { rx, self_tx, build_tx } = channels;
     let mut state = ShardState::new(shard, subset, global_ids, config, self_tx);
-    state.spawn_generation(0);
     let mut build_tx = Some(build_tx);
+    match preload {
+        Some(parts) => {
+            // Reopen the persisted generation in-thread: a page-copy plus
+            // a deterministic APPX rebuild, not an index construction.
+            let spec = GenBuildSpec {
+                methods: state.config.methods,
+                approx: state.config.approx,
+                store: state.config.store,
+            };
+            let frozen_end = parts.frozen_end.clone();
+            let live = &state.live;
+            let opened = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let snapshot = live.truncated_at(&frozen_end)?;
+                Generation::open(&snapshot, parts, spec)
+            }));
+            let result = match opened {
+                Ok(Ok(gen)) => Ok(gen),
+                Ok(Err(e)) => Err(format!("generation reopen: {e}")),
+                Err(payload) => {
+                    Err(format!("generation reopen panicked: {}", panic_message(&*payload)))
+                }
+            };
+            match result {
+                Ok(gen) => {
+                    state.frozen_end = frozen_end;
+                    state.gen = Some(Installed { gen: Arc::new(gen), join: None });
+                    let tx = build_tx.take().expect("handshake not yet sent");
+                    let info = ShardInfo {
+                        m: state.live.num_objects() as u64,
+                        n: state.live.num_segments(),
+                        status: state.status(),
+                    };
+                    if tx.send(BuildOutcome { shard, result: Ok(info) }).is_err() {
+                        return;
+                    }
+                }
+                Err(message) => {
+                    if let Some(tx) = build_tx.take() {
+                        tx.send(BuildOutcome { shard, result: Err(message) }).ok();
+                    }
+                    return;
+                }
+            }
+        }
+        None => state.spawn_generation(0),
+    }
     while let Ok(msg) = rx.recv() {
         match msg {
             ToShard::Apply(recs) => {
@@ -532,8 +590,13 @@ pub(crate) fn shard_main(
                 // up; later queries carry fresh senders, so keep serving.
                 job.reply.send(reply).ok();
             }
-            ToShard::Ping(pong) => {
-                pong.send(()).ok();
+            ToShard::Checkpoint(reply) => {
+                let cp = ShardCheckpoint {
+                    shard,
+                    gen: state.gen.as_ref().map(|i| Arc::clone(&i.gen)),
+                    frozen_end: state.frozen_end.clone(),
+                };
+                reply.send(cp).ok();
             }
             ToShard::GenReady { generation, result } => match result {
                 Ok(gen) => {

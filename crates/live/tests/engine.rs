@@ -142,6 +142,59 @@ fn checkpoint_then_recover_reproduces_answers() {
         assert_top_matches(&want, &got, "post-recovery");
         // The recovered master equals the fully applied stream.
         assert_eq!(recovered.live_set().num_segments(), stream.full_set().num_segments());
+        // And the frozen generations came back page-for-page from the
+        // checkpoint image rather than being rebuilt.
+        assert_eq!(recovered.report().preloaded_shards, 2, "cold start must serve from the image");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interrupted_checkpoint_recovers_idempotently() {
+    // The crash window the epoch stamp exists for: the image is published
+    // (tmp+rename) but the process dies before the WAL truncation. The
+    // log then still holds every record the image already absorbed; the
+    // recovery gate must skip them all, and recovering twice must change
+    // nothing (fault injection via the `checkpoint_without_truncate` hook).
+    let dir = std::env::temp_dir().join(format!("chronorank-live-crashwin-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let stream = stock_stream(8, 8);
+    let seed = stream.base_set();
+    let config = LiveConfig { workers: 2, wal_dir: Some(dir.clone()), ..Default::default() };
+    let q = |set: &TemporalSet| {
+        let (t1, t2) = (set.t_min() + 0.25 * set.span(), set.t_max());
+        ServeQuery::exact(t1, t2, 6)
+    };
+    let want;
+    let want_segments;
+    {
+        let mut engine = IngestEngine::new(&seed, config.clone()).unwrap();
+        for batch in stream.batches() {
+            engine.append_batch(batch).unwrap();
+        }
+        engine.checkpoint_without_truncate().unwrap();
+        assert_eq!(engine.report().checkpoints, 0, "an interrupted checkpoint must not count");
+        want = engine.query(q(engine.live_set())).unwrap();
+        want_segments = engine.live_set().num_segments();
+        // Simulated crash: dropped between image publish and truncation.
+    }
+    for attempt in 0..2 {
+        // Recover twice over the same (image, un-truncated WAL) pair:
+        // answers must be bit-identical both times — nothing is lost by
+        // skipping the absorbed log, nothing is double-applied.
+        let recovered = IngestEngine::new(&seed, config.clone()).unwrap();
+        assert_eq!(
+            recovered.live_set().num_segments(),
+            want_segments,
+            "recovery {attempt}: segment count"
+        );
+        let got = recovered.query(q(recovered.live_set())).unwrap();
+        assert_top_matches(&want, &got, &format!("recovery {attempt}"));
+        assert_eq!(
+            recovered.report().preloaded_shards,
+            2,
+            "recovery {attempt}: generations must reopen from the image"
+        );
     }
     std::fs::remove_dir_all(&dir).ok();
 }

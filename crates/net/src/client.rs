@@ -175,12 +175,12 @@ impl NetClient {
     /// Queue one TOPK request; returns its request id. Buffered — call
     /// [`NetClient::flush`] (or any `recv`) before expecting an answer.
     pub fn send_topk(&mut self, q: ServeQuery) -> Result<u64, NetError> {
-        self.send_frame(OpCode::TopK, TopKRequest(q).encode())
+        self.send_frame(OpCode::TopK, TopKRequest(q).encode()?)
     }
 
     /// Queue one APPEND_BATCH request; returns its request id.
     pub fn send_append_batch(&mut self, recs: &[AppendRecord]) -> Result<u64, NetError> {
-        self.send_frame(OpCode::AppendBatch, encode_append_batch(recs))
+        self.send_frame(OpCode::AppendBatch, encode_append_batch(recs)?)
     }
 
     /// Push all queued requests onto the wire.

@@ -18,6 +18,10 @@
 //! typed [`FrameError`] for every malformed input (it never panics), and
 //! never reads past the bytes it was handed — a declared-but-absent
 //! payload is [`FrameError::Truncated`], not an out-of-bounds access.
+//! The encoders hold the symmetric line: a host-side value too wide for
+//! its fixed wire field (a `k` or a count past `u32::MAX`) is a typed
+//! [`FrameError::FieldOverflow`], never a silent `as u32` truncation
+//! that would put a *different, valid-looking* request on the wire.
 //! Scores and timestamps cross the wire as `f64::to_bits` so answers are
 //! **bit-identical** end to end (`tests/net_agreement.rs` holds the server
 //! to that).
@@ -127,6 +131,17 @@ pub enum FrameError {
     },
     /// The frame parsed but its payload does not decode for its opcode.
     BadPayload(&'static str),
+    /// An encode-side value does not fit its fixed-width wire field.
+    /// Casting it anyway would *silently truncate* — e.g. `k = 2³² + 3`
+    /// used to cross the wire as `k = 3` — so the encoders refuse instead.
+    FieldOverflow {
+        /// Which field overflowed.
+        field: &'static str,
+        /// The value that does not fit.
+        value: u64,
+        /// Largest value the wire field can carry.
+        max: u64,
+    },
 }
 
 impl std::fmt::Display for FrameError {
@@ -145,6 +160,9 @@ impl std::fmt::Display for FrameError {
                 write!(f, "payload crc mismatch: header says {want:#010x}, computed {got:#010x}")
             }
             FrameError::BadPayload(what) => write!(f, "undecodable payload: {what}"),
+            FrameError::FieldOverflow { field, value, max } => {
+                write!(f, "{field} = {value} does not fit its wire field (max {max})")
+            }
         }
     }
 }
@@ -295,6 +313,15 @@ fn f64_at(buf: &[u8], at: usize, what: &'static str) -> Result<f64, FrameError> 
     Ok(f64::from_bits(u64::from_le_bytes(take::<8>(buf, at, what)?)))
 }
 
+/// Fit a host-side count into a u32 wire field, or say exactly why not.
+fn fit_u32(field: &'static str, value: usize) -> Result<u32, FrameError> {
+    u32::try_from(value).map_err(|_| FrameError::FieldOverflow {
+        field,
+        value: value as u64,
+        max: u32::MAX as u64,
+    })
+}
+
 /// [`OpCode::TopK`] request payload: the full [`ServeQuery`] in 29 fixed
 /// bytes (`t1`, `t2` as f64 bits; `k` u32; tolerance tag; `eps` f64 bits).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -303,13 +330,14 @@ pub struct TopKRequest(pub ServeQuery);
 impl TopKRequest {
     const LEN: usize = 29;
 
-    /// Serialize.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serialize. Refuses (typed) a `k` that does not fit the u32 wire
+    /// field — `k as u32` would wrap and silently query for the wrong `k`.
+    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
         let q = self.0;
         let mut out = Vec::with_capacity(Self::LEN);
         out.extend_from_slice(&q.t1.to_bits().to_le_bytes());
         out.extend_from_slice(&q.t2.to_bits().to_le_bytes());
-        out.extend_from_slice(&(q.k as u32).to_le_bytes());
+        out.extend_from_slice(&fit_u32("k", q.k)?.to_le_bytes());
         let (tag, eps) = match q.tolerance {
             None => (0u8, 0.0),
             Some(t) if !t.tight_ranks => (1, t.eps),
@@ -317,7 +345,7 @@ impl TopKRequest {
         };
         out.push(tag);
         out.extend_from_slice(&eps.to_bits().to_le_bytes());
-        out
+        Ok(out)
     }
 
     /// Parse and validate: finite interval with `t1 < t2`, finite
@@ -375,19 +403,21 @@ pub struct TopKResponse {
 }
 
 impl TopKResponse {
-    /// Serialize.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serialize. Refuses (typed) an entry count that does not fit the
+    /// u32 wire field, rather than truncating it against the payload.
+    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
         let entries = self.topk.entries();
+        let count = fit_u32("entry count", entries.len())?;
         let mut out = Vec::with_capacity(21 + 12 * entries.len());
         out.push(self.route.idx() as u8);
         out.extend_from_slice(&self.eps_used.unwrap_or(-1.0).to_bits().to_le_bytes());
         out.extend_from_slice(&self.appends_applied.to_le_bytes());
-        out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        out.extend_from_slice(&count.to_le_bytes());
         for &(id, score) in entries {
             out.extend_from_slice(&id.to_le_bytes());
             out.extend_from_slice(&score.to_bits().to_le_bytes());
         }
-        out
+        Ok(out)
     }
 
     /// Parse.
@@ -415,14 +445,17 @@ impl TopKResponse {
     }
 }
 
-/// Encode an [`OpCode::AppendBatch`] request payload.
-pub fn encode_append_batch(recs: &[AppendRecord]) -> Vec<u8> {
+/// Encode an [`OpCode::AppendBatch`] request payload. Refuses (typed) a
+/// record count that does not fit the u32 wire field — truncating it
+/// would make the count disagree with the payload and mis-split records.
+pub fn encode_append_batch(recs: &[AppendRecord]) -> Result<Vec<u8>, FrameError> {
+    let count = fit_u32("append count", recs.len())?;
     let mut out = Vec::with_capacity(4 + AppendRecord::ENCODED_LEN * recs.len());
-    out.extend_from_slice(&(recs.len() as u32).to_le_bytes());
+    out.extend_from_slice(&count.to_le_bytes());
     for rec in recs {
         out.extend_from_slice(&rec.encode());
     }
-    out
+    Ok(out)
 }
 
 /// Decode an [`OpCode::AppendBatch`] request payload.
@@ -589,14 +622,16 @@ pub struct ErrorBody {
 }
 
 impl ErrorBody {
-    /// Serialize.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serialize. Refuses (typed) a message that does not fit the u32
+    /// length field instead of truncating the length against the bytes.
+    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
         let msg = self.message.as_bytes();
+        let len = fit_u32("message length", msg.len())?;
         let mut out = Vec::with_capacity(5 + msg.len());
         out.push(self.code as u8);
-        out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes());
         out.extend_from_slice(msg);
-        out
+        Ok(out)
     }
 
     /// Parse.
@@ -661,7 +696,11 @@ mod tests {
     #[test]
     fn streaming_decoder_handles_byte_at_a_time_delivery() {
         let frames = [
-            Frame::new(OpCode::TopK, 1, TopKRequest(ServeQuery::exact(0.0, 1.0, 5)).encode()),
+            Frame::new(
+                OpCode::TopK,
+                1,
+                TopKRequest(ServeQuery::exact(0.0, 1.0, 5)).encode().unwrap(),
+            ),
             Frame::new(OpCode::Ping, 2, Vec::new()),
         ];
         let bytes: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
@@ -684,10 +723,10 @@ mod tests {
             ServeQuery::approx(0.0, 100.0, 3, 0.05),
             ServeQuery::approx_tight(1.0, 2.0, 1, 0.2),
         ] {
-            let back = TopKRequest::decode(&TopKRequest(q).encode()).unwrap();
+            let back = TopKRequest::decode(&TopKRequest(q).encode().unwrap()).unwrap();
             assert_eq!(back.0, q);
         }
-        let bad = TopKRequest(ServeQuery::exact(5.0, 4.0, 2)).encode();
+        let bad = TopKRequest(ServeQuery::exact(5.0, 4.0, 2)).encode().unwrap();
         assert!(TopKRequest::decode(&bad).is_err(), "t1 >= t2 must be rejected");
         let bad = TopKRequest(ServeQuery {
             t1: 0.0,
@@ -695,7 +734,8 @@ mod tests {
             k: 2,
             tolerance: Some(Tolerance { eps: f64::NAN, tight_ranks: false }),
         })
-        .encode();
+        .encode()
+        .unwrap();
         assert!(TopKRequest::decode(&bad).is_err(), "NaN eps must be rejected");
     }
 
@@ -707,7 +747,7 @@ mod tests {
             eps_used: Some(0.017),
             appends_applied: 99,
         };
-        let back = TopKResponse::decode(&resp.encode()).unwrap();
+        let back = TopKResponse::decode(&resp.encode().unwrap()).unwrap();
         assert_eq!(back.route, Route::Appx2Plus);
         assert_eq!(back.eps_used, Some(0.017));
         assert_eq!(back.appends_applied, 99);
@@ -723,12 +763,12 @@ mod tests {
             AppendRecord { object: 3, t: 10.5, v: -2.25 },
             AppendRecord { object: 0, t: 11.0, v: 0.0 },
         ];
-        assert_eq!(decode_append_batch(&encode_append_batch(&recs)).unwrap(), recs);
+        assert_eq!(decode_append_batch(&encode_append_batch(&recs).unwrap()).unwrap(), recs);
         let ok = AppendOk { accepted: 2, total_appends: 77 };
         assert_eq!(AppendOk::decode(&ok.encode()).unwrap(), ok);
         let stats = StatsBody { live_backend: 1, workers: 4, queries: 10, ..Default::default() };
         assert_eq!(StatsBody::decode(&stats.encode()).unwrap(), stats);
         let err = ErrorBody { code: ErrCode::Busy, message: "too many in flight".into() };
-        assert_eq!(ErrorBody::decode(&err.encode()).unwrap(), err);
+        assert_eq!(ErrorBody::decode(&err.encode().unwrap()).unwrap(), err);
     }
 }

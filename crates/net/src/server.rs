@@ -40,7 +40,7 @@
 
 use crate::frame::{
     AppendOk, Decoder, ErrCode, ErrorBody, Frame, FrameError, OpCode, StatsBody, TopKRequest,
-    TopKResponse,
+    TopKResponse, MAX_PAYLOAD,
 };
 use chronorank_core::{AppendRecord, TemporalSet, TopK};
 use chronorank_live::{IngestEngine, LiveConfig};
@@ -424,8 +424,11 @@ fn engine_main(backend: &Backend, jobs: &Mutex<Receiver<Job>>, shared: &Shared) 
             }
         };
         let frame = match job.op {
-            EngineOp::TopK(q) => match backend.topk(q) {
-                Ok(resp) => Frame::new(OpCode::TopKOk, job.request_id, resp.encode()),
+            EngineOp::TopK(q) => match backend
+                .topk(q)
+                .and_then(|resp| resp.encode().map_err(|e| (ErrCode::Engine, e.to_string())))
+            {
+                Ok(body) => Frame::new(OpCode::TopKOk, job.request_id, body),
                 Err(e) => error_frame(job.request_id, e.0, e.1),
             },
             EngineOp::Append(recs) => match backend.append(&recs) {
@@ -449,7 +452,19 @@ fn engine_main(backend: &Backend, jobs: &Mutex<Receiver<Job>>, shared: &Shared) 
 }
 
 fn error_frame(request_id: u64, code: ErrCode, message: String) -> Frame {
-    Frame::new(OpCode::Error, request_id, ErrorBody { code, message }.encode())
+    // A message too large for the wire's u32 length field (or the frame
+    // payload bound) degrades to a short placeholder — the client still
+    // gets the typed code, which is the part that drives its behavior.
+    let body = ErrorBody { code, message }
+        .encode()
+        .ok()
+        .filter(|b| b.len() <= MAX_PAYLOAD as usize)
+        .unwrap_or_else(|| {
+            ErrorBody { code, message: "(error message too large for one frame)".into() }
+                .encode()
+                .expect("short message always encodes")
+        });
+    Frame::new(OpCode::Error, request_id, body)
 }
 
 fn acceptor_main(

@@ -5,8 +5,14 @@
 //! field. Case counts honour `PROPTEST_CASES` like every property suite
 //! in the workspace.
 
-use chronorank_net::frame::{crc32, HEADER_LEN, MAX_PAYLOAD};
-use chronorank_net::{Decoder, Frame, FrameError, OpCode};
+use chronorank_core::{AppendRecord, TopK};
+use chronorank_net::frame::{
+    crc32, decode_append_batch, encode_append_batch, HEADER_LEN, MAX_PAYLOAD,
+};
+use chronorank_net::{
+    Decoder, ErrCode, ErrorBody, Frame, FrameError, OpCode, TopKRequest, TopKResponse,
+};
+use chronorank_serve::{Route, ServeQuery};
 use proptest::prelude::*;
 
 const OPS: [OpCode; 11] = [
@@ -174,4 +180,88 @@ proptest! {
             other => return Err(TestCaseError::fail(format!("flip must be caught, got {other:?}"))),
         }
     }
+
+    /// Encode side (ISSUE 6 satellite): every typed body whose fields fit
+    /// their wire widths encodes, and decoding the bytes gives back the
+    /// exact body — queries, answers (bit-identical scores), append
+    /// batches and error bodies alike.
+    #[test]
+    fn encoded_bodies_roundtrip(
+        t1 in -1.0e6f64..1.0e6,
+        span in 1.0e-3f64..1.0e6,
+        k in 0usize..=(1 << 20),
+        tag in 0u8..3,
+        eps in 1.0e-9f64..8.0,
+        route_pick in any::<u8>(),
+        eps_used in prop_oneof![Just(-1.0f64), 0.0f64..1.0],
+        appends in any::<u64>(),
+        entries in proptest::collection::vec((any::<u32>(), -1.0e6f64..1.0e6), 0..50),
+        recs in proptest::collection::vec(
+            (any::<u32>(), -1.0e6f64..1.0e6, -1.0e6f64..1.0e6),
+            0..50,
+        ),
+        code in 1u8..=5,
+        msg in proptest::collection::vec(any::<u8>(), 0..120),
+    ) {
+        // TOPK request, over all three tolerance tags.
+        let q = match tag {
+            0 => ServeQuery::exact(t1, t1 + span, k),
+            1 => ServeQuery::approx(t1, t1 + span, k, eps),
+            _ => ServeQuery::approx_tight(t1, t1 + span, k, eps),
+        };
+        let bytes = TopKRequest(q).encode().expect("in-range k encodes");
+        prop_assert_eq!(TopKRequest::decode(&bytes).unwrap().0, q);
+
+        // TOPK response: re-encoding the decoded body must give the same
+        // bytes (scores cross as exact bits).
+        let mut ranked = entries;
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let resp = TopKResponse {
+            topk: TopK::from_ranked(ranked),
+            route: Route::ALL[route_pick as usize % Route::ALL.len()],
+            eps_used: if eps_used < 0.0 { None } else { Some(eps_used) },
+            appends_applied: appends,
+        };
+        let bytes = resp.encode().expect("in-range entry count encodes");
+        let back = TopKResponse::decode(&bytes).unwrap();
+        prop_assert_eq!(back.encode().unwrap(), bytes);
+
+        // Append batch.
+        let recs: Vec<AppendRecord> =
+            recs.into_iter().map(|(object, t, v)| AppendRecord { object, t, v }).collect();
+        let bytes = encode_append_batch(&recs).expect("in-range record count encodes");
+        prop_assert_eq!(decode_append_batch(&bytes).unwrap(), recs);
+
+        // Error body (arbitrary printable-ASCII message).
+        const CODES: [ErrCode; 5] = [
+            ErrCode::Busy,
+            ErrCode::Unsupported,
+            ErrCode::Engine,
+            ErrCode::BadRequest,
+            ErrCode::Shutdown,
+        ];
+        let err = ErrorBody {
+            code: CODES[code as usize - 1],
+            message: msg.into_iter().map(|b| (b % 94 + 32) as char).collect(),
+        };
+        let bytes = err.encode().expect("in-range message length encodes");
+        prop_assert_eq!(ErrorBody::decode(&bytes).unwrap(), err);
+    }
+}
+
+/// The regression itself: `k as u32` used to *wrap*, so `k = 2³² + 3`
+/// crossed the wire as a perfectly valid-looking query for `k = 3` — the
+/// client silently got the wrong answer. Now it is a typed refusal.
+#[test]
+#[cfg(target_pointer_width = "64")]
+fn oversized_k_is_refused_not_wrapped() {
+    let k = (1usize << 32) + 3;
+    let err = TopKRequest(ServeQuery::exact(0.0, 1.0, k)).encode().unwrap_err();
+    assert_eq!(
+        err,
+        FrameError::FieldOverflow { field: "k", value: k as u64, max: u32::MAX as u64 }
+    );
+    // And the boundary value itself still encodes.
+    let ok = TopKRequest(ServeQuery::exact(0.0, 1.0, u32::MAX as usize)).encode();
+    assert!(ok.is_ok(), "u32::MAX is the largest encodable k");
 }

@@ -79,7 +79,10 @@ pub use planner::{
 };
 pub use query::{ServeQuery, Tolerance};
 pub use report::{RouteStats, ServeReport};
-pub use shard::{build_route_methods, Shard};
+pub use shard::{
+    assemble_route_methods, build_route_methods, build_route_methods_with_handles, BuiltRoutes,
+    Shard,
+};
 
 /// Render a `catch_unwind` payload into a readable error message. Shared
 /// by every worker-thread layer that converts panics into `Err` replies

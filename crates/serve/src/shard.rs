@@ -23,7 +23,7 @@ use chronorank_core::{
 };
 use chronorank_storage::{Env, IoStats, StoreConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// A shard-local ranked answer (global ids) or an error message.
@@ -63,6 +63,21 @@ struct CacheKey {
     route: Route,
 }
 
+/// One snapshot's built route methods: the dyn-dispatch array the planner
+/// routes through, plus the typed EXACT1/EXACT3 handles a persistence
+/// layer captures page-for-page (the array holds `Arc` clones of the same
+/// indexes — nothing is built twice).
+pub struct BuiltRoutes {
+    /// Per-[`Route`] methods, `None` where disabled.
+    pub methods: [Option<SharedMethod>; 5],
+    /// The one breakpoint set shared by every enabled APPX variant.
+    pub breakpoints: Option<Breakpoints>,
+    /// Concrete EXACT1 handle (present iff the route is enabled).
+    pub exact1: Option<Arc<Exact1>>,
+    /// Concrete EXACT3 handle (always built — the exact fallback route).
+    pub exact3: Arc<Exact3>,
+}
+
 /// Build the per-route method array one serving snapshot needs: optional
 /// EXACT1, mandatory EXACT3, and the enabled APPX variants sharing one
 /// breakpoint set. The single construction path for both serve shards and
@@ -74,12 +89,24 @@ pub fn build_route_methods(
     approx: ApproxConfig,
     store: StoreConfig,
 ) -> chronorank_core::Result<([Option<SharedMethod>; 5], Option<Breakpoints>)> {
-    let mut built: [Option<SharedMethod>; 5] = std::array::from_fn(|_| None);
-    if methods.exact1 {
-        built[Route::Exact1.idx()] = Some(Box::new(Exact1::build(set, IndexConfig { store })?));
-    }
-    built[Route::Exact3.idx()] = Some(Box::new(Exact3::build(set, IndexConfig { store })?));
-    let approx = ApproxConfig { store, ..approx };
+    let built = build_route_methods_with_handles(set, methods, approx, store)?;
+    Ok((built.methods, built.breakpoints))
+}
+
+/// [`build_route_methods`], keeping the concrete EXACT1/EXACT3 handles —
+/// what a generation image needs to capture the trees page-for-page.
+pub fn build_route_methods_with_handles(
+    set: &TemporalSet,
+    methods: MethodSet,
+    approx: ApproxConfig,
+    store: StoreConfig,
+) -> chronorank_core::Result<BuiltRoutes> {
+    let exact1 = if methods.exact1 {
+        Some(Arc::new(Exact1::build(set, IndexConfig { store })?))
+    } else {
+        None
+    };
+    let exact3 = Arc::new(Exact3::build(set, IndexConfig { store })?);
     let breakpoints = if methods.any_approx() {
         Some(match approx.eps {
             Some(eps) => Breakpoints::b2_with_eps(set, eps, approx.b2)?,
@@ -88,6 +115,28 @@ pub fn build_route_methods(
     } else {
         None
     };
+    assemble_route_methods(set, methods, approx, store, exact1, exact3, breakpoints)
+}
+
+/// Assemble the route array from pre-built exact handles plus a breakpoint
+/// set, building only the APPX variants (deterministic given the
+/// breakpoints). This is the reopen path: a restart extracts EXACT1/EXACT3
+/// and the breakpoints from a generation image and rebuilds nothing else.
+pub fn assemble_route_methods(
+    set: &TemporalSet,
+    methods: MethodSet,
+    approx: ApproxConfig,
+    store: StoreConfig,
+    exact1: Option<Arc<Exact1>>,
+    exact3: Arc<Exact3>,
+    breakpoints: Option<Breakpoints>,
+) -> chronorank_core::Result<BuiltRoutes> {
+    let mut built: [Option<SharedMethod>; 5] = std::array::from_fn(|_| None);
+    if let Some(e1) = &exact1 {
+        built[Route::Exact1.idx()] = Some(Box::new(Arc::clone(e1)));
+    }
+    built[Route::Exact3.idx()] = Some(Box::new(Arc::clone(&exact3)));
+    let approx = ApproxConfig { store, ..approx };
     for (flag, route, variant) in [
         (methods.appx1, Route::Appx1, ApproxVariant::APPX1),
         (methods.appx2, Route::Appx2, ApproxVariant::APPX2),
@@ -100,7 +149,7 @@ pub fn build_route_methods(
             built[route.idx()] = Some(Box::new(idx));
         }
     }
-    Ok((built, breakpoints))
+    Ok(BuiltRoutes { methods: built, breakpoints, exact1, exact3 })
 }
 
 /// One partition's built, immutable index snapshot (see module docs).

@@ -175,11 +175,13 @@ fn latency_toggle_slows_and_restores_io_bound_queries() {
     let set =
         TempGenerator::new(TempConfig { objects: 200, avg_segments: 60, seed: 11, dropout: 0.02 })
             .generate_set();
-    // A tiny pool against a wide scan guarantees every exact probe misses
-    // (reads > 0), so the emulated device latency must dominate once on.
+    // A single-frame pool guarantees every exact probe misses (reads > 0)
+    // — the bulk-loaded trees are compact enough that a few frames would
+    // cache a repeated stab — so the emulated device latency must dominate
+    // once on.
     let cfg = ServeConfig {
         workers: 2,
-        store: chronorank_storage::StoreConfig { block_size: 4096, pool_capacity: 8 },
+        store: chronorank_storage::StoreConfig { block_size: 4096, pool_capacity: 1 },
         ..Default::default()
     };
     let engine = ServeEngine::new(&set, cfg).unwrap();

@@ -17,7 +17,11 @@
 //!   single IO budget;
 //! * [`WriteAheadLog`] — a block-device-backed durability log for the
 //!   ingest path (CRC'd records, crash replay, truncation on checkpoint),
-//!   counted separately as `wal_writes`/`wal_bytes`.
+//!   counted separately as `wal_writes`/`wal_bytes`;
+//! * [`ImageWriter`] / [`GenerationImage`] — a versioned, CRC'd container
+//!   that persists a frozen index generation (page captures of whole
+//!   [`PagedFile`]s plus metadata blobs) so a restart serves it directly
+//!   instead of rebuilding.
 //!
 //! ## Concurrency
 //!
@@ -53,6 +57,7 @@
 mod device;
 mod env;
 mod error;
+mod image;
 pub mod page;
 mod pool;
 mod stats;
@@ -61,6 +66,7 @@ mod wal;
 pub use device::{BlockDevice, FileDevice, MemDevice};
 pub use env::{Env, EnvBacking};
 pub use error::{Result, StorageError};
+pub use image::{GenerationImage, ImageWriter};
 pub use pool::{PagedFile, StoreConfig};
 pub use stats::{IoCounter, IoStats};
 pub use wal::{crc32, WriteAheadLog, MAX_RECORD_LEN};
