@@ -15,9 +15,14 @@
 #   coldstart-smoke   paper-bench coldstart --quick   (bulk load vs insert
 #                     build, image cold start vs WAL replay; the bench
 #                     asserts bit-identical answers across every restart)
+#   obs-smoke         paper-bench obs --quick         (exits nonzero if the
+#                     telemetry plane costs >3% read-path throughput) plus
+#                     a loopback METRICS scrape (examples/metrics_scrape
+#                     fails on malformed exposition or missing families)
 #   bench-regression  paper-bench check-regression    (smoke JSONs vs the
-#                     committed BENCH_SERVE/LIVE/NET/COLDSTART.json: same
-#                     key shape, sane rates, no >10x throughput collapse)
+#                     committed BENCH_SERVE/LIVE/NET/COLDSTART/OBS.json:
+#                     same key shape, sane rates, no >10x throughput
+#                     collapse)
 #
 # Every smoke artifact goes under target/ so the committed full-scale
 # BENCH_*.json and results/ CSVs are never clobbered by quick numbers.
@@ -111,12 +116,22 @@ coldstart_smoke() {
         --out target/paper-bench-smoke
 }
 
+# The obs bench enforces its own <3% overhead gate by exit code; the
+# scrape example fails on malformed exposition or a missing family.
+obs_smoke() {
+    CHRONORANK_OBS_JSON=target/BENCH_OBS_ci.json \
+        cargo run --release -q -p chronorank-bench --bin paper_bench -- obs --quick \
+        --out target/paper-bench-smoke
+    cargo run --release -q --example metrics_scrape
+}
+
 bench_regression() {
     cargo run --release -q -p chronorank-bench --bin paper_bench -- check-regression \
         --pair BENCH_SERVE.json=target/BENCH_SERVE_ci.json \
         --pair BENCH_LIVE.json=target/BENCH_LIVE_ci.json \
         --pair BENCH_NET.json=target/BENCH_NET_ci.json \
         --pair BENCH_COLDSTART.json=target/BENCH_COLDSTART_ci.json \
+        --pair BENCH_OBS.json=target/BENCH_OBS_ci.json \
         --tolerance 10
 }
 
@@ -129,6 +144,7 @@ stage serve-smoke      serve_smoke
 stage live-smoke       live_smoke
 stage net-smoke        net_smoke
 stage coldstart-smoke  coldstart_smoke
+stage obs-smoke        obs_smoke
 stage bench-regression bench_regression
 
 print_timings

@@ -5,7 +5,7 @@
 //! paper-bench <figure> [options]
 //!
 //! figures: fig3 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20
-//!          ablation serve live coldstart net all
+//!          ablation serve live coldstart net obs all
 //! check-regression --pair BASELINE.json=CURRENT.json [--pair ...]
 //!                  [--tolerance N]        compare bench JSON shapes/rates
 //! options:
@@ -72,7 +72,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: paper-bench <fig3|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|ablation|serve|live|coldstart|net|all> \
+            "usage: paper-bench <fig3|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|ablation|serve|live|coldstart|net|obs|all> \
              [--m N] [--navg N] [--r N] [--kmax N] [--k N] [--queries N] [--meme-m N] [--out DIR] [--quick]\n\
              \x20      paper-bench check-regression --pair BASELINE.json=CURRENT.json [--pair ...] [--tolerance N]"
         );
@@ -145,6 +145,7 @@ fn main() {
         "live" => live(&opts),
         "coldstart" => coldstart(&opts),
         "net" => net(&opts),
+        "obs" => obs(&opts),
         "all" => {
             fig3(&opts);
             fig11(&opts);
@@ -160,6 +161,7 @@ fn main() {
             live(&opts);
             coldstart(&opts);
             net(&opts);
+            obs(&opts);
         }
         other => {
             eprintln!("unknown figure {other}");
@@ -1628,6 +1630,173 @@ fn net(opts: &Opts) {
     let mut f = std::fs::File::create(&json_path).expect("create BENCH_NET.json");
     f.write_all(json.as_bytes()).expect("write BENCH_NET.json");
     println!("wrote {json_path}");
+}
+
+// ---------------------------------------------------------------------------
+// Obs: telemetry overhead gate (BENCH_OBS.json)
+// ---------------------------------------------------------------------------
+
+/// Measure what the telemetry plane costs on the serving read path and
+/// fail if it is not (nearly) free.
+///
+/// Two identical serve engines answer the same mixed exact/ε Zipf stream:
+/// one wired to the process-global registry (per-route latency
+/// histograms, cache counters, flight-recorder admission on every query —
+/// the default), one detached onto [`chronorank_obs::Registry::noop`],
+/// where every handle is `None` and each record is a dead branch. Trials
+/// interleave A/B so both arms share warmup, thermal and cache
+/// conditions, and the best trial per arm is compared: **if instrumented
+/// throughput lands more than [`OBS_GATE_PCT`]% below no-op, the run
+/// exits nonzero** — the CI gate that keeps telemetry off the hot path.
+///
+/// A microbench of the raw primitives (counter inc, histogram record;
+/// live and no-op) is reported alongside for context.
+///
+/// Writes `BENCH_OBS.json` (cwd, or `$CHRONORANK_OBS_JSON`) plus a CSV
+/// under `--out`.
+const OBS_GATE_PCT: f64 = 3.0;
+
+fn obs(opts: &Opts) {
+    use chronorank_obs::{Counter, Histogram, Registry};
+    use chronorank_serve::{ServeConfig, ServeEngine, ServeQuery};
+    use chronorank_workloads::{IntervalPattern, QueryWorkload, QueryWorkloadConfig};
+    use std::io::Write as _;
+
+    const PATTERN: IntervalPattern =
+        IntervalPattern::Zipf { hotspots: 8, exponent: 1.0, background: 0.1 };
+    const EPS_BUDGET: f64 = 0.2;
+    let (m, navg, count, trials) = if opts.quick { (400, 30, 400, 3) } else { (1200, 50, 2000, 5) };
+    let k = opts.k.min(opts.kmax).max(1);
+    let set = temp_dataset(m, navg, 42);
+    let workload = QueryWorkload::new(
+        QueryWorkloadConfig { count, span_fraction: 0.2, k, seed: 7, pattern: PATTERN },
+        set.t_min(),
+        set.t_max(),
+    );
+    let stream: Vec<ServeQuery> = workload
+        .generate()
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            if i % 2 == 0 {
+                ServeQuery::exact(q.t1, q.t2, q.k)
+            } else {
+                ServeQuery::approx(q.t1, q.t2, q.k, EPS_BUDGET)
+            }
+        })
+        .collect();
+    println!(
+        "# obs scenario: m = {m}, N = {} segments, {} queries/trial × {trials} interleaved \
+         trials, instrumented (global registry) vs no-op registry",
+        set.num_segments(),
+        stream.len()
+    );
+
+    // Arm A: the default — handles resolved against the global registry.
+    let instrumented =
+        ServeEngine::new(&set, ServeConfig { workers: 2, ..Default::default() }).expect("engine");
+    // Arm B: same engine shape, every metric handle a no-op.
+    let mut noop =
+        ServeEngine::new(&set, ServeConfig { workers: 2, ..Default::default() }).expect("engine");
+    noop.set_registry(&Registry::noop());
+
+    instrumented.run_stream(&stream).expect("warmup");
+    noop.run_stream(&stream).expect("warmup");
+    let mut on_qps = Vec::new();
+    let mut off_qps = Vec::new();
+    for _ in 0..trials {
+        on_qps.push(instrumented.run_stream(&stream).expect("instrumented trial").qps());
+        off_qps.push(noop.run_stream(&stream).expect("noop trial").qps());
+    }
+    let best = |v: &[f64]| v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let (best_on, best_off) = (best(&on_qps), best(&off_qps));
+    // Negative = instrumented measured faster; pure noise either way.
+    let overhead_pct = 100.0 * (1.0 - best_on / best_off.max(1e-9));
+
+    // Primitive costs, for the table: what one increment/record buys.
+    let private = Registry::new();
+    let live_counter = private.counter("obs_bench_counter", "microbench");
+    let live_hist = private.histogram("obs_bench_hist", "microbench");
+    let ns_per = |op: &dyn Fn(u64)| -> f64 {
+        const OPS: u64 = 1_000_000;
+        let t0 = Instant::now();
+        for i in 0..OPS {
+            op(i);
+        }
+        t0.elapsed().as_nanos() as f64 / OPS as f64
+    };
+    let noop_counter = Counter::noop();
+    let noop_hist = Histogram::noop();
+    let prim = [
+        ("counter_inc", ns_per(&|_| std::hint::black_box(&live_counter).inc())),
+        ("histogram_record", ns_per(&|i| std::hint::black_box(&live_hist).record(i))),
+        ("noop_counter_inc", ns_per(&|_| std::hint::black_box(&noop_counter).inc())),
+        ("noop_histogram_record", ns_per(&|i| std::hint::black_box(&noop_hist).record(i))),
+    ];
+
+    let mut table = Table::new(
+        "Obs — read-path throughput with telemetry on vs off (best of trials)",
+        &["arm", "best q/s", "per-trial q/s"],
+    );
+    let fmt_trials =
+        |v: &[f64]| v.iter().map(|q| format!("{q:.0}")).collect::<Vec<_>>().join(" / ");
+    table.row(vec!["instrumented".into(), format!("{best_on:.0}"), fmt_trials(&on_qps)]);
+    table.row(vec!["noop".into(), format!("{best_off:.0}"), fmt_trials(&off_qps)]);
+    table.print();
+    let mut tp = Table::new("Obs — primitive cost (ns/op)", &["primitive", "ns"]);
+    for (name, ns) in prim {
+        tp.row(vec![name.into(), format!("{ns:.1}")]);
+    }
+    tp.print();
+    tp.write_csv(&opts.out, "obs_primitives").expect("csv");
+    table.write_csv(&opts.out, "obs_overhead").expect("csv");
+    println!("\ntelemetry overhead on the read path: {overhead_pct:.2}% (gate: < {OBS_GATE_PCT}%)");
+
+    let trial_rows: Vec<String> = on_qps
+        .iter()
+        .zip(&off_qps)
+        .map(|(on, off)| format!("      {{\"instrumented_qps\": {on:.1}, \"noop_qps\": {off:.1}}}"))
+        .collect();
+    let json_path =
+        std::env::var("CHRONORANK_OBS_JSON").unwrap_or_else(|_| "BENCH_OBS.json".to_string());
+    let json = format!(
+        "{{\n  \"harness\": \"chronorank-obs-bench\",\n  \"quick\": {},\n  \"scenario\": {{\n    \
+         \"dataset\": \"temp\", \"m\": {m}, \"n_segments\": {}, \"k\": {k},\n    \
+         \"queries_per_trial\": {}, \"trials\": {trials}, \"workers\": 2,\n    \
+         \"zipf\": {{\"hotspots\": 8, \"exponent\": 1.0, \"background\": 0.1}},\n    \
+         \"eps_budget\": {EPS_BUDGET}\n  }},\n  \
+         \"note\": \"Two identical serve engines answer the same mixed exact/eps Zipf stream; \
+         one records per-route latency histograms, cache counters and flight-recorder \
+         admission against the global registry, the other holds no-op handles (every record \
+         a dead branch). Trials interleave A/B; the best trial per arm is compared, and the \
+         bench exits nonzero if instrumentation costs more than {OBS_GATE_PCT}% of read-path \
+         throughput. primitives_ns times the raw atomic ops one query's telemetry is made \
+         of.\",\n  \
+         \"read_path\": {{\n    \"instrumented_qps\": {best_on:.1},\n    \
+         \"noop_qps\": {best_off:.1},\n    \"overhead_pct\": {overhead_pct:.3},\n    \
+         \"gate_pct\": {OBS_GATE_PCT},\n    \"trials\": [\n{}\n    ]\n  }},\n  \
+         \"primitives_ns\": {{\n    \"counter_inc\": {:.1},\n    \"histogram_record\": {:.1},\n    \
+         \"noop_counter_inc\": {:.1},\n    \"noop_histogram_record\": {:.1}\n  }}\n}}\n",
+        opts.quick,
+        set.num_segments(),
+        stream.len(),
+        trial_rows.join(",\n"),
+        prim[0].1,
+        prim[1].1,
+        prim[2].1,
+        prim[3].1,
+    );
+    let mut f = std::fs::File::create(&json_path).expect("create BENCH_OBS.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_OBS.json");
+    println!("wrote {json_path}");
+
+    if overhead_pct >= OBS_GATE_PCT {
+        eprintln!(
+            "obs overhead gate FAILED: instrumented read path is {overhead_pct:.2}% slower \
+             than no-op (gate: < {OBS_GATE_PCT}%)"
+        );
+        std::process::exit(1);
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,9 +1,11 @@
-//! A minimal JSON reader plus the bench-regression comparator.
+//! A minimal JSON reader/writer plus the bench-regression comparator.
 //!
 //! The workspace is dependency-free by policy (no serde), and the bench
 //! JSONs it emits are small and simple — so this module carries its own
-//! ~150-line recursive-descent parser, a path flattener, and the
-//! comparison rules the `paper_bench check-regression` CI gate applies:
+//! ~150-line recursive-descent parser, the matching [`encode`] writer
+//! (property-tested against the parser by `tests/json_roundtrip.rs`), a
+//! path flattener, and the comparison rules the `paper_bench
+//! check-regression` CI gate applies:
 //!
 //! 1. **structure** — a smoke-run JSON must have exactly the committed
 //!    baseline's key shape (arrays are compared by *element shape*, not
@@ -216,6 +218,68 @@ impl Parser<'_> {
     }
 }
 
+/// Serialize a [`Json`] back to text. Exact inverse of [`parse`] for
+/// every finite document: objects keep insertion order, numbers print in
+/// Rust's shortest round-trip decimal form, and strings escape quotes,
+/// backslashes and all control characters. Non-finite numbers have no
+/// JSON spelling and encode as `null` (the sanity gate rejects them from
+/// bench files anyway).
+pub fn encode(value: &Json) -> String {
+    let mut out = String::new();
+    write_value(value, &mut out);
+    out
+}
+
+fn write_value(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) if n.is_finite() => write!(out, "{n}").expect("write to string"),
+        Json::Num(_) => out.push_str("null"),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, v) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(v, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).expect("write to string"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 /// One flattened leaf: collapsed path (array indexes become `[]`) plus
 /// the numeric value, if the leaf is a number.
 #[derive(Debug, Clone, PartialEq)]
@@ -360,6 +424,42 @@ mod tests {
         assert_eq!(paths.iter().filter(|p| **p == "results[].io_bound_qps").count(), 2);
         let m = leaves.iter().find(|l| l.path == "scenario.m").unwrap();
         assert_eq!(m.num, Some(600.0));
+    }
+
+    #[test]
+    fn encode_is_the_inverse_of_parse() {
+        let v = parse(SAMPLE).unwrap();
+        let text = encode(&v);
+        assert_eq!(parse(&text).unwrap(), v, "reparse of {text}");
+        // Encoding is a fixed point after one round.
+        assert_eq!(encode(&parse(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn encode_escapes_everything_the_parser_understands() {
+        let v = Json::Obj(vec![
+            ("quote\"back\\slash".into(), Json::Str("\n\t\r\u{8}\u{c}\u{1}\u{1f}".into())),
+            ("unicode: é 雪 🛰".into(), Json::Str("plain / slash".into())),
+        ]);
+        let text = encode(&v);
+        assert!(text.contains("\\u0001") && text.contains("\\u001f"), "{text}");
+        assert!(!text.chars().any(|c| c.is_control()), "raw control char leaked: {text}");
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn encode_large_integers_exactly() {
+        let big = (1u64 << 53) as f64; // largest contiguously exact f64 integer
+        let v = Json::Arr(vec![Json::Num(big), Json::Num(-big), Json::Num(0.1 + 0.2)]);
+        let text = encode(&v);
+        assert_eq!(text, "[9007199254740992,-9007199254740992,0.30000000000000004]");
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_numbers_encode_as_null() {
+        let v = Json::Arr(vec![Json::Num(f64::NAN), Json::Num(f64::INFINITY)]);
+        assert_eq!(encode(&v), "[null,null]");
     }
 
     #[test]

@@ -8,11 +8,13 @@
 
 use crate::config::LiveConfig;
 use crate::generation::{GenPart, GenParts};
+use crate::obs::LiveObs;
 use crate::report::{LiveReport, PauseHistogram};
 use crate::shard::{
     shard_main, LiveJob, ShardChannels, ShardCheckpoint, ShardReply, ShardStatus, ToShard,
 };
 use chronorank_core::{AppendRecord, ObjectId, TemporalSet, TopK};
+use chronorank_obs::{elapsed_us, Registry};
 use chronorank_serve::{
     merge_profiles, merge_ranked, partition, Freshness, MethodSet, Planner, PlannerParams, Route,
     ServeQuery,
@@ -207,6 +209,8 @@ pub struct IngestEngine {
     /// Config facts stamped into checkpoint images (the preload gate).
     config_kmax: usize,
     config_flags: u8,
+    /// Pre-resolved metric handles (process-global registry).
+    obs: LiveObs,
 }
 
 /// Bit-packed [`MethodSet`] for the image's engine metadata.
@@ -221,7 +225,10 @@ impl IngestEngine {
     /// record is replayed onto it, and the shards bootstrap from the
     /// recovered set — so answers after a crash equal answers before it.
     pub fn new(seed: &TemporalSet, config: LiveConfig) -> Result<Self, LiveError> {
+        let obs = LiveObs::attach(Registry::global());
+        let t_recover = Instant::now();
         let (wal, base, image_path, mut preloads) = Self::recover(seed, &config)?;
+        obs.recovery_us.set_u64(elapsed_us(t_recover));
         let w = config.workers.clamp(1, base.num_objects());
         if preloads.len() != w {
             preloads = (0..w).map(|_| None).collect();
@@ -234,9 +241,12 @@ impl IngestEngine {
             let channels = ShardChannels { rx, self_tx: tx.clone(), build_tx: build_tx.clone() };
             let cfg = config.clone();
             let preload = preloads[shard].take();
+            let shard_obs = obs.shard.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("chronorank-live-{shard}"))
-                .spawn(move || shard_main(shard, subset, global_ids, cfg, channels, preload))
+                .spawn(move || {
+                    shard_main(shard, subset, global_ids, cfg, channels, preload, shard_obs)
+                })
                 .map_err(|e| LiveError::Spawn(e.to_string()))?;
             workers.push(Worker { tx, handle: Some(handle) });
         }
@@ -281,6 +291,7 @@ impl IngestEngine {
             preloaded_shards,
             config_kmax: config.approx.kmax,
             config_flags: method_flags(config.methods),
+            obs,
         })
     }
 
@@ -506,10 +517,12 @@ impl IngestEngine {
             }
             // Durability first; an IO failure stops the batch but the
             // records already logged still reach master and shards below.
+            let t_append = Instant::now();
             if let Err(e) = self.wal.append(&rec.encode()) {
                 failed = Some(LiveError::Storage(e));
                 break;
             }
+            self.obs.wal_append_us.record(elapsed_us(t_append));
             self.master.apply(*rec).expect("validated above");
             accepted += 1;
             let shard = rec.object as usize % w;
@@ -523,7 +536,10 @@ impl IngestEngine {
             // Even if the sync fails, ship what was applied to master —
             // consistency between master and shards outranks durability of
             // the tail (the caller learns about the failed sync).
+            let t_sync = Instant::now();
             let synced = self.wal.sync();
+            self.obs.wal_fsync_us.record(elapsed_us(t_sync));
+            self.obs.batch_size.record(accepted);
             for (shard, batch) in per_shard.into_iter().enumerate() {
                 if !batch.is_empty() {
                     self.workers[shard]
@@ -698,9 +714,11 @@ impl IngestEngine {
     /// stamp, so a crash anywhere in between recovers exactly (see
     /// [`IngestEngine::new`]'s recovery contract).
     pub fn checkpoint(&mut self) -> Result<(), LiveError> {
+        let t0 = Instant::now();
         self.write_checkpoint_image()?;
         self.wal.truncate()?;
         self.checkpoints += 1;
+        self.obs.checkpoint_us.record(elapsed_us(t0));
         Ok(())
     }
 
@@ -783,6 +801,54 @@ impl IngestEngine {
             checkpoints: self.checkpoints,
             preloaded_shards: self.preloaded_shards,
         }
+    }
+
+    /// Mirror the current [`LiveReport`] into the process metric
+    /// [`Registry`] as gauges, so one scrape of the registry carries the
+    /// live tier alongside the serve tier. `report()` stays the
+    /// programmatic surface; these gauges are the same numbers under
+    /// stable metric names.
+    pub fn sync_obs(&self) {
+        let registry = &self.obs.registry;
+        if registry.is_noop() {
+            return;
+        }
+        let r = self.report();
+        let g = |name: &str, help: &str, v: u64| registry.gauge(name, help).set_u64(v);
+        g("chronorank_live_workers", "ingest shard count", r.workers as u64);
+        g("chronorank_live_appends", "records appended (WAL-durable)", r.appends);
+        g("chronorank_live_batches", "durable group-commits", r.batches);
+        g("chronorank_live_queries", "queries answered by the live engine", r.queries);
+        g("chronorank_live_rebuilds", "completed generation rebuilds", r.rebuilds);
+        g(
+            "chronorank_live_rebuilds_in_flight",
+            "shards with a rebuild in flight",
+            r.rebuilds_in_flight,
+        );
+        g("chronorank_live_index_bytes", "bytes across published generations", r.index_bytes);
+        g("chronorank_live_tail_segments", "appended segments in mutable tails", r.tail_segments);
+        g(
+            "chronorank_live_queries_during_rebuild",
+            "queries served while a rebuild was in flight",
+            r.queries_during_rebuild,
+        );
+        g("chronorank_live_cache_hits", "staleness-audited cache hits", r.cache_hits);
+        g("chronorank_live_cache_lookups", "staleness-audited cache lookups", r.cache_lookups);
+        g(
+            "chronorank_live_cache_invalidations",
+            "cache entries dropped as eps-stale",
+            r.cache_invalidations,
+        );
+        g("chronorank_live_checkpoints", "checkpoints taken (WAL truncations)", r.checkpoints);
+        g(
+            "chronorank_live_preloaded_shards",
+            "shards reopened page-for-page from the checkpoint image",
+            r.preloaded_shards,
+        );
+        g("chronorank_live_generations", "highest generation published", r.generations);
+        g("chronorank_live_wal_writes", "WAL block flushes", r.wal.wal_writes);
+        g("chronorank_live_wal_bytes", "WAL payload bytes", r.wal.wal_bytes);
+        g("chronorank_live_index_reads", "index block reads across generations", r.index_io.reads);
     }
 
     fn scatter(&self, job: LiveJob) -> Result<(), LiveError> {

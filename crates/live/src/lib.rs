@@ -67,6 +67,7 @@
 mod config;
 mod engine;
 mod generation;
+mod obs;
 mod report;
 mod shard;
 

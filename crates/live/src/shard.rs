@@ -31,6 +31,7 @@
 
 use crate::config::LiveConfig;
 use crate::generation::{generation_main, GenBuildSpec, GenParts, Generation};
+use crate::obs::ShardObs;
 use crate::report::PauseHistogram;
 use chronorank_core::{AppendRecord, ObjectId, TemporalSet};
 use chronorank_serve::{panic_message, LruCache, Route, RouteProfiles, ServeQuery};
@@ -210,6 +211,8 @@ struct ShardState {
     status_seq: u64,
     /// First unrecoverable error (reported on every later query).
     poisoned: Option<String>,
+    /// Process-registry histograms this thread alone can feed.
+    obs: ShardObs,
 }
 
 impl ShardState {
@@ -219,6 +222,7 @@ impl ShardState {
         global_ids: Vec<ObjectId>,
         config: LiveConfig,
         self_tx: Sender<ToShard>,
+        obs: ShardObs,
     ) -> Self {
         let m = live.num_objects();
         let cache = (config.cache_capacity > 0).then(|| LruCache::new(config.cache_capacity));
@@ -244,6 +248,7 @@ impl ShardState {
             retired_io: IoStats::default(),
             status_seq: 0,
             poisoned: None,
+            obs,
         }
     }
 
@@ -290,13 +295,16 @@ impl ShardState {
         self.frozen_end = pending.frozen_end;
         self.gen_applied = pending.stamp_applied;
         self.build_secs += gen.meta.build_secs;
+        self.obs.rebuild_us.record((gen.meta.build_secs * 1e6) as u64);
         self.gen = Some(Installed { gen, join: pending.join });
         if let Some(cache) = &mut self.cache {
             cache.clear(); // superseded frozen parts
         }
         if generation > 0 {
             self.rebuilds += 1;
-            self.swap_pause.record(t0.elapsed().as_micros() as u64);
+            let pause_us = t0.elapsed().as_micros() as u64;
+            self.swap_pause.record(pause_us);
+            self.obs.swap_pause_us.record(pause_us);
         }
     }
 
@@ -520,9 +528,10 @@ pub(crate) fn shard_main(
     config: LiveConfig,
     channels: ShardChannels,
     preload: Option<GenParts>,
+    obs: ShardObs,
 ) {
     let ShardChannels { rx, self_tx, build_tx } = channels;
-    let mut state = ShardState::new(shard, subset, global_ids, config, self_tx);
+    let mut state = ShardState::new(shard, subset, global_ids, config, self_tx, obs);
     let mut build_tx = Some(build_tx);
     match preload {
         Some(parts) => {

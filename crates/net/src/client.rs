@@ -124,6 +124,9 @@ pub enum Response {
     Checkpoint,
     /// Answer to a STATS request.
     Stats(StatsBody),
+    /// Answer to a METRICS request: the text exposition of the server's
+    /// whole metric registry.
+    Metrics(String),
     /// Answer to a PING (the echoed payload).
     Pong(Vec<u8>),
     /// A typed error frame for this request id.
@@ -200,6 +203,10 @@ impl NetClient {
             OpCode::AppendOk => Response::Append(AppendOk::decode(&frame.payload)?),
             OpCode::CheckpointOk => Response::Checkpoint,
             OpCode::StatsOk => Response::Stats(StatsBody::decode(&frame.payload)?),
+            OpCode::MetricsOk => Response::Metrics(
+                String::from_utf8(frame.payload)
+                    .map_err(|_| NetError::Protocol("metrics payload is not utf-8".into()))?,
+            ),
             OpCode::Pong => Response::Pong(frame.payload),
             OpCode::Error => Response::Error(ErrorBody::decode(&frame.payload)?),
             other => return Err(NetError::Protocol(format!("{other:?} is not a response opcode"))),
@@ -242,6 +249,17 @@ impl NetClient {
         match self.recv_for(id)? {
             Response::Stats(s) => Ok(s),
             other => Err(unexpected("STATS_OK", &other)),
+        }
+    }
+
+    /// Scrape the server's metric registry as Prometheus-style text
+    /// exposition (every tier: serve/live engine, wire counters,
+    /// latency summaries).
+    pub fn metrics(&mut self) -> Result<String, NetError> {
+        let id = self.send_frame(OpCode::Metrics, Vec::new())?;
+        match self.recv_for(id)? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(unexpected("METRICS_OK", &other)),
         }
     }
 

@@ -63,6 +63,9 @@ pub enum OpCode {
     Checkpoint = 0x04,
     /// Server counters snapshot ([`StatsBody`] payload in the response).
     Stats = 0x05,
+    /// Telemetry scrape: the whole process metric registry as text
+    /// exposition (empty request payload).
+    Metrics = 0x06,
     /// Response to [`OpCode::Ping`].
     Pong = 0x81,
     /// Successful top-k answer ([`TopKResponse`] payload).
@@ -73,6 +76,10 @@ pub enum OpCode {
     CheckpointOk = 0x84,
     /// Stats snapshot ([`StatsBody`] payload).
     StatsOk = 0x85,
+    /// Metrics scrape answer: the payload is the Prometheus-style text
+    /// exposition, raw UTF-8 (`chronorank_obs::validate_exposition`
+    /// checks its shape client-side).
+    MetricsOk = 0x86,
     /// Typed failure ([`ErrorBody`] payload).
     Error = 0xEE,
 }
@@ -85,11 +92,13 @@ impl OpCode {
             0x03 => OpCode::AppendBatch,
             0x04 => OpCode::Checkpoint,
             0x05 => OpCode::Stats,
+            0x06 => OpCode::Metrics,
             0x81 => OpCode::Pong,
             0x82 => OpCode::TopKOk,
             0x83 => OpCode::AppendOk,
             0x84 => OpCode::CheckpointOk,
             0x85 => OpCode::StatsOk,
+            0x86 => OpCode::MetricsOk,
             0xEE => OpCode::Error,
             _ => return None,
         })

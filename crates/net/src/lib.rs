@@ -8,7 +8,8 @@
 //!
 //! * a **frame protocol** ([`frame`]) — length-prefixed binary frames
 //!   with a versioned header, client request ids, and a CRC over every
-//!   payload; ops `PING`, `TOPK`, `APPEND_BATCH`, `CHECKPOINT`, `STATS`.
+//!   payload; ops `PING`, `TOPK`, `APPEND_BATCH`, `CHECKPOINT`, `STATS`,
+//!   `METRICS` (the whole process metric registry as text exposition).
 //!   Scores cross the wire as exact `f64` bits, so a network answer is
 //!   **bit-identical** to the in-process answer it came from;
 //! * a **server** ([`NetServer`]) — a dependency-free `std::net` TCP

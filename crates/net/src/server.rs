@@ -44,6 +44,7 @@ use crate::frame::{
 };
 use chronorank_core::{AppendRecord, TemporalSet, TopK};
 use chronorank_live::{IngestEngine, LiveConfig};
+use chronorank_obs::{elapsed_us, Counter, Histogram, Registry};
 use chronorank_serve::{Route, ServeConfig, ServeEngine, ServeQuery};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -51,6 +52,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -142,7 +144,13 @@ impl Backend {
                 let mut e = lock.write().unwrap_or_else(std::sync::PoisonError::into_inner);
                 let before = e.appends();
                 e.append_batch(recs).map_err(|err| (ErrCode::Engine, err.to_string()))?;
-                Ok(AppendOk { accepted: e.appends() - before, total_appends: e.appends() })
+                // Saturating: the lifetime counter is monotone today, but a
+                // raw subtraction here would turn any future counter reset
+                // (recovery, truncation) into a u64 wrap on the wire.
+                Ok(AppendOk {
+                    accepted: e.appends().saturating_sub(before),
+                    total_appends: e.appends(),
+                })
             }
         }
     }
@@ -220,6 +228,7 @@ enum EngineOp {
     Append(Vec<AppendRecord>),
     Checkpoint,
     Stats,
+    Metrics,
 }
 
 struct Job {
@@ -260,6 +269,82 @@ struct Shared {
     frames_out: AtomicU64,
     busy_rejections: AtomicU64,
     connections: AtomicU64,
+    obs: NetObs,
+}
+
+/// Network-tier metric handles, resolved once at server start against the
+/// process [`Registry::global`]. The STATS wire op keeps reading the raw
+/// atomics in [`Shared`]; a METRICS scrape mirrors them into gauges so
+/// one exposition carries every tier.
+struct NetObs {
+    /// Time to extract one complete frame from the stream, µs.
+    decode_us: Histogram,
+    /// Time to serialize one engine response frame, µs.
+    encode_us: Histogram,
+    /// Frames bounced by admission control (`max_in_flight`).
+    admission_busy: Counter,
+    /// Whole connections turned away at the connection cap.
+    refused_connections: Counter,
+}
+
+impl NetObs {
+    fn attach(registry: &Registry) -> Self {
+        Self {
+            decode_us: registry.histogram(
+                "chronorank_net_frame_decode_us",
+                "time extracting one complete frame from the byte stream, microseconds",
+            ),
+            encode_us: registry.histogram(
+                "chronorank_net_frame_encode_us",
+                "time serializing one engine response frame, microseconds",
+            ),
+            admission_busy: registry.counter(
+                "chronorank_net_admission_busy_total",
+                "frames refused with BUSY by admission control (max_in_flight)",
+            ),
+            refused_connections: registry.counter(
+                "chronorank_net_refused_connections_total",
+                "connections refused at the connection cap",
+            ),
+        }
+    }
+}
+
+impl Shared {
+    /// Mirror the wire counters into registry gauges (METRICS scrape).
+    fn sync_obs(&self, registry: &Registry) {
+        let g = |name: &str, help: &str, v: u64| registry.gauge(name, help).set_u64(v);
+        g(
+            "chronorank_net_frames_in",
+            "request frames accepted",
+            self.frames_in.load(Ordering::Relaxed),
+        );
+        g(
+            "chronorank_net_frames_out",
+            "response frames written",
+            self.frames_out.load(Ordering::Relaxed),
+        );
+        g(
+            "chronorank_net_busy_rejections",
+            "BUSY refusals (admission + connection cap)",
+            self.busy_rejections.load(Ordering::Relaxed),
+        );
+        g(
+            "chronorank_net_connections",
+            "connections accepted (lifetime)",
+            self.connections.load(Ordering::Relaxed),
+        );
+        g(
+            "chronorank_net_active_connections",
+            "connections currently open",
+            self.active_conns.load(Ordering::SeqCst) as u64,
+        );
+        g(
+            "chronorank_net_in_flight",
+            "engine frames admitted but not yet answered",
+            self.in_flight.load(Ordering::SeqCst) as u64,
+        );
+    }
 }
 
 /// A running wire-protocol server. Dropping it shuts it down cleanly
@@ -299,6 +384,7 @@ impl NetServer {
             frames_out: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            obs: NetObs::attach(Registry::global()),
         });
         let backend = Arc::new(build().map_err(ServerError::Backend)?);
         let (job_tx, job_rx) = channel::<Job>();
@@ -442,13 +528,39 @@ fn engine_main(backend: &Backend, jobs: &Mutex<Receiver<Job>>, shared: &Shared) 
             EngineOp::Stats => {
                 Frame::new(OpCode::StatsOk, job.request_id, backend.stats(shared).encode())
             }
+            EngineOp::Metrics => match render_metrics(backend, shared) {
+                Ok(text) => Frame::new(OpCode::MetricsOk, job.request_id, text.into_bytes()),
+                Err(e) => error_frame(job.request_id, e.0, e.1),
+            },
         };
         // The writer releases the admission slot once the bytes reach the
         // wire; if the connection is already gone, release it here.
-        if job.resp.send(OutFrame::engine(&frame)).is_err() {
+        let t_enc = Instant::now();
+        let out = OutFrame::engine(&frame);
+        shared.obs.encode_us.record(elapsed_us(t_enc));
+        if job.resp.send(out).is_err() {
             shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         }
     }
+}
+
+/// Answer one METRICS scrape: pull every backend's counters into the
+/// process registry (serve/live gauges, wire-tier gauges), then render
+/// the whole registry as text exposition.
+fn render_metrics(backend: &Backend, shared: &Shared) -> Result<String, (ErrCode, String)> {
+    let registry = Registry::global();
+    match backend {
+        Backend::Serve(e) => e.sync_obs(),
+        Backend::Live(lock) => {
+            lock.read().unwrap_or_else(std::sync::PoisonError::into_inner).sync_obs()
+        }
+    }
+    shared.sync_obs(registry);
+    let text = registry.render();
+    if text.len() > MAX_PAYLOAD as usize {
+        return Err((ErrCode::Engine, "metric exposition exceeds the frame payload bound".into()));
+    }
+    Ok(text)
 }
 
 fn error_frame(request_id: u64, code: ErrCode, message: String) -> Frame {
@@ -496,6 +608,7 @@ fn acceptor_main(
             // *why*, instead of seeing an unexplained reset.
             let mut stream = stream;
             shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            shared.obs.refused_connections.inc();
             let refusal = error_frame(
                 0,
                 ErrCode::Busy,
@@ -621,8 +734,12 @@ fn reader_main(
         };
         decoder.feed(&scratch[..n]);
         loop {
+            let t_dec = Instant::now();
             let frame = match decoder.next_frame() {
-                Ok(Some(f)) => f,
+                Ok(Some(f)) => {
+                    shared.obs.decode_us.record(elapsed_us(t_dec));
+                    f
+                }
                 Ok(None) => break,
                 Err(e) => {
                     // Framing is lost; one typed goodbye, then close.
@@ -667,6 +784,7 @@ fn dispatch(
         },
         OpCode::Checkpoint => EngineOp::Checkpoint,
         OpCode::Stats => EngineOp::Stats,
+        OpCode::Metrics => EngineOp::Metrics,
         // A response opcode arriving at the server is a confused client.
         other => {
             let msg = format!("{other:?} is not a request opcode");
@@ -684,6 +802,7 @@ fn dispatch(
         .is_ok();
     if !admitted {
         shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        shared.obs.admission_busy.inc();
         let msg = format!("{} frames in flight (limit)", shared.max_in_flight);
         return out_tx.send(OutFrame::inline(&error_frame(id, ErrCode::Busy, msg))).is_ok();
     }

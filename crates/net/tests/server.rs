@@ -212,6 +212,65 @@ fn engine_thread_pool_answers_concurrent_pipelines_correctly() {
 }
 
 #[test]
+fn metrics_scrape_returns_valid_exposition_with_serve_families() {
+    let server = NetServer::start_serve(
+        tiny_set(12),
+        ServeConfig { workers: 2, ..Default::default() },
+        NetConfig::default(),
+    )
+    .unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    client.topk(ServeQuery::exact(10.0, 90.0, 4)).unwrap();
+    client.topk(ServeQuery::approx(10.0, 90.0, 4, 0.05)).unwrap();
+    let text = client.metrics().unwrap();
+    let families = chronorank_obs::validate_exposition(&text)
+        .unwrap_or_else(|e| panic!("malformed exposition: {e}\n{text}"));
+    for family in [
+        "chronorank_serve_route_latency_us",
+        "chronorank_serve_route_total",
+        "chronorank_serve_queries",
+        "chronorank_serve_workers",
+        "chronorank_net_frames_in",
+        "chronorank_net_frame_decode_us",
+        "chronorank_net_frame_encode_us",
+    ] {
+        assert!(families.contains(family), "missing family {family} in:\n{text}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn metrics_scrape_covers_the_live_tier() {
+    let server = NetServer::start_live(
+        tiny_set(8),
+        LiveConfig { workers: 2, ..Default::default() },
+        NetConfig::default(),
+    )
+    .unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let batch: Vec<AppendRecord> =
+        (0..8).map(|i| AppendRecord { object: i, t: 150.0, v: 100.0 + i as f64 }).collect();
+    client.append_batch(&batch).unwrap();
+    client.checkpoint().unwrap();
+    let text = client.metrics().unwrap();
+    let families = chronorank_obs::validate_exposition(&text)
+        .unwrap_or_else(|e| panic!("malformed exposition: {e}\n{text}"));
+    for family in [
+        "chronorank_live_appends",
+        "chronorank_live_batch_size",
+        "chronorank_live_wal_fsync_us",
+        "chronorank_live_checkpoint_us",
+        "chronorank_live_recovery_us",
+    ] {
+        assert!(families.contains(family), "missing family {family} in:\n{text}");
+    }
+    // The gauges mirror the engine's own counters.
+    assert!(text.contains("chronorank_live_appends 8"), "got:\n{text}");
+    assert!(text.contains("chronorank_live_checkpoints 1"), "got:\n{text}");
+    server.shutdown();
+}
+
+#[test]
 fn malformed_bytes_get_a_typed_goodbye_then_close() {
     use std::io::{Read, Write};
     let server =

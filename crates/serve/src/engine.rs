@@ -2,12 +2,16 @@
 //! over shared snapshots, gather, merge.
 
 use crate::config::ServeConfig;
+use crate::obs::ServeObs;
 use crate::panic_message;
 use crate::planner::{merge_profiles, Planner, PlannerParams, Route};
 use crate::query::ServeQuery;
 use crate::report::{RouteStats, ServeReport};
 use crate::shard::{Shard, ShardAnswer};
 use chronorank_core::{ObjectId, TemporalObject, TemporalSet, TopK};
+use chronorank_obs::{
+    elapsed_us, CacheOutcome, FlightRecorder, IoDelta, QueryTrace, Registry, ShardSpan,
+};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -69,6 +73,8 @@ impl StreamOutcome {
 /// One unit of pool work: answer `query` on `shard`, reply tagged.
 struct Task {
     shard: Arc<Shard>,
+    /// Index of `shard` within the engine (trace attribution).
+    shard_idx: usize,
     query: ServeQuery,
     route: Route,
     /// Index of the query within its stream (0 for single queries).
@@ -78,7 +84,14 @@ struct Task {
 
 struct TaskReply {
     tag: u64,
+    shard: usize,
     result: ShardAnswer,
+    /// Probe wall time (µs) measured on the worker thread.
+    elapsed_us: u64,
+    /// Block reads this probe performed (thread-attributed).
+    reads: u64,
+    /// `Some(hit)` when the shard's result cache was consulted.
+    cache: Option<bool>,
 }
 
 /// A fixed set of worker threads draining one shared task queue. Workers
@@ -137,13 +150,25 @@ fn worker_main(task_rx: &Mutex<Receiver<Task>>) {
                 Err(_) => return, // queue closed: engine is shutting down
             }
         };
+        let t0 = Instant::now();
+        let reads_before = chronorank_storage::IoCounter::thread_reads();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             task.shard.answer(task.query, task.route)
         }));
-        let result = outcome
-            .unwrap_or_else(|payload| Err(format!("query panicked: {}", panic_message(&*payload))));
+        let (result, cache) = outcome.unwrap_or_else(|payload| {
+            (Err(format!("query panicked: {}", panic_message(&*payload))), None)
+        });
         // A dropped receiver means the query's caller is gone; fine.
-        task.reply.send(TaskReply { tag: task.tag, result }).ok();
+        task.reply
+            .send(TaskReply {
+                tag: task.tag,
+                shard: task.shard_idx,
+                result,
+                elapsed_us: elapsed_us(t0),
+                reads: chronorank_storage::IoCounter::thread_reads() - reads_before,
+                cache,
+            })
+            .ok();
     }
 }
 
@@ -171,6 +196,7 @@ pub struct ServeEngine {
     served: Mutex<Served>,
     index_bytes: u64,
     build_secs: f64,
+    obs: ServeObs,
 }
 
 impl ServeEngine {
@@ -241,7 +267,27 @@ impl ServeEngine {
             }),
             index_bytes: facts.iter().map(|f| f.size_bytes).sum(),
             build_secs: 0.0,
+            obs: ServeObs::attach(Registry::global()),
         })
+    }
+
+    /// Re-attach this engine's instrumentation to `registry` — a private
+    /// registry for isolated measurements, or [`Registry::noop`] for the
+    /// uninstrumented side of the overhead A/B. Counters restart at the
+    /// new registry's values; the flight recorder is replaced too.
+    pub fn set_registry(&mut self, registry: &Registry) {
+        self.obs = ServeObs::attach(registry);
+    }
+
+    /// The engine's slow-query flight recorder (no-op when attached to a
+    /// no-op registry).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.obs.recorder
+    }
+
+    /// Re-arm the slow-query trace threshold (µs; `0` traces everything).
+    pub fn set_slow_query_threshold_us(&self, us: u64) {
+        self.obs.recorder.set_threshold_us(us);
     }
 
     /// Number of shard partitions.
@@ -299,10 +345,12 @@ impl ServeEngine {
     pub fn query_routed(&self, q: ServeQuery) -> Result<(TopK, Route), ServeError> {
         let t0 = Instant::now();
         let route = self.planner.route(&q);
+        self.obs.route_decisions[route.idx()].inc();
         let (reply_tx, reply_rx) = channel();
-        for shard in &self.shards {
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
             self.pool.submit(Task {
                 shard: Arc::clone(shard),
+                shard_idx,
                 query: q,
                 route,
                 tag: 0,
@@ -311,9 +359,21 @@ impl ServeEngine {
         }
         drop(reply_tx);
         let mut lists = Vec::with_capacity(self.shards.len());
+        let mut spans = Vec::with_capacity(self.shards.len());
+        let mut cache = CacheOutcome::Bypass;
         let mut first_err = None;
         for _ in 0..self.shards.len() {
             let reply = reply_rx.recv().map_err(|_| ServeError::WorkerGone)?;
+            spans.push(ShardSpan {
+                shard: reply.shard,
+                elapsed_us: reply.elapsed_us,
+                reads: reply.reads,
+                cache_hit: reply.cache == Some(true),
+            });
+            if let Some(hit) = reply.cache {
+                cache = cache.fold(hit);
+                self.obs.shard_cache(hit);
+            }
             match reply.result {
                 Ok(entries) => lists.push(entries),
                 Err(e) => first_err = Some(e),
@@ -324,6 +384,21 @@ impl ServeEngine {
         }
         let top = merge_ranked(&lists, q.k);
         let dt = t0.elapsed().as_secs_f64();
+        let total_us = (dt * 1e6) as u64;
+        self.obs.route_latency_us[route.idx()].record(total_us);
+        if self.obs.recorder.qualifies(total_us) {
+            spans.sort_by_key(|s| s.shard);
+            self.obs.recorder.record(QueryTrace {
+                route: route.name(),
+                t1: q.t1,
+                t2: q.t2,
+                k: q.k,
+                total_us,
+                cache,
+                io: IoDelta { reads: spans.iter().map(|s| s.reads).sum(), ..Default::default() },
+                shards: spans,
+            });
+        }
         let mut served = self.served.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         served.routes[route.idx()].queries += 1;
         served.routes[route.idx()].secs += dt;
@@ -342,11 +417,15 @@ impl ServeEngine {
         let t0 = Instant::now();
         let w = self.shards.len();
         let routes: Vec<Route> = queries.iter().map(|q| self.planner.route(q)).collect();
+        for route in &routes {
+            self.obs.route_decisions[route.idx()].inc();
+        }
         let (reply_tx, reply_rx) = channel();
         for (i, (q, route)) in queries.iter().zip(&routes).enumerate() {
-            for shard in &self.shards {
+            for (shard_idx, shard) in self.shards.iter().enumerate() {
                 self.pool.submit(Task {
                     shard: Arc::clone(shard),
+                    shard_idx,
                     query: *q,
                     route: *route,
                     tag: i as u64,
@@ -357,17 +436,30 @@ impl ServeEngine {
         drop(reply_tx);
 
         let mut partial: Vec<Vec<Vec<(ObjectId, f64)>>> = vec![Vec::new(); queries.len()];
+        let mut spans: Vec<Vec<ShardSpan>> = vec![Vec::new(); queries.len()];
+        let mut caches: Vec<CacheOutcome> = vec![CacheOutcome::Bypass; queries.len()];
         let mut answers: Vec<Option<TopK>> = (0..queries.len()).map(|_| None).collect();
         let mut first_err = None;
         for _ in 0..queries.len() * w {
             let reply = reply_rx.recv().map_err(|_| ServeError::WorkerGone)?;
             let i = reply.tag as usize;
+            spans[i].push(ShardSpan {
+                shard: reply.shard,
+                elapsed_us: reply.elapsed_us,
+                reads: reply.reads,
+                cache_hit: reply.cache == Some(true),
+            });
+            if let Some(hit) = reply.cache {
+                caches[i] = caches[i].fold(hit);
+                self.obs.shard_cache(hit);
+            }
             match reply.result {
                 Ok(entries) => {
                     partial[i].push(entries);
                     if partial[i].len() == w {
                         answers[i] = Some(merge_ranked(&partial[i], queries[i].k));
                         partial[i] = Vec::new();
+                        self.finish_stream_query(queries[i], routes[i], &mut spans[i], caches[i]);
                     }
                 }
                 Err(e) => first_err = Some(e),
@@ -389,6 +481,83 @@ impl ServeEngine {
         let answers =
             answers.into_iter().map(|a| a.expect("all shards replied")).collect::<Vec<_>>();
         Ok(StreamOutcome { answers, elapsed_secs })
+    }
+
+    /// Per-query epilogue of the pipelined stream path: record the
+    /// route's latency (the slowest shard span — the critical path; the
+    /// queue wait of a pipelined stream is throughput, not latency) and
+    /// trace the query if it qualifies as slow.
+    fn finish_stream_query(
+        &self,
+        q: ServeQuery,
+        route: Route,
+        spans: &mut Vec<ShardSpan>,
+        cache: CacheOutcome,
+    ) {
+        let total_us = spans.iter().map(|s| s.elapsed_us).max().unwrap_or(0);
+        self.obs.route_latency_us[route.idx()].record(total_us);
+        if self.obs.recorder.qualifies(total_us) {
+            let mut shards = std::mem::take(spans);
+            shards.sort_by_key(|s| s.shard);
+            self.obs.recorder.record(QueryTrace {
+                route: route.name(),
+                t1: q.t1,
+                t2: q.t2,
+                k: q.k,
+                total_us,
+                cache,
+                io: IoDelta { reads: shards.iter().map(|s| s.reads).sum(), ..Default::default() },
+                shards,
+            });
+        }
+    }
+
+    /// Mirror the current [`ServeReport`] into this engine's registry as
+    /// gauges, so the wire `METRICS` op is the one scrape point for the
+    /// numbers [`ServeEngine::report`] exposes in-process (the report
+    /// stays the thin programmatic view). Cold path: registration is
+    /// idempotent and only this call touches the registry mutex.
+    pub fn sync_obs(&self) {
+        let registry = &self.obs.registry;
+        if registry.is_noop() {
+            return;
+        }
+        let report = self.report();
+        let g = |name: &str, help: &str, v: u64| registry.gauge(name, help).set_u64(v);
+        g("chronorank_serve_workers", "serve shard count", report.workers as u64);
+        g("chronorank_serve_queries", "queries served so far", report.queries);
+        g(
+            "chronorank_serve_busy_us",
+            "cumulative query wall time, microseconds",
+            (report.elapsed_secs * 1e6) as u64,
+        );
+        g("chronorank_serve_cache_hits", "shard result-cache hits", report.cache_hits);
+        g("chronorank_serve_cache_lookups", "shard result-cache lookups", report.cache_lookups);
+        g("chronorank_serve_index_bytes", "bytes across all shard indexes", report.index_bytes);
+        g(
+            "chronorank_serve_build_us",
+            "wall time the engine spent building, microseconds",
+            (report.build_secs * 1e6) as u64,
+        );
+        g("chronorank_serve_io_reads", "block reads across all shards", report.io.reads);
+        g("chronorank_serve_io_writes", "block writes across all shards", report.io.writes);
+        for route in Route::ALL {
+            let stats = report.routes[route.idx()];
+            registry
+                .gauge_with(
+                    "chronorank_serve_route_queries",
+                    "queries served per route",
+                    &[("route", route.name())],
+                )
+                .set_u64(stats.queries);
+            registry
+                .gauge_with(
+                    "chronorank_serve_route_busy_us",
+                    "cumulative wall time per route, microseconds",
+                    &[("route", route.name())],
+                )
+                .set_u64((stats.secs * 1e6) as u64);
+        }
     }
 
     /// A snapshot of everything served so far. Cache and IO counters are

@@ -66,6 +66,7 @@
 pub mod cache;
 mod config;
 mod engine;
+mod obs;
 mod planner;
 mod query;
 mod report;

@@ -222,7 +222,10 @@ impl Shard {
 
     /// Answer one routed query, consulting the result cache when the route
     /// permits. `&self`: any worker thread may answer for any shard.
-    pub(crate) fn answer(&self, q: ServeQuery, route: Route) -> ShardAnswer {
+    /// The second return is `Some(hit)` when the result cache was
+    /// consulted (`None` = the route bypassed it) — what the engine folds
+    /// into a query-level [`chronorank_obs::CacheOutcome`].
+    pub(crate) fn answer(&self, q: ServeQuery, route: Route) -> (ShardAnswer, Option<bool>) {
         let key = match (&self.breakpoints, &self.cache) {
             (Some(bp), Some(_)) if route.cacheable() => Some(CacheKey {
                 b1: bp.snap_idx(q.t1) as u32,
@@ -232,12 +235,12 @@ impl Shard {
             }),
             _ => None,
         };
-        let Some(key) = key else { return self.probe(route, q) };
+        let Some(key) = key else { return (self.probe(route, q), None) };
         let cache = self.cache.as_ref().expect("key implies cache");
         if let Some(hit) =
             cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key).cloned()
         {
-            return Ok(hit);
+            return (Ok(hit), Some(true));
         }
         // The index probe runs outside the cache lock; two workers racing
         // on the same cold key both probe and the second insert wins —
@@ -249,7 +252,7 @@ impl Shard {
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .insert(key, entries.clone());
         }
-        res
+        (res, Some(false))
     }
 
     /// Run the routed index probe and translate ids to the global space.

@@ -190,6 +190,24 @@ mod tests {
     }
 
     #[test]
+    fn since_saturates_across_a_counter_reset() {
+        // Regression: a snapshot taken before a reset is "later" than one
+        // taken after it. Differencing them must clamp to zero per
+        // component — a raw subtraction would wrap to ~u64::MAX and any
+        // consumer (report deltas, wire bodies) would publish garbage.
+        let c = IoCounter::new();
+        c.add_reads(10);
+        c.add_writes(4);
+        c.add_wal_write(64);
+        let before = c.snapshot();
+        c.reset();
+        c.add_reads(2);
+        let after = c.snapshot();
+        assert_eq!(after.since(before), io(0, 0), "reset shrank every counter");
+        assert_eq!(after.since(IoStats::default()), after);
+    }
+
+    #[test]
     fn reset_zeroes() {
         let c = IoCounter::new();
         c.add_reads(10);

@@ -22,7 +22,11 @@
 //!   amortized rebuilds published as non-blocking epoch swaps,
 //! * [`net`] — the wire protocol: a length-prefixed CRC'd frame format, a
 //!   TCP server fronting the serve/live engines with admission control,
-//!   and a blocking client with request pipelining.
+//!   and a blocking client with request pipelining,
+//! * [`obs`] — the telemetry plane: lock-free counters/gauges/log-bucketed
+//!   histograms in a process-wide registry with Prometheus-style text
+//!   exposition (served over the wire as `METRICS`), plus a slow-query
+//!   flight recorder of end-to-end traces.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +55,7 @@ pub use chronorank_curve as curve;
 pub use chronorank_index as index;
 pub use chronorank_live as live;
 pub use chronorank_net as net;
+pub use chronorank_obs as obs;
 pub use chronorank_serve as serve;
 pub use chronorank_storage as storage;
 pub use chronorank_workloads as workloads;
