@@ -16,9 +16,13 @@
 #                     build, image cold start vs WAL replay; the bench
 #                     asserts bit-identical answers across every restart)
 #   obs-smoke         paper-bench obs --quick         (exits nonzero if the
-#                     telemetry plane costs >3% read-path throughput) plus
-#                     a loopback METRICS scrape (examples/metrics_scrape
-#                     fails on malformed exposition or missing families)
+#                     telemetry plane costs >3% read-path throughput,
+#                     untraced AND fully traced) plus a loopback METRICS
+#                     scrape (examples/metrics_scrape fails on malformed
+#                     exposition or missing families)
+#   trace-smoke       examples/trace_dump against a loopback server
+#                     (exits nonzero unless one wire query yields one
+#                     joined cross-process span tree over the TRACE op)
 #   bench-regression  paper-bench check-regression    (smoke JSONs vs the
 #                     committed BENCH_SERVE/LIVE/NET/COLDSTART/OBS.json:
 #                     same key shape, sane rates, no >10x throughput
@@ -125,6 +129,13 @@ obs_smoke() {
     cargo run --release -q --example metrics_scrape
 }
 
+# One traced wire query must come back over TRACE as a single joined
+# span tree (client.topk -> server.request -> engine.query -> probes);
+# the example exits nonzero otherwise.
+trace_smoke() {
+    cargo run --release -q --example trace_dump
+}
+
 bench_regression() {
     cargo run --release -q -p chronorank-bench --bin paper_bench -- check-regression \
         --pair BENCH_SERVE.json=target/BENCH_SERVE_ci.json \
@@ -145,6 +156,7 @@ stage live-smoke       live_smoke
 stage net-smoke        net_smoke
 stage coldstart-smoke  coldstart_smoke
 stage obs-smoke        obs_smoke
+stage trace-smoke      trace_smoke
 stage bench-regression bench_regression
 
 print_timings

@@ -14,7 +14,7 @@ use crate::shard::{
     shard_main, LiveJob, ShardChannels, ShardCheckpoint, ShardReply, ShardStatus, ToShard,
 };
 use chronorank_core::{AppendRecord, ObjectId, TemporalSet, TopK};
-use chronorank_obs::{elapsed_us, Registry};
+use chronorank_obs::{elapsed_us, AttrValue, Registry, SpanId, SpanSink, TraceId};
 use chronorank_serve::{
     merge_profiles, merge_ranked, partition, Freshness, MethodSet, Planner, PlannerParams, Route,
     ServeQuery,
@@ -597,6 +597,31 @@ impl IngestEngine {
         counters.queries += 1;
         counters.elapsed_secs += t0.elapsed().as_secs_f64();
         Ok((top, route))
+    }
+
+    /// [`IngestEngine::query_routed`], joined into an existing
+    /// distributed trace: an `engine.query` span is opened as a child of
+    /// `parent` on `trace`. The live scatter path does not surface
+    /// per-shard probe timings to the gatherer (its replies carry shard
+    /// *status*, not spans), so the live engine contributes the engine
+    /// span only; per-shard children are a serve-backend feature. With a
+    /// noop `sink` this costs a branch.
+    pub fn query_spanned(
+        &self,
+        q: ServeQuery,
+        trace: TraceId,
+        parent: SpanId,
+        sink: &SpanSink,
+    ) -> Result<(TopK, Route), LiveError> {
+        let mut span = sink.child(trace, parent, "engine.query");
+        let result = self.query_routed(q);
+        if let Ok((_, route)) = &result {
+            span.attr("route", AttrValue::Sym(route.name()));
+            span.attr("k", AttrValue::U64(q.k as u64));
+            span.attr("shards", AttrValue::U64(self.workers.len() as u64));
+        }
+        span.finish();
+        result
     }
 
     /// Execute a mixed append/query trace pipelined: appends are durable

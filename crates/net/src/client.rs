@@ -35,10 +35,11 @@
 //! also what makes BUSY-retry (a new id for the same query) unambiguous.
 
 use crate::frame::{
-    encode_append_batch, AppendOk, Decoder, ErrCode, ErrorBody, Frame, FrameError, OpCode,
-    StatsBody, TopKRequest, TopKResponse, MAX_PAYLOAD,
+    encode_append_batch, encode_append_batch_traced, AppendOk, Decoder, ErrCode, ErrorBody, Frame,
+    FrameError, OpCode, StatsBody, TopKRequest, TopKResponse, TraceContext, MAX_PAYLOAD,
 };
 use chronorank_core::AppendRecord;
+use chronorank_obs::{AttrValue, SpanSink, TraceId};
 use chronorank_serve::ServeQuery;
 use std::collections::HashMap;
 use std::io::{BufWriter, Read, Write};
@@ -127,6 +128,9 @@ pub enum Response {
     /// Answer to a METRICS request: the text exposition of the server's
     /// whole metric registry.
     Metrics(String),
+    /// Answer to a TRACE request: structured JSON carrying the server's
+    /// SLO burn-rate status and its drained span trees.
+    Trace(String),
     /// Answer to a PING (the echoed payload).
     Pong(Vec<u8>),
     /// A typed error frame for this request id.
@@ -157,6 +161,9 @@ pub struct NetClient {
     writer: BufWriter<TcpStream>,
     decoder: Decoder,
     next_id: u64,
+    /// Where client-side spans land. Noop by default: an untraced client
+    /// sends byte-identical pre-extension frames and pays nothing.
+    sink: SpanSink,
 }
 
 impl NetClient {
@@ -170,7 +177,28 @@ impl NetClient {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let writer = BufWriter::new(stream.try_clone()?);
-        Ok(Self { reader: stream, writer, decoder: Decoder::new(), next_id: 1 })
+        Ok(Self {
+            reader: stream,
+            writer,
+            decoder: Decoder::new(),
+            next_id: 1,
+            sink: SpanSink::noop(),
+        })
+    }
+
+    /// Enable client-side tracing: synchronous [`NetClient::topk`] and
+    /// [`NetClient::append_batch`] calls originate a fresh trace id, open
+    /// a client span in `sink`, and propagate the context to the server
+    /// so its spans join the same tree. Pass [`SpanSink::noop`] to turn
+    /// tracing back off (frames revert to the context-free encoding).
+    pub fn set_span_sink(&mut self, sink: SpanSink) {
+        self.sink = sink;
+    }
+
+    /// The sink client spans are emitted into (noop unless
+    /// [`NetClient::set_span_sink`] was called).
+    pub fn span_sink(&self) -> &SpanSink {
+        &self.sink
     }
 
     // --- pipelining primitives -------------------------------------------
@@ -207,6 +235,10 @@ impl NetClient {
                 String::from_utf8(frame.payload)
                     .map_err(|_| NetError::Protocol("metrics payload is not utf-8".into()))?,
             ),
+            OpCode::TraceOk => Response::Trace(
+                String::from_utf8(frame.payload)
+                    .map_err(|_| NetError::Protocol("trace payload is not utf-8".into()))?,
+            ),
             OpCode::Pong => Response::Pong(frame.payload),
             OpCode::Error => Response::Error(ErrorBody::decode(&frame.payload)?),
             other => return Err(NetError::Protocol(format!("{other:?} is not a response opcode"))),
@@ -216,8 +248,12 @@ impl NetClient {
 
     // --- synchronous calls -----------------------------------------------
 
-    /// One top-k query, synchronously.
+    /// One top-k query, synchronously. With a span sink set (see
+    /// [`NetClient::set_span_sink`]) the call is traced end to end.
     pub fn topk(&mut self, q: ServeQuery) -> Result<TopKResponse, NetError> {
+        if !self.sink.is_noop() {
+            return self.topk_traced(q).map(|(resp, _)| resp);
+        }
         let id = self.send_topk(q)?;
         match self.recv_for(id)? {
             Response::TopK(resp) => Ok(resp),
@@ -225,10 +261,48 @@ impl NetClient {
         }
     }
 
-    /// One durable append batch, synchronously.
+    /// One **traced** top-k query: originates a fresh [`TraceId`], opens
+    /// a `client.topk` span covering the full round trip, and sends the
+    /// trace context so the server's `server.request` span (and the
+    /// engine + shard spans under it) join the same tree. Returns the
+    /// trace id so the caller can correlate with a later
+    /// [`NetClient::trace_dump`]. Works with a noop sink too — the local
+    /// span is discarded but the context still propagates.
+    pub fn topk_traced(&mut self, q: ServeQuery) -> Result<(TopKResponse, TraceId), NetError> {
+        let trace = TraceId::next();
+        let mut span = self.sink.root(trace, "client.topk");
+        let ctx = TraceContext { trace_id: trace.0, parent_span: span.id().0 };
+        let id = self.send_frame(OpCode::TopK, TopKRequest(q).encode_with(Some(ctx))?)?;
+        let result = self.recv_for(id);
+        span.attr("k", AttrValue::U64(q.k as u64));
+        span.attr("ok", AttrValue::Bool(matches!(&result, Ok(Response::TopK(_)))));
+        span.finish();
+        match result? {
+            Response::TopK(resp) => Ok((resp, trace)),
+            other => Err(unexpected("TOPK_OK", &other)),
+        }
+    }
+
+    /// One durable append batch, synchronously. With a span sink set the
+    /// call is traced like [`NetClient::topk`].
     pub fn append_batch(&mut self, recs: &[AppendRecord]) -> Result<AppendOk, NetError> {
-        let id = self.send_append_batch(recs)?;
-        match self.recv_for(id)? {
+        if self.sink.is_noop() {
+            let id = self.send_append_batch(recs)?;
+            return match self.recv_for(id)? {
+                Response::Append(ok) => Ok(ok),
+                other => Err(unexpected("APPEND_OK", &other)),
+            };
+        }
+        let trace = TraceId::next();
+        let mut span = self.sink.root(trace, "client.append");
+        let ctx = TraceContext { trace_id: trace.0, parent_span: span.id().0 };
+        let id =
+            self.send_frame(OpCode::AppendBatch, encode_append_batch_traced(recs, Some(ctx))?)?;
+        let result = self.recv_for(id);
+        span.attr("records", AttrValue::U64(recs.len() as u64));
+        span.attr("ok", AttrValue::Bool(matches!(&result, Ok(Response::Append(_)))));
+        span.finish();
+        match result? {
             Response::Append(ok) => Ok(ok),
             other => Err(unexpected("APPEND_OK", &other)),
         }
@@ -260,6 +334,18 @@ impl NetClient {
         match self.recv_for(id)? {
             Response::Metrics(text) => Ok(text),
             other => Err(unexpected("METRICS_OK", &other)),
+        }
+    }
+
+    /// Scrape the server's tracing/health plane: SLO burn-rate status
+    /// per window plus every span the server has collected since the
+    /// last dump (the server's sink is drained — spans are reported
+    /// exactly once), as one structured JSON object.
+    pub fn trace_dump(&mut self) -> Result<String, NetError> {
+        let id = self.send_frame(OpCode::Trace, Vec::new())?;
+        match self.recv_for(id)? {
+            Response::Trace(text) => Ok(text),
+            other => Err(unexpected("TRACE_OK", &other)),
         }
     }
 

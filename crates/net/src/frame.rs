@@ -66,6 +66,9 @@ pub enum OpCode {
     /// Telemetry scrape: the whole process metric registry as text
     /// exposition (empty request payload).
     Metrics = 0x06,
+    /// Tracing/health scrape: drains the server's span sink and reports
+    /// SLO burn-rate status as structured JSON (empty request payload).
+    Trace = 0x07,
     /// Response to [`OpCode::Ping`].
     Pong = 0x81,
     /// Successful top-k answer ([`TopKResponse`] payload).
@@ -80,6 +83,9 @@ pub enum OpCode {
     /// exposition, raw UTF-8 (`chronorank_obs::validate_exposition`
     /// checks its shape client-side).
     MetricsOk = 0x86,
+    /// Trace scrape answer: the payload is a JSON object with the
+    /// server's SLO status and drained span trees, raw UTF-8.
+    TraceOk = 0x87,
     /// Typed failure ([`ErrorBody`] payload).
     Error = 0xEE,
 }
@@ -93,12 +99,14 @@ impl OpCode {
             0x04 => OpCode::Checkpoint,
             0x05 => OpCode::Stats,
             0x06 => OpCode::Metrics,
+            0x07 => OpCode::Trace,
             0x81 => OpCode::Pong,
             0x82 => OpCode::TopKOk,
             0x83 => OpCode::AppendOk,
             0x84 => OpCode::CheckpointOk,
             0x85 => OpCode::StatsOk,
             0x86 => OpCode::MetricsOk,
+            0x87 => OpCode::TraceOk,
             0xEE => OpCode::Error,
             _ => return None,
         })
@@ -331,8 +339,57 @@ fn fit_u32(field: &'static str, value: usize) -> Result<u32, FrameError> {
     })
 }
 
+/// Optional trace-context extension carried at the **tail** of TOPK and
+/// APPEND_BATCH request payloads: 16 fixed bytes (`trace_id` u64 LE,
+/// `parent_span` u64 LE).
+///
+/// The extension is strictly additive. A context-free request encodes
+/// **bit-identically** to the pre-extension wire format (the robustness
+/// proptests hold that line), and an old server that checks payload
+/// length exactly rejects — never misparses — a traced request. The
+/// tail position is unambiguous for both ops: a TOPK payload is 29 or
+/// 29+16 bytes, and an append batch's record section is a multiple of
+/// `AppendRecord::ENCODED_LEN` (20), which 16 is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The end-to-end trace this request belongs to (never 0 on the wire;
+    /// 0 is the "absent" sentinel).
+    pub trace_id: u64,
+    /// The client-side span that issued the request; `0` means the
+    /// client traced nothing locally and the server span becomes a root.
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// Wire width of the extension tail.
+    pub const WIRE_LEN: usize = 16;
+
+    /// Serialize as the 16-byte tail.
+    pub fn encode(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[8..].copy_from_slice(&self.parent_span.to_le_bytes());
+        out
+    }
+
+    /// Parse a 16-byte tail. A zero trace id is rejected — no conforming
+    /// encoder produces one, so it marks corruption, not a trace.
+    pub fn decode(buf: &[u8]) -> Result<Self, FrameError> {
+        if buf.len() != Self::WIRE_LEN {
+            return Err(FrameError::BadPayload("trace context must be 16 bytes"));
+        }
+        let trace_id = u64::from_le_bytes(take::<8>(buf, 0, "trace id")?);
+        let parent_span = u64::from_le_bytes(take::<8>(buf, 8, "parent span")?);
+        if trace_id == 0 {
+            return Err(FrameError::BadPayload("trace context with zero trace id"));
+        }
+        Ok(Self { trace_id, parent_span })
+    }
+}
+
 /// [`OpCode::TopK`] request payload: the full [`ServeQuery`] in 29 fixed
-/// bytes (`t1`, `t2` as f64 bits; `k` u32; tolerance tag; `eps` f64 bits).
+/// bytes (`t1`, `t2` as f64 bits; `k` u32; tolerance tag; `eps` f64 bits),
+/// optionally followed by a 16-byte [`TraceContext`] tail.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TopKRequest(pub ServeQuery);
 
@@ -342,8 +399,14 @@ impl TopKRequest {
     /// Serialize. Refuses (typed) a `k` that does not fit the u32 wire
     /// field — `k as u32` would wrap and silently query for the wrong `k`.
     pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
+        self.encode_with(None)
+    }
+
+    /// Serialize, optionally appending a [`TraceContext`] tail. With
+    /// `None` the output is byte-identical to [`TopKRequest::encode`].
+    pub fn encode_with(&self, ctx: Option<TraceContext>) -> Result<Vec<u8>, FrameError> {
         let q = self.0;
-        let mut out = Vec::with_capacity(Self::LEN);
+        let mut out = Vec::with_capacity(Self::LEN + ctx.map_or(0, |_| TraceContext::WIRE_LEN));
         out.extend_from_slice(&q.t1.to_bits().to_le_bytes());
         out.extend_from_slice(&q.t2.to_bits().to_le_bytes());
         out.extend_from_slice(&fit_u32("k", q.k)?.to_le_bytes());
@@ -354,16 +417,39 @@ impl TopKRequest {
         };
         out.push(tag);
         out.extend_from_slice(&eps.to_bits().to_le_bytes());
+        if let Some(ctx) = ctx {
+            out.extend_from_slice(&ctx.encode());
+        }
         Ok(out)
     }
 
     /// Parse and validate: finite interval with `t1 < t2`, finite
     /// non-negative `eps`, bounded `k`. The server trusts a decoded query
     /// enough to hand it to the engine, so garbage is rejected here.
+    /// Rejects payloads carrying a trace-context tail — use
+    /// [`TopKRequest::decode_traced`] to accept both shapes.
     pub fn decode(buf: &[u8]) -> Result<Self, FrameError> {
         if buf.len() != Self::LEN {
             return Err(FrameError::BadPayload("topk request must be 29 bytes"));
         }
+        Ok(Self::decode_traced(buf)?.0)
+    }
+
+    /// Parse either payload shape: 29 bytes (no context) or 29 + 16
+    /// bytes (context tail). Anything else — a truncated or padded tail
+    /// included — is a typed [`FrameError::BadPayload`].
+    pub fn decode_traced(buf: &[u8]) -> Result<(Self, Option<TraceContext>), FrameError> {
+        let ctx = match buf.len() {
+            Self::LEN => None,
+            n if n == Self::LEN + TraceContext::WIRE_LEN => {
+                Some(TraceContext::decode(&buf[Self::LEN..])?)
+            }
+            _ => {
+                return Err(FrameError::BadPayload(
+                    "topk request must be 29 bytes, or 45 with a trace context",
+                ))
+            }
+        };
         let t1 = f64_at(buf, 0, "t1")?;
         let t2 = f64_at(buf, 8, "t2")?;
         let k = u32::from_le_bytes(take::<4>(buf, 16, "k")?) as usize;
@@ -389,7 +475,7 @@ impl TopKRequest {
             }
             _ => return Err(FrameError::BadPayload("unknown tolerance tag")),
         };
-        Ok(Self(q))
+        Ok((Self(q), ctx))
     }
 }
 
@@ -458,17 +544,46 @@ impl TopKResponse {
 /// record count that does not fit the u32 wire field — truncating it
 /// would make the count disagree with the payload and mis-split records.
 pub fn encode_append_batch(recs: &[AppendRecord]) -> Result<Vec<u8>, FrameError> {
+    encode_append_batch_traced(recs, None)
+}
+
+/// Encode an [`OpCode::AppendBatch`] request payload, optionally with a
+/// [`TraceContext`] tail after the records. With `None` the output is
+/// byte-identical to [`encode_append_batch`].
+pub fn encode_append_batch_traced(
+    recs: &[AppendRecord],
+    ctx: Option<TraceContext>,
+) -> Result<Vec<u8>, FrameError> {
     let count = fit_u32("append count", recs.len())?;
-    let mut out = Vec::with_capacity(4 + AppendRecord::ENCODED_LEN * recs.len());
+    let tail = ctx.map_or(0, |_| TraceContext::WIRE_LEN);
+    let mut out = Vec::with_capacity(4 + AppendRecord::ENCODED_LEN * recs.len() + tail);
     out.extend_from_slice(&count.to_le_bytes());
     for rec in recs {
         out.extend_from_slice(&rec.encode());
     }
+    if let Some(ctx) = ctx {
+        out.extend_from_slice(&ctx.encode());
+    }
     Ok(out)
 }
 
-/// Decode an [`OpCode::AppendBatch`] request payload.
+/// Decode an [`OpCode::AppendBatch`] request payload. Rejects payloads
+/// carrying a trace-context tail — use [`decode_append_batch_traced`]
+/// to accept both shapes.
 pub fn decode_append_batch(buf: &[u8]) -> Result<Vec<AppendRecord>, FrameError> {
+    match decode_append_batch_traced(buf)? {
+        (recs, None) => Ok(recs),
+        (_, Some(_)) => Err(FrameError::BadPayload("append count disagrees with payload length")),
+    }
+}
+
+/// Decode an [`OpCode::AppendBatch`] request payload in either shape:
+/// `4 + 20·count` bytes (no context) or the same plus a 16-byte
+/// [`TraceContext`] tail. The tail length is not a multiple of a record,
+/// so the two shapes can never be confused.
+pub fn decode_append_batch_traced(
+    buf: &[u8],
+) -> Result<(Vec<AppendRecord>, Option<TraceContext>), FrameError> {
     let count = u32::from_le_bytes(take::<4>(buf, 0, "append count")?) as usize;
     // Checked arithmetic: on a 32-bit usize a hostile count could wrap
     // `4 + LEN * count` into agreeing with the buffer length.
@@ -476,15 +591,20 @@ pub fn decode_append_batch(buf: &[u8]) -> Result<Vec<AppendRecord>, FrameError> 
         .checked_mul(AppendRecord::ENCODED_LEN)
         .and_then(|n| n.checked_add(4))
         .ok_or(FrameError::BadPayload("append count overflows"))?;
-    if buf.len() != need {
+    let ctx = if buf.len() == need {
+        None
+    } else if need.checked_add(TraceContext::WIRE_LEN) == Some(buf.len()) {
+        Some(TraceContext::decode(&buf[need..])?)
+    } else {
         return Err(FrameError::BadPayload("append count disagrees with payload length"));
-    }
-    buf[4..]
+    };
+    let recs = buf[4..need]
         .chunks_exact(AppendRecord::ENCODED_LEN)
         .map(|chunk| {
             AppendRecord::decode(chunk).ok_or(FrameError::BadPayload("undecodable append record"))
         })
-        .collect()
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((recs, ctx))
 }
 
 /// [`OpCode::AppendOk`] payload.
@@ -764,6 +884,58 @@ mod tests {
             assert_eq!(a.0, b.0);
             assert_eq!(a.1.to_bits(), b.1.to_bits());
         }
+    }
+
+    #[test]
+    fn trace_context_roundtrips_and_is_tail_unambiguous() {
+        let ctx = TraceContext { trace_id: 0xdead_beef_cafe_f00d, parent_span: 42 };
+        assert_eq!(TraceContext::decode(&ctx.encode()).unwrap(), ctx);
+        // TOPK both shapes.
+        let q = ServeQuery::approx(0.0, 10.0, 4, 0.1);
+        let plain = TopKRequest(q).encode().unwrap();
+        let traced = TopKRequest(q).encode_with(Some(ctx)).unwrap();
+        assert_eq!(plain.len(), 29);
+        assert_eq!(traced.len(), 45);
+        assert_eq!(&traced[..29], &plain[..], "context is strictly a tail");
+        assert_eq!(TopKRequest::decode_traced(&plain).unwrap(), (TopKRequest(q), None));
+        assert_eq!(TopKRequest::decode_traced(&traced).unwrap(), (TopKRequest(q), Some(ctx)));
+        // Context-free encoding is bit-identical through both paths.
+        assert_eq!(TopKRequest(q).encode_with(None).unwrap(), plain);
+        // Append batch both shapes.
+        let recs = vec![AppendRecord { object: 1, t: 2.0, v: 3.0 }];
+        let plain = encode_append_batch(&recs).unwrap();
+        let traced = encode_append_batch_traced(&recs, Some(ctx)).unwrap();
+        assert_eq!(&traced[..plain.len()], &plain[..]);
+        assert_eq!(decode_append_batch_traced(&plain).unwrap(), (recs.clone(), None));
+        assert_eq!(decode_append_batch_traced(&traced).unwrap(), (recs, Some(ctx)));
+    }
+
+    #[test]
+    fn trace_context_corruption_is_typed() {
+        let ctx = TraceContext { trace_id: 7, parent_span: 9 };
+        let traced = TopKRequest(ServeQuery::exact(0.0, 1.0, 2)).encode_with(Some(ctx)).unwrap();
+        // Truncated tail (30..44 bytes): typed BadPayload, never a panic.
+        for cut in 30..45 {
+            assert!(
+                matches!(
+                    TopKRequest::decode_traced(&traced[..cut]),
+                    Err(FrameError::BadPayload(_))
+                ),
+                "cut={cut}"
+            );
+        }
+        // Oversized: extra byte after the tail.
+        let mut fat = traced.clone();
+        fat.push(0);
+        assert!(matches!(TopKRequest::decode_traced(&fat), Err(FrameError::BadPayload(_))));
+        // Zero trace id marks corruption.
+        let mut zeroed = traced.clone();
+        zeroed[29..37].fill(0);
+        assert!(matches!(TopKRequest::decode_traced(&zeroed), Err(FrameError::BadPayload(_))));
+        // The strict decoders reject traced payloads outright.
+        assert!(TopKRequest::decode(&traced).is_err());
+        let batch = encode_append_batch_traced(&[], Some(ctx)).unwrap();
+        assert!(decode_append_batch(&batch).is_err());
     }
 
     #[test]

@@ -9,9 +9,14 @@
 //! * a **frame protocol** ([`frame`]) — length-prefixed binary frames
 //!   with a versioned header, client request ids, and a CRC over every
 //!   payload; ops `PING`, `TOPK`, `APPEND_BATCH`, `CHECKPOINT`, `STATS`,
-//!   `METRICS` (the whole process metric registry as text exposition).
-//!   Scores cross the wire as exact `f64` bits, so a network answer is
-//!   **bit-identical** to the in-process answer it came from;
+//!   `METRICS` (the whole process metric registry as text exposition),
+//!   and `TRACE` (SLO burn-rate status + drained span trees as JSON).
+//!   `TOPK` and `APPEND_BATCH` requests may carry an optional 16-byte
+//!   [`frame::TraceContext`] tail that joins the server's spans into the
+//!   client's trace; context-free frames stay byte-identical to the
+//!   pre-extension encoding. Scores cross the wire as exact `f64` bits,
+//!   so a network answer is **bit-identical** to the in-process answer
+//!   it came from;
 //! * a **server** ([`NetServer`]) — a dependency-free `std::net` TCP
 //!   server fronting a [`chronorank_serve::ServeEngine`] (read path) or a
 //!   [`chronorank_live::IngestEngine`] (read + durable write path), with
@@ -68,6 +73,6 @@ mod server;
 pub use client::{NetClient, NetError, PipelineOutcome, Response};
 pub use frame::{
     AppendOk, Decoder, ErrCode, ErrorBody, Frame, FrameError, OpCode, StatsBody, TopKRequest,
-    TopKResponse, MAX_PAYLOAD, PROTOCOL_VERSION,
+    TopKResponse, TraceContext, MAX_PAYLOAD, PROTOCOL_VERSION,
 };
 pub use server::{Backend, NetConfig, NetServer, ServerError};

@@ -44,7 +44,10 @@ use crate::frame::{
 };
 use chronorank_core::{AppendRecord, TemporalSet, TopK};
 use chronorank_live::{IngestEngine, LiveConfig};
-use chronorank_obs::{elapsed_us, Counter, Histogram, Registry};
+use chronorank_obs::{
+    elapsed_us, spans_json, ActiveSpan, AttrValue, Counter, Histogram, Registry, SloObjective,
+    SloTracker, SpanId, SpanSink, TraceId,
+};
 use chronorank_serve::{Route, ServeConfig, ServeEngine, ServeQuery};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -73,6 +76,10 @@ pub struct NetConfig {
     /// (reads run through `&self` / a read lock); live-backend writes
     /// still serialize on the backend's write lock.
     pub engine_threads: usize,
+    /// The latency/error objective the server's SLO burn-rate tracker
+    /// measures TOPK serving against. Burn rates surface as registry
+    /// gauges (METRICS) and through the TRACE wire op.
+    pub slo: SloObjective,
 }
 
 impl Default for NetConfig {
@@ -82,6 +89,7 @@ impl Default for NetConfig {
             max_in_flight: 256,
             max_connections: 64,
             engine_threads: 1,
+            slo: SloObjective::default(),
         }
     }
 }
@@ -111,18 +119,32 @@ impl From<IngestEngine> for Backend {
 }
 
 impl Backend {
-    fn topk(&self, q: ServeQuery) -> Result<TopKResponse, (ErrCode, String)> {
+    /// Answer one TOPK. With a `span` context, the engine joins the
+    /// distributed trace: its execution (and, on a serve backend, every
+    /// shard probe) is emitted into `sink` as children of the server span.
+    fn topk(
+        &self,
+        q: ServeQuery,
+        span: Option<(TraceId, SpanId)>,
+        sink: &SpanSink,
+    ) -> Result<TopKResponse, (ErrCode, String)> {
         match self {
             Backend::Serve(e) => {
-                let (topk, route): (TopK, Route) =
-                    e.query_routed(q).map_err(|e| (ErrCode::Engine, e.to_string()))?;
+                let (topk, route): (TopK, Route) = match span {
+                    Some((trace, parent)) => e.query_spanned(q, trace, parent, sink),
+                    None => e.query_routed(q),
+                }
+                .map_err(|e| (ErrCode::Engine, e.to_string()))?;
                 let eps_used = e.planner().profile(route).and_then(|p| p.eps);
                 Ok(TopKResponse { topk, route, eps_used, appends_applied: 0 })
             }
             Backend::Live(lock) => {
                 let e = lock.read().unwrap_or_else(std::sync::PoisonError::into_inner);
-                let (topk, route): (TopK, Route) =
-                    e.query_routed(q).map_err(|e| (ErrCode::Engine, e.to_string()))?;
+                let (topk, route): (TopK, Route) = match span {
+                    Some((trace, parent)) => e.query_spanned(q, trace, parent, sink),
+                    None => e.query_routed(q),
+                }
+                .map_err(|e| (ErrCode::Engine, e.to_string()))?;
                 let f = e.freshness();
                 let eps_used = e
                     .planner()
@@ -229,12 +251,20 @@ enum EngineOp {
     Checkpoint,
     Stats,
     Metrics,
+    Trace,
 }
 
 struct Job {
     request_id: u64,
     op: EngineOp,
     resp: Sender<OutFrame>,
+    /// The open `server.request` span when the request carried trace
+    /// context; finished by the engine worker once the response frame is
+    /// built, so it covers queue + execution + encode.
+    span: Option<ActiveSpan>,
+    /// When admission control accepted the frame (queue-time attribution
+    /// and the SLO latency sample both measure from here).
+    admitted_at: Instant,
 }
 
 /// One encoded frame queued for a connection's writer. `releases_slot`
@@ -270,6 +300,11 @@ struct Shared {
     busy_rejections: AtomicU64,
     connections: AtomicU64,
     obs: NetObs,
+    /// Where traced requests' span trees land (the TRACE op drains it).
+    sink: SpanSink,
+    /// TOPK burn-rate tracking against [`NetConfig::slo`]; BUSY refusals
+    /// burn budget as errors.
+    slo: SloTracker,
 }
 
 /// Network-tier metric handles, resolved once at server start against the
@@ -385,6 +420,8 @@ impl NetServer {
             busy_rejections: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             obs: NetObs::attach(Registry::global()),
+            sink: SpanSink::global().clone(),
+            slo: SloTracker::new(config.slo),
         });
         let backend = Arc::new(build().map_err(ServerError::Backend)?);
         let (job_tx, job_rx) = channel::<Job>();
@@ -509,9 +546,12 @@ fn engine_main(backend: &Backend, jobs: &Mutex<Receiver<Job>>, shared: &Shared) 
                 Err(_) => return,
             }
         };
+        let queue_us = elapsed_us(job.admitted_at);
+        let span_ctx = job.span.as_ref().map(|s| (s.trace(), s.id()));
+        let is_topk = matches!(job.op, EngineOp::TopK(_));
         let frame = match job.op {
             EngineOp::TopK(q) => match backend
-                .topk(q)
+                .topk(q, span_ctx, &shared.sink)
                 .and_then(|resp| resp.encode().map_err(|e| (ErrCode::Engine, e.to_string())))
             {
                 Ok(body) => Frame::new(OpCode::TopKOk, job.request_id, body),
@@ -532,7 +572,23 @@ fn engine_main(backend: &Backend, jobs: &Mutex<Receiver<Job>>, shared: &Shared) 
                 Ok(text) => Frame::new(OpCode::MetricsOk, job.request_id, text.into_bytes()),
                 Err(e) => error_frame(job.request_id, e.0, e.1),
             },
+            EngineOp::Trace => match render_trace(shared) {
+                Ok(text) => Frame::new(OpCode::TraceOk, job.request_id, text.into_bytes()),
+                Err(e) => error_frame(job.request_id, e.0, e.1),
+            },
         };
+        let failed = frame.opcode == OpCode::Error;
+        // TOPK is the serving path the SLO objective covers: one latency
+        // sample per answered query, measured from admission (queue time
+        // burns budget too), with engine failures burning as errors.
+        if is_topk {
+            shared.slo.observe(elapsed_us(job.admitted_at), failed);
+        }
+        if let Some(mut span) = job.span {
+            span.attr("queue_us", AttrValue::U64(queue_us));
+            span.attr("ok", AttrValue::Bool(!failed));
+            span.finish();
+        }
         // The writer releases the admission slot once the bytes reach the
         // wire; if the connection is already gone, release it here.
         let t_enc = Instant::now();
@@ -556,9 +612,27 @@ fn render_metrics(backend: &Backend, shared: &Shared) -> Result<String, (ErrCode
         }
     }
     shared.sync_obs(registry);
+    shared.slo.sync_gauges(registry);
     let text = registry.render();
     if text.len() > MAX_PAYLOAD as usize {
         return Err((ErrCode::Engine, "metric exposition exceeds the frame payload bound".into()));
+    }
+    Ok(text)
+}
+
+/// Answer one TRACE scrape: SLO burn-rate status plus the span sink's
+/// contents, drained (take-and-clear — a span is reported exactly once)
+/// and rendered as one structured JSON object.
+fn render_trace(shared: &Shared) -> Result<String, (ErrCode, String)> {
+    let spans = shared.sink.drain();
+    let text = format!(
+        "{{\"slo\":{},\"spans\":{},\"spans_dropped\":{}}}",
+        shared.slo.status().to_json(),
+        spans_json(&spans),
+        shared.sink.dropped(),
+    );
+    if text.len() > MAX_PAYLOAD as usize {
+        return Err((ErrCode::Engine, "trace dump exceeds the frame payload bound".into()));
     }
     Ok(text)
 }
@@ -769,22 +843,23 @@ fn dispatch(
     shared: &Shared,
 ) -> bool {
     let id = frame.request_id;
-    let op = match frame.opcode {
+    let (op, ctx) = match frame.opcode {
         OpCode::Ping => {
             let pong = Frame::new(OpCode::Pong, id, frame.payload);
             return out_tx.send(OutFrame::inline(&pong)).is_ok();
         }
-        OpCode::TopK => match TopKRequest::decode(&frame.payload) {
-            Ok(req) => EngineOp::TopK(req.0),
+        OpCode::TopK => match TopKRequest::decode_traced(&frame.payload) {
+            Ok((req, ctx)) => (EngineOp::TopK(req.0), ctx),
             Err(e) => return send_bad_request(out_tx, id, &e),
         },
-        OpCode::AppendBatch => match crate::frame::decode_append_batch(&frame.payload) {
-            Ok(recs) => EngineOp::Append(recs),
+        OpCode::AppendBatch => match crate::frame::decode_append_batch_traced(&frame.payload) {
+            Ok((recs, ctx)) => (EngineOp::Append(recs), ctx),
             Err(e) => return send_bad_request(out_tx, id, &e),
         },
-        OpCode::Checkpoint => EngineOp::Checkpoint,
-        OpCode::Stats => EngineOp::Stats,
-        OpCode::Metrics => EngineOp::Metrics,
+        OpCode::Checkpoint => (EngineOp::Checkpoint, None),
+        OpCode::Stats => (EngineOp::Stats, None),
+        OpCode::Metrics => (EngineOp::Metrics, None),
+        OpCode::Trace => (EngineOp::Trace, None),
         // A response opcode arriving at the server is a confused client.
         other => {
             let msg = format!("{other:?} is not a request opcode");
@@ -803,10 +878,34 @@ fn dispatch(
     if !admitted {
         shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
         shared.obs.admission_busy.inc();
+        // A refused TOPK is a failed request from the client's point of
+        // view: it burns SLO error budget even though no latency accrued.
+        if matches!(op, EngineOp::TopK(_)) {
+            shared.slo.observe(0, true);
+        }
         let msg = format!("{} frames in flight (limit)", shared.max_in_flight);
         return out_tx.send(OutFrame::inline(&error_frame(id, ErrCode::Busy, msg))).is_ok();
     }
-    if job_tx.send(Job { request_id: id, op, resp: out_tx.clone() }).is_err() {
+    // The request joins its originating trace here: the server span's
+    // parent is the *client's* span, so the cross-process tree is joined
+    // by construction. It stays open until the engine worker answers.
+    let span = ctx.map(|ctx| {
+        let mut span =
+            shared.sink.child(TraceId(ctx.trace_id), SpanId(ctx.parent_span), "server.request");
+        span.attr(
+            "op",
+            AttrValue::Sym(match &op {
+                EngineOp::TopK(_) => "topk",
+                EngineOp::Append(_) => "append",
+                _ => "other",
+            }),
+        );
+        span
+    });
+    if job_tx
+        .send(Job { request_id: id, op, resp: out_tx.clone(), span, admitted_at: Instant::now() })
+        .is_err()
+    {
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         let msg = "server is shutting down".to_string();
         out_tx.send(OutFrame::inline(&error_frame(id, ErrCode::Shutdown, msg))).ok();

@@ -7,25 +7,28 @@
 
 use chronorank_core::{AppendRecord, TopK};
 use chronorank_net::frame::{
-    crc32, decode_append_batch, encode_append_batch, HEADER_LEN, MAX_PAYLOAD,
+    crc32, decode_append_batch, decode_append_batch_traced, encode_append_batch,
+    encode_append_batch_traced, HEADER_LEN, MAX_PAYLOAD,
 };
 use chronorank_net::{
-    Decoder, ErrCode, ErrorBody, Frame, FrameError, OpCode, TopKRequest, TopKResponse,
+    Decoder, ErrCode, ErrorBody, Frame, FrameError, OpCode, TopKRequest, TopKResponse, TraceContext,
 };
 use chronorank_serve::{Route, ServeQuery};
 use proptest::prelude::*;
 
-const OPS: [OpCode; 11] = [
+const OPS: [OpCode; 13] = [
     OpCode::Ping,
     OpCode::TopK,
     OpCode::AppendBatch,
     OpCode::Checkpoint,
     OpCode::Stats,
+    OpCode::Trace,
     OpCode::Pong,
     OpCode::TopKOk,
     OpCode::AppendOk,
     OpCode::CheckpointOk,
     OpCode::StatsOk,
+    OpCode::TraceOk,
     OpCode::Error,
 ];
 
@@ -246,6 +249,121 @@ proptest! {
         };
         let bytes = err.encode().expect("in-range message length encodes");
         prop_assert_eq!(ErrorBody::decode(&bytes).unwrap(), err);
+    }
+}
+
+proptest! {
+    /// Trace-context tail (ISSUE 8 satellite): any query with any nonzero
+    /// trace id round-trips through the traced encode/decode pair, the
+    /// traced bytes are exactly legacy-bytes + 16-byte tail, and a
+    /// context-free `encode_with(None)` stays bit-identical to the
+    /// pre-extension encoding old peers expect.
+    #[test]
+    fn trace_context_roundtrips_and_preserves_legacy_bytes(
+        t1 in -1.0e6f64..1.0e6,
+        span in 1.0e-3f64..1.0e6,
+        k in 0u32..=(1 << 20),
+        trace_id in 1u64..=u64::MAX,
+        parent_span in any::<u64>(),
+    ) {
+        let q = ServeQuery::exact(t1, t1 + span, k as usize);
+        let ctx = TraceContext { trace_id, parent_span };
+
+        let legacy = TopKRequest(q).encode().unwrap();
+        let none = TopKRequest(q).encode_with(None).unwrap();
+        prop_assert_eq!(&none, &legacy, "context-free encoding must not drift");
+
+        let traced = TopKRequest(q).encode_with(Some(ctx)).unwrap();
+        prop_assert_eq!(&traced[..legacy.len()], &legacy[..], "tail must be strictly additive");
+        prop_assert_eq!(traced.len(), legacy.len() + TraceContext::WIRE_LEN);
+
+        let (back, got) = TopKRequest::decode_traced(&traced).unwrap();
+        prop_assert_eq!(back.0, q);
+        prop_assert_eq!(got, Some(ctx));
+        // And the untraced bytes report no context.
+        prop_assert_eq!(TopKRequest::decode_traced(&legacy).unwrap().1, None);
+        // A strict legacy decoder refuses — never misparses — traced bytes.
+        prop_assert!(TopKRequest::decode(&traced).is_err());
+    }
+
+    /// Truncating a traced TOPK payload anywhere inside the tail (or one
+    /// past it) is a typed `BadPayload` — the tail never panics and never
+    /// leaks a half-parsed context. A zeroed trace id is likewise typed
+    /// corruption.
+    #[test]
+    fn trace_context_truncation_and_corruption_are_typed(
+        t1 in -1.0e6f64..1.0e6,
+        span in 1.0e-3f64..1.0e6,
+        k in 0u32..100_000,
+        trace_id in 1u64..=u64::MAX,
+        parent_span in any::<u64>(),
+        cut in 0.0f64..1.0,
+        extend in 1usize..32,
+    ) {
+        let q = ServeQuery::exact(t1, t1 + span, k as usize);
+        let ctx = TraceContext { trace_id, parent_span };
+        let traced = TopKRequest(q).encode_with(Some(ctx)).unwrap();
+        let base = traced.len() - TraceContext::WIRE_LEN;
+
+        // Every cut strictly inside the tail region (30..=44 bytes kept).
+        let keep = base + 1 + (cut * (TraceContext::WIRE_LEN - 1) as f64) as usize;
+        prop_assert!(matches!(
+            TopKRequest::decode_traced(&traced[..keep]),
+            Err(FrameError::BadPayload(_))
+        ));
+
+        // Oversized: extra bytes past the tail are refused, not ignored.
+        let mut longer = traced.clone();
+        longer.extend(std::iter::repeat_n(0xAB, extend));
+        prop_assert!(matches!(
+            TopKRequest::decode_traced(&longer),
+            Err(FrameError::BadPayload(_))
+        ));
+
+        // Zeroed trace id: the absent-sentinel on the wire is corruption.
+        let mut zeroed = traced;
+        zeroed[base..base + 8].fill(0);
+        prop_assert!(matches!(
+            TopKRequest::decode_traced(&zeroed),
+            Err(FrameError::BadPayload(_))
+        ));
+    }
+
+    /// The append-batch tail obeys the same contract: strictly additive,
+    /// unambiguous against the 20-byte record stride, typed refusal on a
+    /// truncated tail, and legacy decoders reject traced bytes.
+    #[test]
+    fn append_batch_trace_tail_roundtrips(
+        recs in proptest::collection::vec(
+            (any::<u32>(), -1.0e6f64..1.0e6, -1.0e6f64..1.0e6),
+            0..50,
+        ),
+        trace_id in 1u64..=u64::MAX,
+        parent_span in any::<u64>(),
+        cut in 1usize..TraceContext::WIRE_LEN,
+    ) {
+        let recs: Vec<AppendRecord> =
+            recs.into_iter().map(|(object, t, v)| AppendRecord { object, t, v }).collect();
+        let ctx = TraceContext { trace_id, parent_span };
+
+        let legacy = encode_append_batch(&recs).unwrap();
+        prop_assert_eq!(&encode_append_batch_traced(&recs, None).unwrap(), &legacy);
+
+        let traced = encode_append_batch_traced(&recs, Some(ctx)).unwrap();
+        prop_assert_eq!(&traced[..legacy.len()], &legacy[..]);
+        prop_assert_eq!(traced.len(), legacy.len() + TraceContext::WIRE_LEN);
+
+        let (back, got) = decode_append_batch_traced(&traced).unwrap();
+        prop_assert_eq!(&back, &recs);
+        prop_assert_eq!(got, Some(ctx));
+        prop_assert_eq!(decode_append_batch_traced(&legacy).unwrap(), (recs, None));
+        // The strict legacy decoder refuses traced bytes outright.
+        prop_assert!(decode_append_batch(&traced).is_err());
+
+        // Truncating inside the tail is typed, never a panic: the 16-byte
+        // width can't be mistaken for records (16 is not a multiple of 20).
+        let keep = legacy.len() + cut;
+        prop_assert!(decode_append_batch_traced(&traced[..keep]).is_err());
     }
 }
 

@@ -270,6 +270,65 @@ fn metrics_scrape_covers_the_live_tier() {
     server.shutdown();
 }
 
+/// ISSUE 8 satellite: METRICS is a read-mostly snapshot of live atomics,
+/// so concurrent scrapes from several clients during TOPK/APPEND traffic
+/// must each return a *complete, self-consistent* exposition — every
+/// scrape passes `validate_exposition` (which now also rejects
+/// conflicting HELP/TYPE re-declarations), no torn text, no panics.
+#[test]
+fn concurrent_metrics_scrapes_stay_valid_under_traffic() {
+    let server = NetServer::start_live(
+        tiny_set(16),
+        LiveConfig { workers: 2, ..Default::default() },
+        NetConfig { engine_threads: 4, max_in_flight: 256, ..Default::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|s| {
+        // Query traffic.
+        for _ in 0..2 {
+            s.spawn(move || {
+                let mut client = NetClient::connect(addr).unwrap();
+                for i in 0..60 {
+                    let k = 1 + i % 5;
+                    client.topk(ServeQuery::exact(10.0, 90.0, k)).unwrap();
+                }
+            });
+        }
+        // Append traffic (live backend serializes writes internally).
+        s.spawn(move || {
+            let mut client = NetClient::connect(addr).unwrap();
+            for i in 0..30u32 {
+                let batch: Vec<AppendRecord> = (0..4)
+                    .map(|j| AppendRecord {
+                        object: j,
+                        t: 150.0 + i as f64,
+                        v: 10.0 + (i + j) as f64,
+                    })
+                    .collect();
+                client.append_batch(&batch).unwrap();
+            }
+        });
+        // Concurrent scrapers: every scrape must be a valid exposition
+        // containing both the net and live families.
+        for _ in 0..3 {
+            s.spawn(move || {
+                let mut client = NetClient::connect(addr).unwrap();
+                for _ in 0..20 {
+                    let text = client.metrics().unwrap();
+                    let families = chronorank_obs::validate_exposition(&text)
+                        .unwrap_or_else(|e| panic!("malformed exposition: {e}\n{text}"));
+                    for family in ["chronorank_net_frames_in", "chronorank_live_appends"] {
+                        assert!(families.contains(family), "missing {family} in:\n{text}");
+                    }
+                }
+            });
+        }
+    });
+    server.shutdown();
+}
+
 #[test]
 fn malformed_bytes_get_a_typed_goodbye_then_close() {
     use std::io::{Read, Write};

@@ -18,6 +18,14 @@
 //!   [`QueryTrace`] records for queries slower than a settable
 //!   threshold: route, per-shard fan-out timings, cache outcome, and the
 //!   IO delta the query caused.
+//! * [`SpanSink`] / [`ActiveSpan`] — explicit span trees for end-to-end
+//!   distributed tracing: [`TraceId`]s cross the wire, parent links join
+//!   client, server, engine and shard timings into one tree, and the
+//!   sink is a lock-free bounded ring with take-and-clear
+//!   [`SpanSink::drain`].
+//! * [`SloTracker`] — multi-window (1 s / 10 s / 60 s) burn-rate
+//!   tracking over a latency objective ([`SloObjective`]), exposed as
+//!   registry gauges and as structured JSON for the wire `TRACE` op.
 //!
 //! The crate depends on `std` only, so every tier (including `storage`)
 //! can use it without a cycle.
@@ -25,10 +33,16 @@
 mod metrics;
 mod recorder;
 mod registry;
+mod slo;
+mod span;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use recorder::{CacheOutcome, FlightRecorder, IoDelta, QueryTrace, ShardSpan};
 pub use registry::{validate_exposition, MetricKind, Registry};
+pub use slo::{SloObjective, SloStatus, SloTracker, WindowStatus, SLO_WINDOWS_S};
+pub use span::{
+    spans_json, ActiveSpan, AttrList, AttrValue, Span, SpanId, SpanSink, TraceId, MAX_ATTRS,
+};
 
 /// Elapsed microseconds of an [`std::time::Instant`], saturated into `u64`.
 ///

@@ -205,6 +205,19 @@ impl FlightRecorder {
             r.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
         }
     }
+
+    /// Take-and-clear: every held trace, oldest first, leaving the ring
+    /// empty. A scraper that drains never re-reports the same slow
+    /// query; `recorded()` keeps its lifetime total.
+    pub fn drain(&self) -> Vec<QueryTrace> {
+        match &self.0 {
+            Some(r) => {
+                let mut ring = r.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                std::mem::take(&mut *ring).into()
+            }
+            None => Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +269,21 @@ mod tests {
         rec.record(trace(u64::MAX));
         assert!(rec.is_empty());
         assert_eq!(rec.threshold_us(), u64::MAX);
+        assert!(rec.drain().is_empty());
+    }
+
+    #[test]
+    fn drain_takes_and_clears() {
+        let rec = FlightRecorder::new(4, 0);
+        rec.record(trace(1));
+        rec.record(trace(2));
+        let drained: Vec<u64> = rec.drain().iter().map(|t| t.total_us).collect();
+        assert_eq!(drained, vec![1, 2], "oldest first");
+        assert!(rec.is_empty(), "drain leaves the ring empty");
+        assert!(rec.drain().is_empty(), "second drain sees nothing");
+        assert_eq!(rec.recorded(), 2, "lifetime total survives the drain");
+        rec.record(trace(3));
+        assert_eq!(rec.len(), 1, "recorder keeps working after a drain");
     }
 
     #[test]

@@ -239,11 +239,16 @@ fn escape_help(v: &str) -> String {
 ///
 /// The checks are structural — every non-comment line must parse as
 /// `name[{labels}] <number>`, every sample's base family must have a
-/// preceding `# TYPE` line, and the text must end with a newline. This
-/// is what the CI `obs-smoke` stage runs against a live `METRICS`
-/// scrape, so a malformed encoder (or a truncated payload) fails loudly.
+/// preceding `# TYPE` line, the text must end with a newline, and a
+/// family re-declared with **conflicting** `# HELP` or `# TYPE` text is
+/// rejected (consistent re-declarations pass — concatenated scrapes are
+/// fine, silent meaning changes are not). This is what the CI
+/// `obs-smoke` stage runs against a live `METRICS` scrape, so a
+/// malformed encoder (or a truncated payload) fails loudly.
 pub fn validate_exposition(text: &str) -> Result<std::collections::BTreeSet<String>, String> {
     let mut families = std::collections::BTreeSet::new();
+    let mut kinds: BTreeMap<String, String> = BTreeMap::new();
+    let mut helps: BTreeMap<String, String> = BTreeMap::new();
     if text.is_empty() {
         return Ok(families);
     }
@@ -262,7 +267,30 @@ pub fn validate_exposition(text: &str) -> Result<std::collections::BTreeSet<Stri
             if !matches!(kind, "counter" | "gauge" | "summary" | "histogram" | "untyped") {
                 return Err(format!("line {ln}: unknown TYPE kind {kind:?}"));
             }
+            if let Some(prev) = kinds.insert(name.to_string(), kind.to_string()) {
+                if prev != kind {
+                    return Err(format!(
+                        "line {ln}: family {name:?} re-declared as TYPE {kind} \
+                         (was {prev}) — conflicting registration"
+                    ));
+                }
+            }
             families.insert(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+            if name.is_empty() {
+                return Err(format!("line {ln}: HELP without a name"));
+            }
+            if let Some(prev) = helps.insert(name.to_string(), help.to_string()) {
+                if prev != help {
+                    return Err(format!(
+                        "line {ln}: family {name:?} re-declared with different HELP \
+                         ({help:?}, was {prev:?}) — conflicting registration"
+                    ));
+                }
+            }
             continue;
         }
         if line.starts_with('#') {
@@ -354,6 +382,33 @@ mod tests {
         assert!(validate_exposition("# TYPE a counter\na 1").is_err(), "missing newline");
         assert!(validate_exposition("# TYPE a counter\na{open 1\n").is_err());
         assert!(validate_exposition("# TYPE a wat\n").is_err());
+    }
+
+    #[test]
+    fn validate_accepts_consistent_redeclarations() {
+        // Two scrape chunks concatenated: same family, same HELP, same
+        // TYPE — benign and accepted.
+        let text = "# HELP a counts things\n# TYPE a counter\na 1\n\
+                    # HELP a counts things\n# TYPE a counter\na 2\n";
+        let families = validate_exposition(text).expect("consistent re-declaration is fine");
+        assert!(families.contains("a"));
+    }
+
+    #[test]
+    fn validate_rejects_conflicting_redeclarations() {
+        // Same name, different TYPE: a counter silently becoming a gauge.
+        let err = validate_exposition("# TYPE a counter\na 1\n# TYPE a gauge\na 2\n")
+            .expect_err("conflicting TYPE must be rejected");
+        assert!(err.contains("conflicting registration"), "{err}");
+        // Same name, different HELP text.
+        let err = validate_exposition(
+            "# HELP a counts things\n# TYPE a counter\na 1\n\
+             # HELP a counts other things\n# TYPE a counter\na 2\n",
+        )
+        .expect_err("conflicting HELP must be rejected");
+        assert!(err.contains("different HELP"), "{err}");
+        // HELP with no name at all is malformed.
+        assert!(validate_exposition("# HELP \n").is_err());
     }
 
     #[test]

@@ -10,7 +10,8 @@ use crate::report::{RouteStats, ServeReport};
 use crate::shard::{Shard, ShardAnswer};
 use chronorank_core::{ObjectId, TemporalObject, TemporalSet, TopK};
 use chronorank_obs::{
-    elapsed_us, CacheOutcome, FlightRecorder, IoDelta, QueryTrace, Registry, ShardSpan,
+    elapsed_us, AttrValue, CacheOutcome, FlightRecorder, IoDelta, QueryTrace, Registry, ShardSpan,
+    SpanId, SpanSink, TraceId,
 };
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -49,6 +50,16 @@ impl std::fmt::Display for ServeError {
 }
 
 impl std::error::Error for ServeError {}
+
+/// Everything one executed query produced — for the tracing path, which
+/// needs the per-shard fan-out alongside the answer.
+struct QueryOutcome {
+    top: TopK,
+    route: Route,
+    total_us: u64,
+    cache: CacheOutcome,
+    spans: Vec<ShardSpan>,
+}
 
 /// Result of [`ServeEngine::run_stream`].
 #[derive(Debug)]
@@ -343,6 +354,65 @@ impl ServeEngine {
     /// for exactly this execution. `&self`: concurrent callers each get
     /// their own private reply channel, so answers can never cross.
     pub fn query_routed(&self, q: ServeQuery) -> Result<(TopK, Route), ServeError> {
+        self.query_core(q).map(|out| (out.top, out.route))
+    }
+
+    /// [`ServeEngine::query_routed`], joining this execution into an
+    /// existing distributed trace: an `engine.query` span is opened as a
+    /// child of `parent` on `trace`, and every shard's probe is emitted
+    /// as a `shard.probe` child of the engine span — so a wire query's
+    /// tree reaches from the remote client all the way into the shards.
+    /// With a noop `sink` this costs a branch per span.
+    pub fn query_spanned(
+        &self,
+        q: ServeQuery,
+        trace: TraceId,
+        parent: SpanId,
+        sink: &SpanSink,
+    ) -> Result<(TopK, Route), ServeError> {
+        // The engine already times itself (`out.total_us`) and its
+        // probes, so every span here is emitted from those measurements
+        // against one hoisted clock read — no second clock pair on the
+        // hot path. Probes are emitted first, parented on a pre-minted
+        // id; drain order is by sequence, tree shape is by parent links.
+        let out = self.query_core(q)?;
+        if !sink.is_noop() {
+            let engine_span = SpanId::next();
+            let end_us = sink.now_us();
+            for s in &out.spans {
+                sink.emit_at(
+                    SpanId::next(),
+                    trace,
+                    Some(engine_span),
+                    "shard.probe",
+                    end_us,
+                    s.elapsed_us,
+                    [
+                        ("shard", AttrValue::U64(s.shard as u64)),
+                        ("reads", AttrValue::U64(s.reads)),
+                        ("cache_hit", AttrValue::Bool(s.cache_hit)),
+                    ],
+                );
+            }
+            sink.emit_at(
+                engine_span,
+                trace,
+                (parent.0 != 0).then_some(parent),
+                "engine.query",
+                end_us,
+                out.total_us,
+                [
+                    ("route", AttrValue::Sym(out.route.name())),
+                    ("k", AttrValue::U64(q.k as u64)),
+                    ("cache", AttrValue::Sym(out.cache.name())),
+                    ("shards", AttrValue::U64(out.spans.len() as u64)),
+                ],
+            );
+        }
+        Ok((out.top, out.route))
+    }
+
+    fn query_core(&self, q: ServeQuery) -> Result<QueryOutcome, ServeError> {
         let t0 = Instant::now();
         let route = self.planner.route(&q);
         self.obs.route_decisions[route.idx()].inc();
@@ -386,8 +456,8 @@ impl ServeEngine {
         let dt = t0.elapsed().as_secs_f64();
         let total_us = (dt * 1e6) as u64;
         self.obs.route_latency_us[route.idx()].record(total_us);
+        spans.sort_by_key(|s| s.shard);
         if self.obs.recorder.qualifies(total_us) {
-            spans.sort_by_key(|s| s.shard);
             self.obs.recorder.record(QueryTrace {
                 route: route.name(),
                 t1: q.t1,
@@ -396,7 +466,7 @@ impl ServeEngine {
                 total_us,
                 cache,
                 io: IoDelta { reads: spans.iter().map(|s| s.reads).sum(), ..Default::default() },
-                shards: spans,
+                shards: spans.clone(),
             });
         }
         let mut served = self.served.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -404,7 +474,8 @@ impl ServeEngine {
         served.routes[route.idx()].secs += dt;
         served.queries += 1;
         served.elapsed_secs += dt;
-        Ok((top, route))
+        drop(served);
+        Ok(QueryOutcome { top, route, total_us, cache, spans })
     }
 
     /// Answer a whole query stream, pipelined: every per-shard task is
