@@ -23,10 +23,14 @@
 #   trace-smoke       examples/trace_dump against a loopback server
 #                     (exits nonzero unless one wire query yields one
 #                     joined cross-process span tree over the TRACE op)
+#   paperscale-smoke  paper-bench paperscale --quick  (one scaled-down rung
+#                     through the streaming out-of-core build pipeline; the
+#                     bench itself exits nonzero unless EXACT3 beats EXACT1
+#                     in per-query cold IO)
 #   bench-regression  paper-bench check-regression    (smoke JSONs vs the
-#                     committed BENCH_SERVE/LIVE/NET/COLDSTART/OBS.json:
-#                     same key shape, sane rates, no >10x throughput
-#                     collapse)
+#                     committed BENCH_SERVE/LIVE/NET/COLDSTART/OBS/
+#                     PAPERSCALE.json: same key shape, sane rates, no >10x
+#                     throughput collapse)
 #
 # Every smoke artifact goes under target/ so the committed full-scale
 # BENCH_*.json and results/ CSVs are never clobbered by quick numbers.
@@ -136,6 +140,15 @@ trace_smoke() {
     cargo run --release -q --example trace_dump
 }
 
+# One scaled-down ladder rung through the same streaming generators,
+# external sorts and budget-sized pools as the committed ladder; the
+# bench self-gates the paper's EXACT3 < EXACT1 cold-IO ordering.
+paperscale_smoke() {
+    CHRONORANK_PAPERSCALE_JSON=target/BENCH_PAPERSCALE_ci.json \
+        cargo run --release -q -p chronorank-bench --bin paper_bench -- paperscale --quick \
+        --out target/paper-bench-smoke
+}
+
 bench_regression() {
     cargo run --release -q -p chronorank-bench --bin paper_bench -- check-regression \
         --pair BENCH_SERVE.json=target/BENCH_SERVE_ci.json \
@@ -143,6 +156,7 @@ bench_regression() {
         --pair BENCH_NET.json=target/BENCH_NET_ci.json \
         --pair BENCH_COLDSTART.json=target/BENCH_COLDSTART_ci.json \
         --pair BENCH_OBS.json=target/BENCH_OBS_ci.json \
+        --pair BENCH_PAPERSCALE.json=target/BENCH_PAPERSCALE_ci.json \
         --tolerance 10
 }
 
@@ -157,6 +171,7 @@ stage net-smoke        net_smoke
 stage coldstart-smoke  coldstart_smoke
 stage obs-smoke        obs_smoke
 stage trace-smoke      trace_smoke
+stage paperscale-smoke paperscale_smoke
 stage bench-regression bench_regression
 
 print_timings

@@ -197,6 +197,50 @@ impl ApproxIndex {
         })
     }
 
+    /// Assemble an approximate index from a precomputed (typically
+    /// streamed, see [`crate::b2_streaming`]) breakpoint set plus a fresh
+    /// object stream for the query-structure fill — the paper-scale path:
+    /// no [`TemporalSet`] ever materializes. `plus` variants are rejected;
+    /// the EXACT2 re-scoring forest has no streaming bulk path.
+    pub fn build_streaming<I>(
+        env: Env,
+        objects: I,
+        variant: ApproxVariant,
+        config: ApproxConfig,
+        breakpoints: Breakpoints,
+    ) -> Result<Self>
+    where
+        I: IntoIterator<Item = crate::object::TemporalObject>,
+    {
+        if variant.plus {
+            return Err(CoreError::BadQuery(
+                "APPX2+ needs the EXACT2 forest, which has no streaming build".into(),
+            ));
+        }
+        let built_mass = breakpoints.mass();
+        let (q1, q2) = match variant.query {
+            QueryKind::Q1 => (
+                Some(Query1Index::build_streaming(
+                    env_clone_counter(&env, "q1", config.store)?,
+                    objects,
+                    breakpoints.clone(),
+                    config.kmax,
+                )?),
+                None,
+            ),
+            QueryKind::Q2 => (
+                None,
+                Some(Query2Index::build_streaming(
+                    env_clone_counter(&env, "q2", config.store)?,
+                    objects,
+                    breakpoints.clone(),
+                    config.kmax,
+                )?),
+            ),
+        };
+        Ok(Self { variant, config, env, breakpoints, q1, q2, rescorer: None, built_mass })
+    }
+
     /// The variant built.
     pub fn variant(&self) -> ApproxVariant {
         self.variant

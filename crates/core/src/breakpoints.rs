@@ -66,6 +66,13 @@ pub struct Breakpoints {
 }
 
 impl Breakpoints {
+    /// Assemble a breakpoint set from an already-run sweep. Used by the
+    /// streaming construction (`streambuild`), which produces the same
+    /// points as [`sweep_b2`] without materializing the dataset.
+    pub(crate) fn from_sweep(kind: BreakpointsKind, points: Vec<f64>, eps: f64, mass: f64) -> Self {
+        Self { kind, points, eps, mass }
+    }
+
     /// BREAKPOINTS1 for a given `ε > 0`.
     pub fn b1_with_eps(set: &TemporalSet, eps: f64) -> Result<Self> {
         check_eps(eps)?;
@@ -257,7 +264,7 @@ impl Breakpoints {
     }
 }
 
-fn check_eps(eps: f64) -> Result<()> {
+pub(crate) fn check_eps(eps: f64) -> Result<()> {
     if eps <= 0.0 || !eps.is_finite() {
         return Err(CoreError::BadQuery(format!("ε must be positive and finite, got {eps}")));
     }
@@ -311,7 +318,7 @@ impl<'a> AbsCurves<'a> {
 
 /// `|g|`: split each segment at its zero crossing and mirror negative
 /// values. The result is again piecewise linear.
-fn abs_curve(c: &PiecewiseLinear) -> Result<PiecewiseLinear> {
+pub(crate) fn abs_curve(c: &PiecewiseLinear) -> Result<PiecewiseLinear> {
     let mut pts: Vec<(f64, f64)> = Vec::with_capacity(c.num_points() + 4);
     pts.push((c.start(), c.values()[0].abs()));
     for seg in c.segments() {
@@ -564,7 +571,7 @@ fn sweep_b2(set: &TemporalSet, tau: f64, construction: B2Construction) -> Result
 
 /// Total-ordered f64 for heap keys.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct OrdF64(f64);
+pub(crate) struct OrdF64(pub(crate) f64);
 impl Eq for OrdF64 {}
 impl PartialOrd for OrdF64 {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {

@@ -97,6 +97,43 @@ impl Exact1 {
         })
     }
 
+    /// Build from an object stream without ever materializing the dataset
+    /// (the paper-scale path). Identical sort + bulk load to
+    /// [`Exact1::build_in`], but the external sorter's run length is derived
+    /// from an explicit byte budget and `m` / `Δmax` are accumulated inside
+    /// the push loop instead of read off a [`TemporalSet`].
+    pub fn build_streaming<I>(env: Env, objects: I, sort_budget_bytes: u64) -> Result<Self>
+    where
+        I: IntoIterator<Item = crate::object::TemporalObject>,
+    {
+        let sort_file = env.create_file("exact1_sort")?;
+        let mut sorter =
+            ExternalSorter::with_byte_budget(sort_file, RECORD_LEN, sort_budget_bytes, |rec| {
+                f64::from_le_bytes(rec[..8].try_into().expect("8"))
+            })?;
+        let mut rec = [0u8; RECORD_LEN];
+        let mut num_objects = 0usize;
+        let mut max_dur = 0.0f64;
+        for o in objects {
+            num_objects += 1;
+            for seg in o.curve.segments() {
+                max_dur = max_dur.max(seg.duration());
+                rec[..8].copy_from_slice(&seg.t0.to_le_bytes());
+                encode_payload(&mut rec[8..], o.id, seg);
+                sorter.push(&rec)?;
+            }
+        }
+        let mut stream = sorter.finish()?;
+        let mut loader =
+            chronorank_index::BPlusTree::bulk_loader(env.create_file("exact1_tree")?, PAYLOAD_LEN)?;
+        while stream.next_into(&mut rec)? {
+            let key = f64::from_le_bytes(rec[..8].try_into().expect("8"));
+            loader.push(key, &rec[8..])?;
+        }
+        let tree = loader.finish()?;
+        Ok(Self { env, tree, num_objects, max_segment_duration: AtomicU64::new(max_dur.to_bits()) })
+    }
+
     /// Append a new segment for `obj` (the paper's §4 update:
     /// `O(log_B N)` IOs). The caller keeps the [`TemporalSet`] in sync via
     /// [`TemporalSet::append_segment`].

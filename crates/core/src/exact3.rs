@@ -106,6 +106,54 @@ impl Exact3 {
         Ok(Self { env, store, tree, meta: RwLock::new(meta), generation: AtomicU32::new(0) })
     }
 
+    /// Build from an object stream without materializing the dataset (the
+    /// paper-scale path): same sort + leaf-fill-1.0 bulk load as
+    /// [`Exact3::build_in`], with the sort run length taken from an
+    /// explicit byte budget and the per-object `(start, end, total)`
+    /// triples collected inside the push loop (`24·m` bytes — the only
+    /// `O(m)` state this method keeps, same as the in-memory build).
+    pub fn build_streaming<I>(
+        env: Env,
+        store: StoreConfig,
+        objects: I,
+        sort_budget_bytes: u64,
+    ) -> Result<Self>
+    where
+        I: IntoIterator<Item = crate::object::TemporalObject>,
+    {
+        let scratch = env.create_file("exact3_sort_gen0")?;
+        let key = |rec: &[u8]| f64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
+        let mut sorter =
+            ExternalSorter::with_byte_budget(scratch, SORT_RECORD_LEN, sort_budget_bytes, key)?;
+        let mut rec = [0u8; SORT_RECORD_LEN];
+        let mut meta: Vec<ObjMeta> = Vec::new();
+        for o in objects {
+            let mut prefix = 0.0f64;
+            for seg in o.curve.segments() {
+                prefix += seg.integral_full();
+                rec[..8].copy_from_slice(&seg.t0.to_le_bytes());
+                rec[8..16].copy_from_slice(&seg.t1.to_le_bytes());
+                rec[16..].copy_from_slice(&encode_payload(o.id, seg.v0, seg.v1, prefix));
+                sorter.push(&rec)?;
+            }
+            meta.push(ObjMeta {
+                start: o.curve.start(),
+                end: o.curve.end(),
+                total: o.curve.total(),
+            });
+        }
+        let mut stream = sorter.finish()?;
+        let file = env.create_file("exact3_tree_gen0")?;
+        let mut loader = IntervalBulkLoader::new(file, PAYLOAD_LEN)?;
+        while stream.next_into(&mut rec)? {
+            let lo = f64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
+            let hi = f64::from_le_bytes(rec[8..16].try_into().expect("8 bytes"));
+            loader.push(lo, hi, &rec[16..])?;
+        }
+        let tree = loader.finish()?;
+        Ok(Self { env, store, tree, meta: RwLock::new(meta), generation: AtomicU32::new(0) })
+    }
+
     /// Bottom-up bulk build: stream all `N` entries through an external
     /// sort on `lo` (`O((N/B) log_B N)` IOs, the paper's construction
     /// preamble) and feed the sorted stream straight into the interval

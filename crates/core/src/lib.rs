@@ -57,6 +57,7 @@ pub mod metrics;
 mod object;
 mod query1;
 mod query2;
+mod streambuild;
 #[cfg(test)]
 pub(crate) mod test_support;
 mod topk;
@@ -72,6 +73,7 @@ pub use method::{GenerationProfile, MethodProfile, SharedMethod, TopKMethod};
 pub use object::{AppendRecord, ObjectId, TemporalObject, TemporalSet};
 pub use query1::Query1Index;
 pub use query2::Query2Index;
+pub use streambuild::{b2_streaming, scan_stats, StreamStats, StreamedB2};
 pub use topk::{RankMethod, TopK};
 
 /// Default index configuration shared by all methods.

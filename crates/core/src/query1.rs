@@ -108,6 +108,74 @@ impl Query1Index {
         Ok(Self { env, breakpoints, top_tree, sub_trees, lists, kmax, blocks_per_list })
     }
 
+    /// Build from an object stream without materializing the dataset (the
+    /// paper-scale path). Where [`Query1Index::build`] keeps the full
+    /// `m × r` cumulative matrix and passes over it `r−1` times, this makes
+    /// **one** object-major pass holding all `r(r−1)/2` pair heaps
+    /// (`O(r² kmax)` memory — the size of the final index, independent of
+    /// `m` and `N`). Each heap sees the same objects in the same order as
+    /// the in-memory build, so the resulting lists are identical.
+    pub fn build_streaming<I>(
+        env: Env,
+        objects: I,
+        breakpoints: Breakpoints,
+        kmax: usize,
+    ) -> Result<Self>
+    where
+        I: IntoIterator<Item = crate::object::TemporalObject>,
+    {
+        if kmax == 0 {
+            return Err(CoreError::BadQuery("kmax must be at least 1".into()));
+        }
+        let r = breakpoints.len();
+        let block = env.block_size();
+        let blocks_per_list = ((kmax * ENTRY_LEN) as u64).div_ceil(block as u64);
+
+        // Flat heap table over all pairs: pair (j, j+1+p) lives at
+        // pair_base(j) + p.
+        let npairs_total = r * r.saturating_sub(1) / 2;
+        let pair_base = |j: usize| j * (2 * r - 1 - j) / 2;
+        let mut heaps: Vec<BinaryHeap<WorstFirst>> = Vec::with_capacity(npairs_total);
+        heaps.resize_with(npairs_total, BinaryHeap::new);
+        for o in objects {
+            let row = breakpoints.cums_at(&o.curve);
+            for j in 0..r.saturating_sub(1) {
+                let base = row[j];
+                let at = pair_base(j);
+                for (p, &c) in row[j + 1..].iter().enumerate() {
+                    capped_push(&mut heaps[at + p], kmax, c - base, o.id);
+                }
+            }
+        }
+
+        // Drain in j-major order — the same list/sub-tree layout the
+        // in-memory build writes.
+        let lists = env.create_file("q1_lists")?;
+        let mut list_buf = vec![0u8; block];
+        let mut sub_trees = Vec::with_capacity(r.saturating_sub(1));
+        let mut heap_it = heaps.into_iter();
+        for j in 0..r.saturating_sub(1) {
+            let mut loader =
+                BPlusTree::bulk_loader(env.create_file(&format!("q1_sub_{j:06}"))?, 8)?;
+            for p in 0..(r - 1 - j) {
+                let jp = j + 1 + p;
+                let heap = heap_it.next().expect("pair table sized r(r-1)/2");
+                let entries = heap_into_desc(heap);
+                let start = lists.allocate(blocks_per_list)?;
+                write_list(&lists, &mut list_buf, start, kmax, &entries)?;
+                loader.push(breakpoints.points()[jp], &start.to_le_bytes())?;
+            }
+            sub_trees.push(loader.finish()?);
+        }
+
+        let mut loader = BPlusTree::bulk_loader(env.create_file("q1_top")?, 4)?;
+        for (j, &b) in breakpoints.points()[..r.saturating_sub(1)].iter().enumerate() {
+            loader.push(b, &(j as u32).to_le_bytes())?;
+        }
+        let top_tree = loader.finish()?;
+        Ok(Self { env, breakpoints, top_tree, sub_trees, lists, kmax, blocks_per_list })
+    }
+
     /// Maximum `k` this index can answer.
     pub fn kmax(&self) -> usize {
         self.kmax

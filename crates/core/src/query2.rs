@@ -127,6 +127,67 @@ impl Query2Index {
         Ok(Self { env, breakpoints, bp_tree, nodes, gaps, pad, lists, kmax, blocks_per_list })
     }
 
+    /// Build from an object stream without materializing the dataset (the
+    /// paper-scale path). The in-memory build is already object-major —
+    /// each object contributes its breakpoint-cumulative row to the tiny
+    /// per-node heaps and is dropped — so this is the same loop over an
+    /// iterator; peak memory is `O(r·kmax)` heaps plus one curve.
+    pub fn build_streaming<I>(
+        env: Env,
+        objects: I,
+        breakpoints: Breakpoints,
+        kmax: usize,
+    ) -> Result<Self>
+    where
+        I: IntoIterator<Item = crate::object::TemporalObject>,
+    {
+        if kmax == 0 {
+            return Err(CoreError::BadQuery("kmax must be at least 1".into()));
+        }
+        let r = breakpoints.len();
+        let gaps = r - 1;
+        let pad = gaps.next_power_of_two().max(1);
+        let total_nodes = 2 * pad - 1;
+        let block = env.block_size();
+        let blocks_per_list = ((kmax * ENTRY_LEN) as u64).div_ceil(block as u64);
+
+        let mut nodes = Vec::with_capacity(total_nodes);
+        build_spans(0, 0, pad as u32, gaps as u32, total_nodes, &mut nodes);
+
+        let mut heaps: Vec<BinaryHeap<WorstFirst>> = Vec::with_capacity(total_nodes);
+        heaps.resize_with(total_nodes, BinaryHeap::new);
+        for o in objects {
+            let row = breakpoints.cums_at(&o.curve);
+            for (ni, node) in nodes.iter().enumerate() {
+                if node.lo >= node.hi {
+                    continue;
+                }
+                let s = row[node.hi as usize] - row[node.lo as usize];
+                capped_push(&mut heaps[ni], kmax, s, o.id);
+            }
+        }
+
+        let lists = env.create_file("q2_lists")?;
+        let mut buf = vec![0u8; block];
+        for (ni, heap) in heaps.into_iter().enumerate() {
+            if nodes[ni].lo >= nodes[ni].hi {
+                nodes[ni].list_start = NO_LIST;
+                continue;
+            }
+            let entries = heap_into_desc(heap);
+            let start = lists.allocate(blocks_per_list)?;
+            crate::query1::write_list(&lists, &mut buf, start, kmax, &entries)?;
+            nodes[ni].list_start = start;
+        }
+
+        let mut loader = BPlusTree::bulk_loader(env.create_file("q2_bp")?, 4)?;
+        for (j, &b) in breakpoints.points().iter().enumerate() {
+            loader.push(b, &(j as u32).to_le_bytes())?;
+        }
+        let bp_tree = loader.finish()?;
+        Ok(Self { env, breakpoints, bp_tree, nodes, gaps, pad, lists, kmax, blocks_per_list })
+    }
+
     /// Maximum `k` this index can answer.
     pub fn kmax(&self) -> usize {
         self.kmax

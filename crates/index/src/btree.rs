@@ -26,6 +26,7 @@
 //! `height = 1` means the root is a leaf. Page id 0 is always the meta page,
 //! so 0 doubles as the "no next leaf" sentinel.
 
+use crate::bulk::FenceSpill;
 use crate::error::{IndexError, Result};
 use chronorank_storage::page::{get_f64, get_u32, get_u64, put_f64, put_u32, put_u64};
 use chronorank_storage::{PageId, PagedFile};
@@ -401,6 +402,19 @@ impl BPlusTree {
 }
 
 /// Streaming bulk loader: push key-sorted entries, then [`BulkLoader::finish`].
+///
+/// # Bulk-load invariants
+///
+/// * Input keys must be **nondecreasing**; every leaf except the last is
+///   written at **fill rate 1.0** (exactly `leaf_cap` entries), which is
+///   what makes the paper's `O(scanned/B)` range-output cost hold.
+/// * Leaves are allocated and written in key order, so leaf page ids are
+///   physically sequential and the `next` chain never seeks backwards.
+/// * Construction memory is one leaf buffer plus one fence per sealed leaf;
+///   [`BulkLoader::with_fence_budget`] caps the fence term by spilling to a
+///   scratch file, and produces a **byte-identical** tree file to
+///   [`BulkLoader::new`] for the same input (the scratch file is separate,
+///   so tree-page allocation order is unchanged).
 pub struct BulkLoader {
     file: PagedFile,
     value_len: usize,
@@ -414,7 +428,7 @@ pub struct BulkLoader {
     /// Previous full leaf waiting for its `next` pointer.
     pending: Option<(PageId, Vec<u8>)>,
     /// `(first_key, page)` for every sealed leaf, bottom level of the build.
-    level: Vec<(f64, PageId)>,
+    level: FenceSpill,
     first_leaf: PageId,
     count: u64,
     last_key: f64,
@@ -423,6 +437,24 @@ pub struct BulkLoader {
 impl BulkLoader {
     /// Start a bulk load into a freshly created `file`.
     pub fn new(file: PagedFile, value_len: usize) -> Result<Self> {
+        Self::with_level(file, value_len, FenceSpill::unbounded())
+    }
+
+    /// Like [`BulkLoader::new`], but keeps at most `fence_budget` leaf
+    /// fences in memory, spilling the rest to `scratch` (a freshly created
+    /// file the loader owns — **not** the tree file). The finished tree is
+    /// byte-identical to an unbudgeted build of the same input.
+    pub fn with_fence_budget(
+        file: PagedFile,
+        value_len: usize,
+        scratch: PagedFile,
+        fence_budget: usize,
+    ) -> Result<Self> {
+        let level = FenceSpill::budgeted(scratch, fence_budget)?;
+        Self::with_level(file, value_len, level)
+    }
+
+    fn with_level(file: PagedFile, value_len: usize, level: FenceSpill) -> Result<Self> {
         let block = file.block_size();
         let leaf_cap = BPlusTree::leaf_cap(block, value_len);
         if leaf_cap < 2 || BPlusTree::internal_cap(block) < 3 {
@@ -439,7 +471,7 @@ impl BulkLoader {
             cur_n: 0,
             cur_first_key: 0.0,
             pending: None,
-            level: Vec::new(),
+            level,
             first_leaf: cur_id,
             count: 0,
             last_key: f64::NEG_INFINITY,
@@ -489,7 +521,7 @@ impl BulkLoader {
             put_u64(&mut pbuf, 8, self.cur_id);
             self.file.write(pid, &pbuf)?;
         }
-        self.level.push((self.cur_first_key, self.cur_id));
+        self.level.push(self.cur_first_key, 0.0, self.cur_id)?;
         self.pending = Some((self.cur_id, std::mem::replace(&mut self.cur, vec![0u8; self.block])));
         self.cur_id = new_id;
         self.cur_n = 0;
@@ -507,13 +539,46 @@ impl BulkLoader {
             self.file.write(pid, &pbuf)?;
         }
         if self.cur_n > 0 || self.level.is_empty() {
-            self.level.push((self.cur_first_key, self.cur_id));
+            self.level.push(self.cur_first_key, 0.0, self.cur_id)?;
             self.file.write(self.cur_id, &self.cur)?;
         }
-        // Build internal levels bottom-up.
+        // Build internal levels bottom-up. The leaf-fence level is the only
+        // one that can exceed the fence budget, so it is streamed out of the
+        // (possibly spilled) queue chunk by chunk; each level above shrinks
+        // by the internal fanout and stays in memory.
         let cap = BPlusTree::internal_cap(self.block);
         let mut height = 1u32;
-        let mut level = std::mem::take(&mut self.level);
+        let fences = std::mem::replace(&mut self.level, FenceSpill::unbounded());
+        let single_leaf = fences.len() == 1;
+        let mut replay = fences.replay()?;
+        let mut level: Vec<(f64, PageId)> = Vec::new();
+        if single_leaf {
+            while let Some((k, _, page)) = replay.next()? {
+                level.push((k, page));
+            }
+        } else {
+            height += 1;
+            let mut buf = vec![0u8; self.block];
+            let mut chunk: Vec<(f64, PageId)> = Vec::with_capacity(cap);
+            loop {
+                let item = replay.next()?;
+                if let Some((k, _, page)) = item {
+                    chunk.push((k, page));
+                }
+                if chunk.len() == cap || (item.is_none() && !chunk.is_empty()) {
+                    let id = self.file.allocate(1)?;
+                    let children: Vec<u64> = chunk.iter().map(|&(_, c)| c).collect();
+                    let keys: Vec<f64> = chunk.iter().skip(1).map(|&(k, _)| k).collect();
+                    encode_internal(&mut buf, &children, &keys);
+                    self.file.write(id, &buf)?;
+                    level.push((chunk[0].0, id));
+                    chunk.clear();
+                }
+                if item.is_none() {
+                    break;
+                }
+            }
+        }
         while level.len() > 1 {
             height += 1;
             let mut upper: Vec<(f64, PageId)> = Vec::with_capacity(level.len() / 2 + 1);
@@ -680,6 +745,40 @@ mod tests {
             cur.advance().unwrap();
         }
         out
+    }
+
+    #[test]
+    fn budgeted_bulk_load_is_bit_identical() {
+        // Satellite invariant: spilling leaf fences to scratch must not
+        // change one byte of the tree file, at any input size.
+        let e = env();
+        for n in [0u64, 1, 5, 40, 1000] {
+            let mut plain =
+                BulkLoader::new(e.create_file(&format!("plain{n}")).unwrap(), 8).unwrap();
+            let mut tight = BulkLoader::with_fence_budget(
+                e.create_file(&format!("tight{n}")).unwrap(),
+                8,
+                e.create_file(&format!("scratch{n}")).unwrap(),
+                2,
+            )
+            .unwrap();
+            for i in 0..n {
+                let k = (i / 3) as f64; // duplicates included
+                plain.push(k, &payload(i)).unwrap();
+                tight.push(k, &payload(i)).unwrap();
+            }
+            let ta = plain.finish().unwrap();
+            let tb = tight.finish().unwrap();
+            assert_eq!(ta.file.num_blocks(), tb.file.num_blocks(), "n={n}");
+            let block = ta.file.block_size();
+            let (mut ba, mut bb) = (vec![0u8; block], vec![0u8; block]);
+            for id in 0..ta.file.num_blocks() {
+                ta.file.read(id, &mut ba).unwrap();
+                tb.file.read(id, &mut bb).unwrap();
+                assert_eq!(ba, bb, "block {id} differs at n={n}");
+            }
+            assert_eq!(collect_all(&ta), collect_all(&tb));
+        }
     }
 
     #[test]

@@ -22,6 +22,16 @@ use std::collections::BinaryHeap;
 
 const RUN_HDR: usize = 4; // record count within the block
 
+/// Locate record ordinal `pos` of a run: `(block index, slot within
+/// block)`. Kept as a free helper so the arithmetic is testable at
+/// paper-scale ordinals: a single sorted run at `N = 10⁸⁺` segments can
+/// hold more than 2³² records, so every term here must stay `u64` — a
+/// careless `usize` multiply would wrap on 32-bit hosts.
+fn run_position(pos: u64, per_block: usize) -> (u64, usize) {
+    let pb = per_block as u64;
+    (pos / pb, (pos % pb) as usize)
+}
+
 /// A spilled sorted run: `blocks` consecutive blocks starting at `start`
 /// holding `records` records.
 #[derive(Debug, Clone, Copy)]
@@ -78,7 +88,7 @@ impl RunCursor {
         if self.pos >= self.run.records {
             return Ok(None);
         }
-        let block_idx = self.pos / self.per_block as u64;
+        let (block_idx, within) = run_position(self.pos, self.per_block);
         if block_idx != self.cur_block {
             file.read(self.run.start + block_idx, &mut self.buf)?;
             let count = get_u32(&self.buf, 0) as u64;
@@ -91,7 +101,6 @@ impl RunCursor {
             }
             self.cur_block = block_idx;
         }
-        let within = (self.pos % self.per_block as u64) as usize;
         self.pos += 1;
         let off = RUN_HDR + within * self.record_len;
         Ok(Some(&self.buf[off..off + self.record_len]))
@@ -131,6 +140,20 @@ impl<F: Fn(&[u8]) -> f64> ExternalSorter<F> {
             key_fn,
             mem_budget,
         })
+    }
+
+    /// Like [`ExternalSorter::new`], but the in-memory run length is
+    /// derived from an explicit **byte** budget (a `ScaleBudget` sort
+    /// share) instead of a record count. Floors at 16 records so a
+    /// degenerate budget still sorts.
+    pub fn with_byte_budget(
+        file: PagedFile,
+        record_len: usize,
+        budget_bytes: u64,
+        key_fn: F,
+    ) -> Result<Self> {
+        let records = (budget_bytes / record_len.max(1) as u64).clamp(16, 1 << 31) as usize;
+        Self::new(file, record_len, records, key_fn)
     }
 
     /// Add one record.
@@ -416,6 +439,57 @@ mod tests {
         }
         assert!(!stream.next_into(&mut out).unwrap());
         assert_eq!(stream.remaining(), 0);
+    }
+
+    #[test]
+    fn run_position_survives_past_u32_records() {
+        // Regression for the paper-scale audit: record ordinals beyond 2³²
+        // must keep producing monotone block indexes and in-range slots.
+        let per_block = 113usize;
+        let boundary = 1u64 << 32;
+        let mut prev_block = 0u64;
+        for pos in (boundary - 3)..(boundary + 3) {
+            let (block, within) = run_position(pos, per_block);
+            assert_eq!(block, pos / per_block as u64);
+            assert_eq!(within as u64, pos % per_block as u64);
+            assert!(within < per_block);
+            assert!(block >= prev_block, "block index went backwards at {pos}");
+            assert!(block > u32::MAX as u64 / per_block as u64 - 1, "block index truncated");
+            prev_block = block;
+        }
+        // The exact boundary ordinal: u32 arithmetic would wrap to 0 here.
+        let (block, _) = run_position(boundary, per_block);
+        assert_eq!(block, boundary / per_block as u64);
+        assert_ne!(block, (boundary as u32 as u64) / per_block as u64);
+    }
+
+    #[test]
+    fn byte_budget_constructor_sorts_identically() {
+        let e = env();
+        // 600 bytes / 12-byte records → 50-record runs: same spill pattern
+        // as the record-count test above.
+        let mut s =
+            ExternalSorter::with_byte_budget(e.create_file("runs").unwrap(), 12, 600, key_of)
+                .unwrap();
+        let mut keys = Vec::new();
+        let mut x = 7u64;
+        for i in 0..500u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = (x >> 11) as f64;
+            keys.push(k);
+            s.push(&rec(k, i)).unwrap();
+        }
+        let mut stream = s.finish().unwrap();
+        keys.sort_by(f64::total_cmp);
+        let mut out = vec![0u8; 12];
+        for want in &keys {
+            assert!(stream.next_into(&mut out).unwrap());
+            assert_eq!(key_of(&out), *want);
+        }
+        // Degenerate budgets floor at the 16-record minimum.
+        let tiny = ExternalSorter::with_byte_budget(e.create_file("tiny").unwrap(), 12, 0, key_of)
+            .unwrap();
+        assert!(tiny.is_empty());
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! half-open semantics (EXACT3 does, to get exactly one entry per object)
 //! dedupe at shared endpoints.
 
+use crate::bulk::FenceSpill;
 use crate::error::{IndexError, Result};
 use chronorank_storage::page::{get_f64, get_u32, get_u64, put_f64, put_u32, put_u64};
 use chronorank_storage::{PageId, PagedFile};
@@ -96,14 +97,15 @@ pub struct IntervalTree {
 /// stacks the inner levels over the collected fences and returns the
 /// ready tree. Memory held during the build is one leaf buffer plus one
 /// 24-byte fence per leaf (`O(N/B)`), shrinking by the inner fanout per
-/// level.
+/// level; [`IntervalBulkLoader::with_fence_budget`] caps the fence term by
+/// spilling to a scratch file without changing a byte of the output tree.
 pub struct IntervalBulkLoader {
     file: PagedFile,
     payload_len: usize,
     buf: Vec<u8>,
     within: usize,
-    /// `(page, min_lo, max_hi)` of every closed leaf, in lo order.
-    fences: Vec<(PageId, f64, f64)>,
+    /// `(min_lo, max_hi, page)` of every closed leaf, in lo order.
+    fences: FenceSpill,
     count: u64,
     last_lo: f64,
     cur_min_lo: f64,
@@ -114,6 +116,24 @@ impl IntervalBulkLoader {
     /// Start a bulk load into `file` (freshly created; block 0 becomes the
     /// metadata page).
     pub fn new(file: PagedFile, payload_len: usize) -> Result<Self> {
+        Self::with_fences(file, payload_len, FenceSpill::unbounded())
+    }
+
+    /// Like [`IntervalBulkLoader::new`], but keeps at most `fence_budget`
+    /// leaf fences in memory, spilling the rest to `scratch` (a freshly
+    /// created file the loader owns — **not** the tree file). The finished
+    /// tree is byte-identical to an unbudgeted build of the same input.
+    pub fn with_fence_budget(
+        file: PagedFile,
+        payload_len: usize,
+        scratch: PagedFile,
+        fence_budget: usize,
+    ) -> Result<Self> {
+        let fences = FenceSpill::budgeted(scratch, fence_budget)?;
+        Self::with_fences(file, payload_len, fences)
+    }
+
+    fn with_fences(file: PagedFile, payload_len: usize, fences: FenceSpill) -> Result<Self> {
         let block = file.block_size();
         if IntervalTree::entries_per_block(block, payload_len) < 1 {
             return Err(IndexError::BadInput(format!(
@@ -130,7 +150,7 @@ impl IntervalBulkLoader {
         Ok(Self {
             buf: vec![0u8; block],
             within: 0,
-            fences: Vec::new(),
+            fences,
             count: 0,
             last_lo: f64::NEG_INFINITY,
             cur_min_lo: f64::INFINITY,
@@ -184,7 +204,7 @@ impl IntervalBulkLoader {
         put_u64(&mut self.buf, 8, 0);
         let page = self.file.allocate(1)?;
         self.file.write(page, &self.buf)?;
-        self.fences.push((page, self.cur_min_lo, self.cur_max_hi));
+        self.fences.push(self.cur_min_lo, self.cur_max_hi, page)?;
         self.buf.fill(0);
         self.within = 0;
         self.cur_min_lo = f64::INFINITY;
@@ -208,8 +228,49 @@ impl IntervalBulkLoader {
         self.close_leaf()?;
         let block = self.file.block_size();
         let per_inner = (block - INNER_HDR) / FENCE_LEN;
-        let mut level = std::mem::take(&mut self.fences);
         let mut buf = vec![0u8; block];
+        // The leaf-fence level is the only one that can exceed the fence
+        // budget: stream it out of the (possibly spilled) queue chunk by
+        // chunk. Levels above shrink by the inner fanout and fit in memory.
+        let fences = std::mem::replace(&mut self.fences, FenceSpill::unbounded());
+        let single_leaf = fences.len() <= 1;
+        let mut replay = fences.replay()?;
+        let mut level: Vec<(PageId, f64, f64)> = Vec::new();
+        if single_leaf {
+            while let Some((lo, hi, page)) = replay.next()? {
+                level.push((page, lo, hi));
+            }
+        } else {
+            let mut chunk: Vec<(PageId, f64, f64)> = Vec::with_capacity(per_inner);
+            loop {
+                let item = replay.next()?;
+                if let Some((lo, hi, page)) = item {
+                    chunk.push((page, lo, hi));
+                }
+                if chunk.len() == per_inner || (item.is_none() && !chunk.is_empty()) {
+                    buf.fill(0);
+                    put_u32(&mut buf, 0, INNER_MAGIC);
+                    put_u32(&mut buf, 4, chunk.len() as u32);
+                    let mut min_lo = f64::INFINITY;
+                    let mut max_hi = f64::NEG_INFINITY;
+                    for (i, &(page, lo, hi)) in chunk.iter().enumerate() {
+                        let off = INNER_HDR + i * FENCE_LEN;
+                        put_u64(&mut buf, off, page);
+                        put_f64(&mut buf, off + 8, lo);
+                        put_f64(&mut buf, off + 16, hi);
+                        min_lo = min_lo.min(lo);
+                        max_hi = max_hi.max(hi);
+                    }
+                    let page = self.file.allocate(1)?;
+                    self.file.write(page, &buf)?;
+                    level.push((page, min_lo, max_hi));
+                    chunk.clear();
+                }
+                if item.is_none() {
+                    break;
+                }
+            }
+        }
         while level.len() > 1 {
             let mut next = Vec::with_capacity(level.len().div_ceil(per_inner));
             for group in level.chunks(per_inner) {
@@ -500,6 +561,43 @@ mod tests {
         tree.stab(t, &mut |_, _, p| out.push(u32::from_le_bytes(p.try_into().unwrap()))).unwrap();
         out.sort();
         out
+    }
+
+    #[test]
+    fn budgeted_bulk_load_is_bit_identical() {
+        // Satellite invariant: spilling leaf fences to scratch must not
+        // change one byte of the tree file, at any input size.
+        let e = env();
+        for n in [0u32, 1, 7, 35, 900] {
+            let mut plain =
+                IntervalBulkLoader::new(e.create_file(&format!("plain{n}")).unwrap(), 4).unwrap();
+            let mut tight = IntervalBulkLoader::with_fence_budget(
+                e.create_file(&format!("tight{n}")).unwrap(),
+                4,
+                e.create_file(&format!("scratch{n}")).unwrap(),
+                3,
+            )
+            .unwrap();
+            for i in 0..n {
+                let lo = (i / 2) as f64;
+                let hi = lo + 5.0 + (i % 7) as f64;
+                plain.push(lo, hi, &i.to_le_bytes()).unwrap();
+                tight.push(lo, hi, &i.to_le_bytes()).unwrap();
+            }
+            let ta = plain.finish().unwrap();
+            let tb = tight.finish().unwrap();
+            assert_eq!(ta.file.num_blocks(), tb.file.num_blocks(), "n={n}");
+            let block = ta.file.block_size();
+            let (mut ba, mut bb) = (vec![0u8; block], vec![0u8; block]);
+            for id in 0..ta.file.num_blocks() {
+                ta.file.read(id, &mut ba).unwrap();
+                tb.file.read(id, &mut bb).unwrap();
+                assert_eq!(ba, bb, "block {id} differs at n={n}");
+            }
+            for probe in [0.0, 3.5, 100.0, 449.0, 1000.0] {
+                assert_eq!(stab_tags(&ta, probe), stab_tags(&tb, probe), "probe {probe} n={n}");
+            }
+        }
     }
 
     #[test]

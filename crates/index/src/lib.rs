@@ -21,13 +21,20 @@
 //! [`IoCounter`](chronorank_storage::IoCounter) of the environment that
 //! created their file, which is how the benchmark harness measures the
 //! paper's "I/Os" columns.
+//!
+//! For paper-scale builds (`N ≥ 10⁷`) both bulk loaders accept a fence
+//! budget ([`FenceSpill`]): the per-leaf fence list — the only `O(N/B)`
+//! memory term in a bulk load — spills to a scratch file past the budget
+//! and is replayed in order, leaving the built tree byte-identical.
 
 mod btree;
+mod bulk;
 mod error;
 mod extsort;
 mod interval;
 
 pub use btree::{BPlusTree, BulkLoader, Cursor};
+pub use bulk::{FenceReplay, FenceSpill};
 pub use error::{IndexError, Result};
 pub use extsort::{ExternalPq, ExternalSorter, RunCursor};
 pub use interval::{IntervalBulkLoader, IntervalEntry, IntervalTree};

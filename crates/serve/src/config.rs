@@ -2,7 +2,7 @@
 
 use crate::planner::MethodSet;
 use chronorank_core::ApproxConfig;
-use chronorank_storage::StoreConfig;
+use chronorank_storage::{ScaleBudget, StoreConfig};
 use std::time::Duration;
 
 /// Configuration of a [`crate::ServeEngine`].
@@ -38,5 +38,34 @@ impl Default for ServeConfig {
             cache_capacity: 1024,
             simulated_read_latency: None,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Derive the storage settings from an explicit memory budget: the
+    /// budget's pool share is split over the files the engine keeps open —
+    /// roughly `4 × workers` long-lived [`chronorank_storage::PagedFile`]s
+    /// (per shard: the EXACT3 tree plus an approximate index's directory,
+    /// sub-tree and list files). Everything else in `self` is unchanged.
+    pub fn with_scale_budget(mut self, budget: ScaleBudget) -> Self {
+        self.store = budget.store_config(4 * self.workers.max(1));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_budget_sizes_pools_per_worker() {
+        let budget = ScaleBudget::new(64 << 20);
+        let one = ServeConfig { workers: 1, ..Default::default() }.with_scale_budget(budget);
+        let four = ServeConfig { workers: 4, ..Default::default() }.with_scale_budget(budget);
+        assert_eq!(one.store.block_size, budget.block_size());
+        assert_eq!(one.store.pool_capacity, four.store.pool_capacity * 4);
+        // Other settings survive the builder untouched.
+        assert_eq!(one.workers, 1);
+        assert_eq!(four.workers, 4);
     }
 }

@@ -15,6 +15,9 @@
 //! * [`Env`] — a factory that hands out [`PagedFile`]s sharing one counter,
 //!   so a multi-structure index (e.g. EXACT2's forest of B+-trees) has a
 //!   single IO budget;
+//! * [`ScaleBudget`] — one explicit byte budget (TPIE's single memory
+//!   knob, reproduced) from which paper-scale builds derive buffer-pool
+//!   capacities and external-sort run lengths;
 //! * [`WriteAheadLog`] — a block-device-backed durability log for the
 //!   ingest path (CRC'd records, crash replay, truncation on checkpoint),
 //!   counted separately as `wal_writes`/`wal_bytes`;
@@ -54,6 +57,7 @@
 //! assert!(env.io_stats().reads >= 1);
 //! ```
 
+mod budget;
 mod device;
 mod env;
 mod error;
@@ -63,6 +67,7 @@ mod pool;
 mod stats;
 mod wal;
 
+pub use budget::ScaleBudget;
 pub use device::{BlockDevice, FileDevice, MemDevice};
 pub use env::{Env, EnvBacking};
 pub use error::{Result, StorageError};

@@ -32,6 +32,29 @@
 //! per-client streams for closed-loop network load generation (shared
 //! hotspots, per-client interleavings) — the traffic shape the
 //! wire-protocol tier (`chronorank-net`) is benchmarked with.
+//!
+//! ## Streaming generation (paper scale)
+//!
+//! At the paper's Meme scale (`m ≈ 1.5·10⁶`, `N ≈ 10⁸`) a materialized
+//! `Vec` of all objects does not fit a sane memory budget, so generators
+//! that also implement [`StreamingGenerator`] expose their dataset
+//! **object-at-a-time** under a three-part contract:
+//!
+//! 1. **deterministic under seed** — `object(id)` is a pure function of
+//!    `(config, id)`; the per-object RNG is seeded by a splitmix64
+//!    derivation of `(seed, id)` (pure `u64` arithmetic, so ids past 2³²
+//!    stay distinct);
+//! 2. **sorted ids, sorted segments** — [`StreamingGenerator::objects`]
+//!    yields ids `0..m` in order, and every curve's segments are emitted
+//!    in nondecreasing `t0` order, which is exactly the order the
+//!    external-sort build pipelines consume;
+//! 3. **resumable** — because of (1), any id range can be re-generated
+//!    independently (restart after a crash, partition across workers,
+//!    or make a second pass for a later build phase) with bit-identical
+//!    output; no generator state needs checkpointing.
+//!
+//! [`DatasetGenerator::generate`] is required to agree with the streaming
+//! view: it is the same `object(id)` loop, collected.
 
 mod append;
 pub mod csvio;
@@ -52,7 +75,7 @@ pub use stock::{StockConfig, StockGenerator};
 pub use temp::{TempConfig, TempGenerator};
 pub use traffic::{ClosedLoopTraffic, TrafficConfig};
 
-use chronorank_core::{TemporalObject, TemporalSet};
+use chronorank_core::{ObjectId, TemporalObject, TemporalSet};
 
 /// Common interface of all dataset generators.
 pub trait DatasetGenerator {
@@ -62,5 +85,23 @@ pub trait DatasetGenerator {
     /// Convenience: generate and wrap into a [`TemporalSet`].
     fn generate_set(&self) -> TemporalSet {
         TemporalSet::from_objects(self.generate()).expect("generator produced a valid set")
+    }
+}
+
+/// Object-at-a-time access for paper-scale builds (see the crate docs'
+/// *Streaming generation* section for the full contract: sorted,
+/// deterministic under seed, resumable).
+pub trait StreamingGenerator {
+    /// Number of objects `m` this generator will produce.
+    fn num_objects(&self) -> usize;
+
+    /// Generate exactly one object — a pure function of the generator's
+    /// configuration and `id`, independent of any other object.
+    fn object(&self, id: ObjectId) -> TemporalObject;
+
+    /// All objects in id order, generated lazily. Peak memory is a single
+    /// object's curve; the `N`-segment dataset never materializes.
+    fn objects(&self) -> impl Iterator<Item = TemporalObject> + '_ {
+        (0..self.num_objects()).map(|id| self.object(id as ObjectId))
     }
 }

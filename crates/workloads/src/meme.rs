@@ -8,8 +8,8 @@
 //! spike-and-decay burst train: a Pareto-distributed peak, exponential
 //! decay, and occasional secondary bursts.
 
-use crate::util::{gaussian, pareto};
-use crate::DatasetGenerator;
+use crate::util::{gaussian, object_seed, pareto};
+use crate::{DatasetGenerator, StreamingGenerator};
 use chronorank_core::{ObjectId, TemporalObject};
 use chronorank_curve::PiecewiseLinear;
 use rand::rngs::StdRng;
@@ -53,52 +53,67 @@ impl MemeGenerator {
     pub fn config(&self) -> MemeConfig {
         self.config
     }
+
+    /// Generate object `id` alone. The RNG is seeded per object from
+    /// `(seed, id)` (see [`crate::StreamingGenerator`]), so this is a pure
+    /// function: paper-scale builds call it `m` times in id order without
+    /// ever materializing the whole dataset, and a resumed or parallel
+    /// build regenerates any object bit-identically.
+    fn object_at(&self, id: usize) -> TemporalObject {
+        let c = self.config;
+        let mut rng = StdRng::seed_from_u64(object_seed(c.seed, id as u64));
+        // Heavy-tailed popularity: most pages hold a couple of memes,
+        // a few hold hundreds.
+        let peak = pareto(&mut rng, 2.0, 1.3);
+        // Lifetime: bursts fade fast; persistent objects are rare.
+        let lifetime = (c.span * 0.01 * pareto(&mut rng, 1.0, 1.2)).min(c.span * 0.9);
+        let birth = rng.random_range(0.0..(c.span - lifetime).max(1.0));
+        let n = ((c.avg_segments as f64) * (0.5 + rng.random_range(0.0..1.0))) as usize;
+        let n = n.max(2);
+        let decay = 3.0 / lifetime;
+        // Records denser right after birth (burst coverage), sparser in
+        // the tail; occasional secondary bursts rekindle the score.
+        let mut points: Vec<(f64, f64)> = Vec::with_capacity(n + 1);
+        let mut t = birth;
+        let mut secondary = 0.0f64;
+        for i in 0..=n {
+            let frac = i as f64 / n as f64;
+            // Quadratic spacing: early records close together.
+            let next_t = birth + lifetime * frac * frac;
+            t = t.max(next_t);
+            if rng.random_range(0.0..1.0) < 0.02 {
+                secondary += peak * rng.random_range(0.1..0.6);
+            }
+            secondary *= (-(decay * 4.0) * lifetime / n as f64).exp();
+            let base = peak * (-(decay) * (t - birth)).exp();
+            let noise = (1.0 + 0.15 * gaussian(&mut rng)).max(0.2);
+            let v = ((base + secondary) * noise).max(0.0);
+            if points.last().is_none_or(|&(pt, _)| t > pt) {
+                points.push((t, v));
+            }
+        }
+        if points.len() < 2 {
+            let (t0, v0) = points[0];
+            points.push((t0 + 1.0, v0 * 0.5));
+        }
+        let curve = PiecewiseLinear::from_points(&points).expect("increasing times");
+        TemporalObject { id: id as ObjectId, curve }
+    }
 }
 
 impl DatasetGenerator for MemeGenerator {
     fn generate(&self) -> Vec<TemporalObject> {
-        let c = self.config;
-        let mut rng = StdRng::seed_from_u64(c.seed);
-        let mut out = Vec::with_capacity(c.objects);
-        for id in 0..c.objects {
-            // Heavy-tailed popularity: most pages hold a couple of memes,
-            // a few hold hundreds.
-            let peak = pareto(&mut rng, 2.0, 1.3);
-            // Lifetime: bursts fade fast; persistent objects are rare.
-            let lifetime = (c.span * 0.01 * pareto(&mut rng, 1.0, 1.2)).min(c.span * 0.9);
-            let birth = rng.random_range(0.0..(c.span - lifetime).max(1.0));
-            let n = ((c.avg_segments as f64) * (0.5 + rng.random_range(0.0..1.0))) as usize;
-            let n = n.max(2);
-            let decay = 3.0 / lifetime;
-            // Records denser right after birth (burst coverage), sparser in
-            // the tail; occasional secondary bursts rekindle the score.
-            let mut points: Vec<(f64, f64)> = Vec::with_capacity(n + 1);
-            let mut t = birth;
-            let mut secondary = 0.0f64;
-            for i in 0..=n {
-                let frac = i as f64 / n as f64;
-                // Quadratic spacing: early records close together.
-                let next_t = birth + lifetime * frac * frac;
-                t = t.max(next_t);
-                if rng.random_range(0.0..1.0) < 0.02 {
-                    secondary += peak * rng.random_range(0.1..0.6);
-                }
-                secondary *= (-(decay * 4.0) * lifetime / n as f64).exp();
-                let base = peak * (-(decay) * (t - birth)).exp();
-                let noise = (1.0 + 0.15 * gaussian(&mut rng)).max(0.2);
-                let v = ((base + secondary) * noise).max(0.0);
-                if points.last().is_none_or(|&(pt, _)| t > pt) {
-                    points.push((t, v));
-                }
-            }
-            if points.len() < 2 {
-                let (t0, v0) = points[0];
-                points.push((t0 + 1.0, v0 * 0.5));
-            }
-            let curve = PiecewiseLinear::from_points(&points).expect("increasing times");
-            out.push(TemporalObject { id: id as ObjectId, curve });
-        }
-        out
+        (0..self.config.objects).map(|id| self.object_at(id)).collect()
+    }
+}
+
+impl StreamingGenerator for MemeGenerator {
+    fn num_objects(&self) -> usize {
+        self.config.objects
+    }
+
+    fn object(&self, id: ObjectId) -> TemporalObject {
+        self.object_at(id as usize)
     }
 }
 
@@ -147,5 +162,19 @@ mod tests {
     fn deterministic_under_seed() {
         let cfg = MemeConfig { objects: 20, ..Default::default() };
         assert_eq!(MemeGenerator::new(cfg).generate(), MemeGenerator::new(cfg).generate());
+    }
+
+    #[test]
+    fn streaming_access_matches_batch_generation() {
+        // The StreamingGenerator contract: object(id) alone reproduces the
+        // batch output bit-for-bit, in any order (here: reverse).
+        let g = MemeGenerator::new(MemeConfig { objects: 30, ..Default::default() });
+        let batch = g.generate();
+        assert_eq!(StreamingGenerator::num_objects(&g), 30);
+        for id in (0..30u32).rev() {
+            assert_eq!(g.object(id), batch[id as usize], "object {id}");
+        }
+        let streamed: Vec<_> = g.objects().collect();
+        assert_eq!(streamed, batch);
     }
 }
