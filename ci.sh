@@ -27,10 +27,15 @@
 #                     through the streaming out-of-core build pipeline; the
 #                     bench itself exits nonzero unless EXACT3 beats EXACT1
 #                     in per-query cold IO)
+#   rescore-smoke     paper-bench rescore --quick     (columnar batch
+#                     rescoring vs the scalar row walk, and query_batch
+#                     windows vs solo queries; the bench asserts bit-
+#                     identical checksums and exits nonzero unless
+#                     columnar >= scalar and batched W=64 >= solo)
 #   bench-regression  paper-bench check-regression    (smoke JSONs vs the
 #                     committed BENCH_SERVE/LIVE/NET/COLDSTART/OBS/
-#                     PAPERSCALE.json: same key shape, sane rates, no >10x
-#                     throughput collapse)
+#                     PAPERSCALE/RESCORE.json: same key shape, sane rates,
+#                     no >10x throughput collapse)
 #
 # Every smoke artifact goes under target/ so the committed full-scale
 # BENCH_*.json and results/ CSVs are never clobbered by quick numbers.
@@ -149,6 +154,16 @@ paperscale_smoke() {
         --out target/paper-bench-smoke
 }
 
+# The rescore bench enforces its own gates by exit code: the columnar
+# kernel must not lose to the scalar row walk, and batched execution at
+# W=64 must not lose to solo queries (both after asserting bit-identical
+# answers/checksums).
+rescore_smoke() {
+    CHRONORANK_RESCORE_JSON=target/BENCH_RESCORE_ci.json \
+        cargo run --release -q -p chronorank-bench --bin paper_bench -- rescore --quick \
+        --out target/paper-bench-smoke
+}
+
 bench_regression() {
     cargo run --release -q -p chronorank-bench --bin paper_bench -- check-regression \
         --pair BENCH_SERVE.json=target/BENCH_SERVE_ci.json \
@@ -157,6 +172,7 @@ bench_regression() {
         --pair BENCH_COLDSTART.json=target/BENCH_COLDSTART_ci.json \
         --pair BENCH_OBS.json=target/BENCH_OBS_ci.json \
         --pair BENCH_PAPERSCALE.json=target/BENCH_PAPERSCALE_ci.json \
+        --pair BENCH_RESCORE.json=target/BENCH_RESCORE_ci.json \
         --tolerance 10
 }
 
@@ -172,6 +188,7 @@ stage coldstart-smoke  coldstart_smoke
 stage obs-smoke        obs_smoke
 stage trace-smoke      trace_smoke
 stage paperscale-smoke paperscale_smoke
+stage rescore-smoke    rescore_smoke
 stage bench-regression bench_regression
 
 print_timings

@@ -5,7 +5,7 @@
 //! paper-bench <figure> [options]
 //!
 //! figures: fig3 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20
-//!          ablation serve live coldstart net obs paperscale all
+//!          ablation serve live coldstart net obs paperscale rescore all
 //! check-regression --pair BASELINE.json=CURRENT.json [--pair ...]
 //!                  [--tolerance N]        compare bench JSON shapes/rates
 //! options:
@@ -78,7 +78,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: paper-bench <fig3|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|ablation|serve|live|coldstart|net|obs|paperscale|all> \
+            "usage: paper-bench <fig3|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|ablation|serve|live|coldstart|net|obs|paperscale|rescore|all> \
              [--m N] [--navg N] [--r N] [--kmax N] [--k N] [--queries N] [--meme-m N] [--out DIR] [--quick] [--budget-mb N] [--paper]\n\
              \x20      paper-bench check-regression --pair BASELINE.json=CURRENT.json [--pair ...] [--tolerance N]"
         );
@@ -155,6 +155,7 @@ fn main() {
         "net" => net(&opts),
         "obs" => obs(&opts),
         "paperscale" => paperscale(&opts),
+        "rescore" => rescore(&opts),
         "all" => {
             fig3(&opts);
             fig11(&opts);
@@ -171,6 +172,7 @@ fn main() {
             coldstart(&opts);
             net(&opts);
             obs(&opts);
+            rescore(&opts);
         }
         other => {
             eprintln!("unknown figure {other}");
@@ -790,7 +792,6 @@ fn ablation(opts: &Opts) {
 fn serve(opts: &Opts) {
     use chronorank_serve::{ServeConfig, ServeEngine, ServeQuery};
     use chronorank_workloads::{IntervalPattern, QueryWorkload, QueryWorkloadConfig};
-    use std::io::Write as _;
     use std::time::Duration;
 
     // Workload shapes, named once so the emitted JSON metadata can never
@@ -965,8 +966,6 @@ fn serve(opts: &Opts) {
     };
     let speedup = io_qps_by_w[2].1 / io_qps_by_w[0].1.max(1e-9);
     println!("\nW=4 over W=1 io-bound speedup: {speedup:.2}x");
-    let json_path =
-        std::env::var("CHRONORANK_SERVE_JSON").unwrap_or_else(|_| "BENCH_SERVE.json".to_string());
     let json = format!(
         "{{\n  \"harness\": \"chronorank-serve-bench\",\n  \"quick\": {},\n  \"scenario\": {{\n    \
          \"dataset\": \"temp\", \"m\": {m}, \"n_segments\": {}, \"k\": {k},\n    \
@@ -986,9 +985,7 @@ fn serve(opts: &Opts) {
         rows_json.join(",\n"),
         par_rows.join(",\n"),
     );
-    let mut f = std::fs::File::create(&json_path).expect("create BENCH_SERVE.json");
-    f.write_all(json.as_bytes()).expect("write BENCH_SERVE.json");
-    println!("wrote {json_path}");
+    write_bench_json("SERVE", &json);
 }
 
 // ---------------------------------------------------------------------------
@@ -1022,7 +1019,6 @@ fn live(opts: &Opts) {
         AppendStream, AppendStreamConfig, IntervalPattern, QueryWorkloadConfig, StockConfig,
         StockGenerator,
     };
-    use std::io::Write as _;
 
     const EPS_BUDGET: f64 = 0.2;
     let (tickers, days, batch, queries_per_batch) =
@@ -1146,8 +1142,6 @@ fn live(opts: &Opts) {
     table.print();
     table.write_csv(&opts.out, "live_ingest").expect("csv");
 
-    let json_path =
-        std::env::var("CHRONORANK_LIVE_JSON").unwrap_or_else(|_| "BENCH_LIVE.json".to_string());
     let json = format!(
         "{{\n  \"harness\": \"chronorank-live-bench\",\n  \"quick\": {},\n  \"scenario\": {{\n    \
          \"dataset\": \"stock\", \"tickers\": {tickers}, \"days\": {days},\n    \
@@ -1167,9 +1161,7 @@ fn live(opts: &Opts) {
         query_cfg.k,
         rows_json.join(",\n"),
     );
-    let mut f = std::fs::File::create(&json_path).expect("create BENCH_LIVE.json");
-    f.write_all(json.as_bytes()).expect("write BENCH_LIVE.json");
-    println!("wrote {json_path}");
+    write_bench_json("LIVE", &json);
 }
 
 // ---------------------------------------------------------------------------
@@ -1200,7 +1192,6 @@ fn coldstart(opts: &Opts) {
     use chronorank_index::{BPlusTree, BulkLoader};
     use chronorank_live::{IngestEngine, LiveConfig};
     use chronorank_workloads::{AppendStream, AppendStreamConfig, StockConfig, StockGenerator};
-    use std::io::Write as _;
 
     // --- index layer: bulk load vs insert build over identical data ---
     let n = if opts.quick { 20_000usize } else { 120_000 };
@@ -1314,8 +1305,6 @@ fn coldstart(opts: &Opts) {
         replay_secs / image_secs
     );
 
-    let json_path = std::env::var("CHRONORANK_COLDSTART_JSON")
-        .unwrap_or_else(|_| "BENCH_COLDSTART.json".to_string());
     let json = format!(
         "{{\n  \"harness\": \"chronorank-coldstart-bench\",\n  \"quick\": {},\n  \
          \"scenario\": {{\n    \"bulk_entries\": {n}, \"dataset\": \"stock\", \
@@ -1348,9 +1337,7 @@ fn coldstart(opts: &Opts) {
         rate(live_segments, replay_secs),
         replay_secs / image_secs,
     );
-    let mut f = std::fs::File::create(&json_path).expect("create BENCH_COLDSTART.json");
-    f.write_all(json.as_bytes()).expect("write BENCH_COLDSTART.json");
-    println!("wrote {json_path}");
+    write_bench_json("COLDSTART", &json);
 }
 
 // ---------------------------------------------------------------------------
@@ -1384,7 +1371,6 @@ fn net(opts: &Opts) {
         AppendStream, AppendStreamConfig, ClosedLoopTraffic, IntervalPattern, QueryWorkloadConfig,
         StockConfig, StockGenerator, TrafficConfig,
     };
-    use std::io::Write as _;
 
     const EPS_BUDGET: f64 = 0.2;
     const PATTERN: IntervalPattern =
@@ -1612,8 +1598,6 @@ fn net(opts: &Opts) {
     table.print();
     table.write_csv(&opts.out, "net_write_path").expect("csv");
 
-    let json_path =
-        std::env::var("CHRONORANK_NET_JSON").unwrap_or_else(|_| "BENCH_NET.json".to_string());
     let json = format!(
         "{{\n  \"harness\": \"chronorank-net-bench\",\n  \"quick\": {},\n  \"scenario\": {{\n    \
          \"dataset\": \"temp\", \"m\": {m}, \"n_segments\": {}, \"k\": {k},\n    \
@@ -1636,9 +1620,7 @@ fn net(opts: &Opts) {
         read_rows.join(",\n"),
         write_rows.join(",\n"),
     );
-    let mut f = std::fs::File::create(&json_path).expect("create BENCH_NET.json");
-    f.write_all(json.as_bytes()).expect("write BENCH_NET.json");
-    println!("wrote {json_path}");
+    write_bench_json("NET", &json);
 }
 
 // ---------------------------------------------------------------------------
@@ -1674,7 +1656,6 @@ fn obs(opts: &Opts) {
     };
     use chronorank_serve::{ServeConfig, ServeEngine, ServeQuery};
     use chronorank_workloads::{IntervalPattern, QueryWorkload, QueryWorkloadConfig};
-    use std::io::Write as _;
 
     const PATTERN: IntervalPattern =
         IntervalPattern::Zipf { hotspots: 8, exponent: 1.0, background: 0.1 };
@@ -1883,8 +1864,6 @@ fn obs(opts: &Opts) {
         .zip(&untraced_qps)
         .map(|(on, off)| format!("      {{\"traced_qps\": {on:.1}, \"untraced_qps\": {off:.1}}}"))
         .collect();
-    let json_path =
-        std::env::var("CHRONORANK_OBS_JSON").unwrap_or_else(|_| "BENCH_OBS.json".to_string());
     let json = format!(
         "{{\n  \"harness\": \"chronorank-obs-bench\",\n  \"quick\": {},\n  \"scenario\": {{\n    \
          \"dataset\": \"temp\", \"m\": {m}, \"n_segments\": {}, \"k\": {k},\n    \
@@ -1922,9 +1901,7 @@ fn obs(opts: &Opts) {
         prim[5].1,
         prim[6].1,
     );
-    let mut f = std::fs::File::create(&json_path).expect("create BENCH_OBS.json");
-    f.write_all(json.as_bytes()).expect("write BENCH_OBS.json");
-    println!("wrote {json_path}");
+    write_bench_json("OBS", &json);
 
     if overhead_pct >= OBS_GATE_PCT {
         eprintln!(
@@ -1985,7 +1962,6 @@ fn paperscale(opts: &Opts) {
     use chronorank_workloads::{
         MemeConfig, MemeGenerator, QueryWorkload, QueryWorkloadConfig, StreamingGenerator,
     };
-    use std::io::Write as _;
 
     let budget = ScaleBudget::new((opts.budget_mb as u64) << 20);
     let navg = 67usize; // paper's Meme n_avg; N = m · n_avg
@@ -2259,8 +2235,6 @@ fn paperscale(opts: &Opts) {
     table.print();
     table.write_csv(&opts.out, "paperscale").expect("csv");
 
-    let json_path = std::env::var("CHRONORANK_PAPERSCALE_JSON")
-        .unwrap_or_else(|_| "BENCH_PAPERSCALE.json".to_string());
     let json = format!(
         "{{\n  \"harness\": \"chronorank-paperscale-bench\",\n  \"quick\": {},\n  \
          \"budget\": {{\"total_bytes\": {}, \"pool_bytes\": {}, \"sort_bytes\": {}, \
@@ -2284,9 +2258,7 @@ fn paperscale(opts: &Opts) {
         budget.block_size(),
         rung_jsons.join(",\n"),
     );
-    let mut f = std::fs::File::create(&json_path).expect("create BENCH_PAPERSCALE.json");
-    f.write_all(json.as_bytes()).expect("write BENCH_PAPERSCALE.json");
-    println!("wrote {json_path}");
+    write_bench_json("PAPERSCALE", &json);
 
     if !gate_failures.is_empty() {
         eprintln!("paperscale ordering gate FAILED:");
@@ -2299,8 +2271,214 @@ fn paperscale(opts: &Opts) {
 }
 
 // ---------------------------------------------------------------------------
+// Rescore: columnar kernels + shared-probe batch execution (BENCH_RESCORE.json)
+// ---------------------------------------------------------------------------
+
+/// Benchmark the two batching layers of the read path and self-gate them
+/// by exit code:
+///
+/// * **kernel** — every object of a Temp dataset rescored over the
+///   paper's random query windows, scalar (`PiecewiseLinear::integral`,
+///   one pointer-chased curve at a time) against columnar
+///   (`ColumnarTail::integral_batch` streaming the PAX `t`/`v` arrays).
+///   The two checksums must agree to the last bit (the agreement suites
+///   prove the same per element), so the contest is purely throughput.
+/// * **execution** — one Zipf-skewed approximate stream served solo
+///   (`query`) and in admission windows of W ∈ {1, 8, 64}
+///   (`query_batch`) with result caches **off**, so the windows' repeated
+///   hotspots are amortized by shared probes alone, never by cache hits.
+///
+/// Gates, checked after `BENCH_RESCORE.json` is written: columnar kernel
+/// throughput ≥ scalar, and batched W=64 QPS ≥ solo QPS.
+fn rescore(opts: &Opts) {
+    use chronorank_serve::{ServeConfig, ServeEngine, ServeQuery};
+    use chronorank_workloads::{IntervalPattern, QueryWorkload, QueryWorkloadConfig};
+
+    const EPS_BUDGET: f64 = 0.2;
+    const WINDOW_SIZES: [usize; 3] = [1, 8, 64];
+
+    // --- kernel: scalar vs columnar batch rescoring ----------------------
+    // Kernel sizing is decoupled from --m: the point columns must overflow
+    // L2 (a couple of MiB) so the schedule contrast is visible — the
+    // row-path loop re-streams every curve once per window, the columnar
+    // object-major traversal loads each candidate's run once and scores
+    // all windows against it while it is cache-hot.
+    let kernel_m = 1600;
+    let kset = temp_dataset(kernel_m, opts.navg, 42);
+    let columns = kset.to_columnar();
+    let windows = queries(&kset, opts.queries.max(8), 0.2, opts.k);
+    let ids: Vec<u32> = (0..columns.num_objects()).map(|i| i as u32).collect();
+    let reps = if opts.quick { 2 } else { 3 };
+    println!(
+        "# rescore kernel: m = {kernel_m}, N = {} segments, {} windows × {} reps (best-of)",
+        kset.num_segments(),
+        windows.len(),
+        reps,
+    );
+
+    let mut scalar_secs = f64::INFINITY;
+    let mut scalar_sum = 0.0f64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let mut acc = 0.0f64;
+        for q in &windows {
+            for o in kset.objects() {
+                acc += o.curve.integral(q.t1, q.t2);
+            }
+        }
+        scalar_secs = scalar_secs.min(t0.elapsed().as_secs_f64());
+        scalar_sum = acc;
+    }
+    let wins: Vec<(f64, f64)> = windows.iter().map(|q| (q.t1, q.t2)).collect();
+    let mut columnar_secs = f64::INFINITY;
+    let mut columnar_sum = 0.0f64;
+    let mut scores = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        scores.clear();
+        columns.integral_multi(&ids, &wins, &mut scores);
+        // Row-major output summed in index order = the scalar loop's
+        // window-major add order, so the checksums must collide exactly.
+        let mut acc = 0.0f64;
+        for &s in &scores {
+            acc += s;
+        }
+        columnar_secs = columnar_secs.min(t0.elapsed().as_secs_f64());
+        columnar_sum = acc;
+    }
+    // Same per-element bits and the same left-to-right add order, so the
+    // checksums must collide exactly — this doubles as the end-to-end
+    // bit-identity assertion at bench scale.
+    assert_eq!(
+        scalar_sum.to_bits(),
+        columnar_sum.to_bits(),
+        "columnar kernel drifted from the scalar path"
+    );
+    let rescans = (kset.objects().len() * windows.len()) as f64;
+    let scalar_per_sec = rescans / scalar_secs.max(1e-9);
+    let columnar_per_sec = rescans / columnar_secs.max(1e-9);
+    let kernel_speedup = columnar_per_sec / scalar_per_sec.max(1e-9);
+    println!(
+        "kernel: scalar {scalar_per_sec:.0} rescans/s, columnar {columnar_per_sec:.0} rescans/s \
+         ({kernel_speedup:.2}x), checksums bit-identical"
+    );
+
+    // --- execution: solo vs batched admission windows --------------------
+    let set = temp_dataset(opts.m, opts.navg, 42);
+    let count = if opts.quick { 256 } else { 1024 };
+    let k = opts.k.min(opts.kmax);
+    println!(
+        "# rescore batch: m = {}, N = {} segments, {} Zipf queries",
+        set.objects().len(),
+        set.num_segments(),
+        count,
+    );
+    let workload = QueryWorkload::new(
+        QueryWorkloadConfig {
+            count,
+            span_fraction: 0.2,
+            k,
+            seed: 11,
+            pattern: IntervalPattern::Zipf { hotspots: 8, exponent: 1.0, background: 0.1 },
+        },
+        set.t_min(),
+        set.t_max(),
+    );
+    let as_query = |q: &QueryInterval| ServeQuery::approx(q.t1, q.t2, q.k, EPS_BUDGET);
+    // Caches OFF: solo repeats may not hide behind the result cache, so
+    // batching has to win on shared probes and amortized scatter alone.
+    let engine =
+        ServeEngine::new(&set, ServeConfig { workers: 2, cache_capacity: 0, ..Default::default() })
+            .expect("build engine");
+    let stream: Vec<ServeQuery> = workload.generate().iter().map(as_query).collect();
+    // One warmup pass so every timed pass reads hot buffer pools.
+    for q in &stream {
+        engine.query(*q).expect("warmup");
+    }
+    let t0 = Instant::now();
+    for q in &stream {
+        engine.query(*q).expect("solo query");
+    }
+    let solo_qps = stream.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+    let mut table = Table::new(
+        "Rescore — shared-probe batch execution (Zipf stream, caches off)",
+        &["window W", "q/s", "speedup vs solo"],
+    );
+    table.row(vec!["solo".to_string(), format!("{solo_qps:.0}"), "1.00x".to_string()]);
+    let mut series = Vec::new();
+    let mut qps_by_window = Vec::new();
+    for w in WINDOW_SIZES {
+        let batches: Vec<Vec<ServeQuery>> =
+            workload.windows(w).iter().map(|win| win.iter().map(as_query).collect()).collect();
+        let t0 = Instant::now();
+        for win in &batches {
+            engine.query_batch(win).expect("batch query");
+        }
+        let qps = stream.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        let speedup = qps / solo_qps.max(1e-9);
+        table.row(vec![w.to_string(), format!("{qps:.0}"), format!("{speedup:.2}x")]);
+        series.push(format!(
+            "      {{\"window\": {w}, \"qps\": {qps:.1}, \"speedup_vs_solo\": {speedup:.3}}}"
+        ));
+        qps_by_window.push(qps);
+    }
+    table.print();
+    table.write_csv(&opts.out, "rescore_batch").expect("csv");
+    let batch64_qps = qps_by_window[WINDOW_SIZES.len() - 1];
+    let batch64_speedup = batch64_qps / solo_qps.max(1e-9);
+
+    let columnar_ok = columnar_per_sec >= scalar_per_sec;
+    let batch_ok = batch64_qps >= solo_qps;
+    let json = format!(
+        "{{\n  \"harness\": \"chronorank-rescore-bench\",\n  \"quick\": {},\n  \"scenario\": {{\n    \
+         \"dataset\": \"temp\", \"m\": {}, \"n_segments\": {}, \"k\": {k},\n    \
+         \"kernel_m\": {kernel_m}, \"kernel_windows\": {}, \"kernel_reps\": {reps},\n    \
+         \"zipf_stream\": {{\"queries\": {count}, \"hotspots\": 8, \"exponent\": 1.0, \
+         \"background\": 0.1, \"eps_budget\": {EPS_BUDGET}}}\n  }},\n  \
+         \"note\": \"kernel rescans every object over every window: scalar walks one PiecewiseLinear at a time, columnar streams the PAX t/v arrays through integral_batch; the checksums are asserted bit-identical before any timing counts. batch serves the same Zipf stream with result caches OFF, so W=64 windows win by probing each snapped group once per shard and fanning the shared answer out — one scatter per shard per window instead of per query.\",\n  \
+         \"kernel\": {{\n    \"scalar_rescans_per_sec\": {scalar_per_sec:.1},\n    \
+         \"columnar_rescans_per_sec\": {columnar_per_sec:.1},\n    \
+         \"columnar_speedup\": {kernel_speedup:.3},\n    \"bit_identical\": true\n  }},\n  \
+         \"batch\": {{\n    \"workers\": 2, \"solo_qps\": {solo_qps:.1},\n    \"series\": [\n{}\n    ],\n    \
+         \"batch64_speedup_over_solo\": {batch64_speedup:.3}\n  }},\n  \
+         \"gates\": {{\"columnar_ge_scalar\": {columnar_ok}, \"batch64_ge_solo\": {batch_ok}}}\n}}\n",
+        opts.quick,
+        set.objects().len(),
+        set.num_segments(),
+        windows.len(),
+        series.join(",\n"),
+    );
+    write_bench_json("RESCORE", &json);
+    if !(columnar_ok && batch_ok) {
+        eprintln!(
+            "rescore gate FAILED: columnar_ge_scalar = {columnar_ok} ({kernel_speedup:.2}x), \
+             batch64_ge_solo = {batch_ok} ({batch64_speedup:.2}x)"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "rescore gates OK: columnar {kernel_speedup:.2}x scalar, batch-64 {batch64_speedup:.2}x solo"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // check-regression: the CI bench gate
 // ---------------------------------------------------------------------------
+
+/// Emit one bench JSON artifact the way every figure does: resolve the
+/// output path from `$CHRONORANK_<TAG>_JSON` (default `BENCH_<TAG>.json`
+/// in the cwd, so CI can redirect smoke runs under `target/` without
+/// clobbering the committed full-scale baselines), write it, announce it.
+fn write_bench_json(tag: &str, json: &str) {
+    use std::io::Write as _;
+    let json_path = std::env::var(format!("CHRONORANK_{tag}_JSON"))
+        .unwrap_or_else(|_| format!("BENCH_{tag}.json"));
+    let mut f =
+        std::fs::File::create(&json_path).unwrap_or_else(|e| panic!("create {json_path}: {e}"));
+    f.write_all(json.as_bytes()).unwrap_or_else(|e| panic!("write {json_path}: {e}"));
+    println!("wrote {json_path}");
+}
 
 /// `paper-bench check-regression --pair BASELINE.json=CURRENT.json …`
 ///

@@ -1,7 +1,7 @@
 //! The temporal database model: objects and object sets.
 
 use crate::error::{CoreError, Result};
-use chronorank_curve::PiecewiseLinear;
+use chronorank_curve::{ColumnarTail, PiecewiseLinear};
 
 /// Object identifier; objects are dense `0..m` within a [`TemporalSet`].
 pub type ObjectId = u32;
@@ -278,6 +278,34 @@ impl TemporalSet {
         Self::from_objects(objects)
     }
 
+    /// Freeze every curve into columnar (structure-of-arrays) storage —
+    /// the live tier's mutable-tail representation and the checkpoint
+    /// image's `live_set` section format. Point bits are copied verbatim.
+    pub fn to_columnar(&self) -> ColumnarTail {
+        let mut ct = ColumnarTail::new();
+        for o in &self.objects {
+            ct.push_object(o.curve.times(), o.curve.values())
+                .expect("set curves are already validated");
+        }
+        ct
+    }
+
+    /// Rebuild a row-form set from columnar storage (ids positional, as
+    /// [`TemporalSet::from_curves`]). Inverse of
+    /// [`TemporalSet::to_columnar`] bit-for-bit; statistics are recomputed
+    /// from the same point bits.
+    pub fn from_columnar(ct: &ColumnarTail) -> Result<Self> {
+        let (mut times, mut values) = (Vec::new(), Vec::new());
+        let objects = (0..ct.num_objects())
+            .map(|i| {
+                ct.copy_points(i, &mut times, &mut values);
+                let curve = PiecewiseLinear::from_times_values(times.clone(), values.clone())?;
+                Ok(TemporalObject { id: i as ObjectId, curve })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Self::from_objects(objects)
+    }
+
     /// The set as it looked when object `i` ended at `ends[i]`: every
     /// curve truncated to its point-prefix with `t ≤ ends[i]`. Because the
     /// §4 update model only ever extends curves at the right edge, this
@@ -429,6 +457,29 @@ mod tests {
         b.append_segment(0, 14.0, 3.0).unwrap();
         assert_eq!(a.total_mass().to_bits(), b.total_mass().to_bits());
         assert!(a.apply(AppendRecord { object: 99, t: 1.0, v: 0.0 }).is_err());
+    }
+
+    #[test]
+    fn columnar_roundtrip_is_bit_identical() {
+        let mut s = set();
+        s.append_segment(1, 9.5, -2.0).unwrap();
+        let ct = s.to_columnar();
+        assert_eq!(ct.num_objects(), s.num_objects());
+        let back = TemporalSet::from_columnar(&ct).unwrap();
+        assert_eq!(back.num_objects(), s.num_objects());
+        for (a, b) in s.objects().iter().zip(back.objects()) {
+            assert_eq!(a.id, b.id);
+            for j in 0..a.curve.num_points() {
+                let (at, av) = a.curve.point(j);
+                let (bt, bv) = b.curve.point(j);
+                assert_eq!(at.to_bits(), bt.to_bits());
+                assert_eq!(av.to_bits(), bv.to_bits());
+            }
+        }
+        // Stats recompute from identical bits → identical stats.
+        assert_eq!(back.total_mass().to_bits(), s.total_mass().to_bits());
+        assert_eq!(back.num_segments(), s.num_segments());
+        assert!(back.has_negative());
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   appends (the paper's update model);
 //! * [`PiecewisePoly`] — the Section 4 extension to piecewise *polynomial*
 //!   curves with exact antiderivative integrals;
+//! * [`ColumnarTail`] — PAX-style structure-of-arrays storage for curves
+//!   with append-only mutable tails, plus branch-light batch integral
+//!   kernels bit-identical to the scalar path (the live tier's columnar
+//!   rescoring engine);
 //! * [`segmentation`] — algorithms that turn raw time-series samples into a
 //!   piecewise-linear representation (connect-the-dots, uniform thinning,
 //!   and adaptive bottom-up segmentation), since the paper assumes data
@@ -25,6 +29,7 @@
 //!
 //! Everything is plain `f64` math with no storage dependencies.
 
+mod columnar;
 mod error;
 pub mod numeric;
 mod poly;
@@ -32,6 +37,7 @@ mod pwl;
 mod segment;
 pub mod segmentation;
 
+pub use columnar::ColumnarTail;
 pub use error::{CurveError, Result};
 pub use poly::{PiecewisePoly, PolySegment};
 pub use pwl::PiecewiseLinear;
@@ -42,3 +48,29 @@ pub type Time = f64;
 
 /// Score values.
 pub type Value = f64;
+
+/// `max(a, b)` as a straight select (`b > a ? b : a`). Identical to
+/// `f64::max` on the finite inputs curves validate; unlike `f64::max` it
+/// carries no NaN bookkeeping, so the backend turns it into one
+/// `maxsd`/`maxpd` and the SLP vectorizer accepts clipping loops built on
+/// it. **Both** the scalar clipping path ([`Segment::integral_clipped`])
+/// and the columnar kernels use this helper, so their bits can never
+/// drift apart.
+#[inline(always)]
+pub(crate) fn sel_max(a: f64, b: f64) -> f64 {
+    if b > a {
+        b
+    } else {
+        a
+    }
+}
+
+/// `min(a, b)` as a straight select — see [`sel_max`].
+#[inline(always)]
+pub(crate) fn sel_min(a: f64, b: f64) -> f64 {
+    if b < a {
+        b
+    } else {
+        a
+    }
+}

@@ -56,8 +56,11 @@ impl Segment {
     /// i.e. the signed trapezoid on `[tL, tR]` with
     /// `tL = max(a, t0)`, `tR = min(b, t1)`; zero when they do not overlap.
     pub fn integral_clipped(&self, a: Time, b: Time) -> f64 {
-        let tl = a.max(self.t0);
-        let tr = b.min(self.t1);
+        // Select-form clipping, shared operation-for-operation with the
+        // columnar kernels (`sel_max`/`sel_min`) so the two paths stay
+        // bit-identical by construction.
+        let tl = crate::sel_max(a, self.t0);
+        let tr = crate::sel_min(b, self.t1);
         if tr <= tl {
             return 0.0;
         }

@@ -14,6 +14,7 @@ use crate::shard::{
     shard_main, LiveJob, ShardChannels, ShardCheckpoint, ShardReply, ShardStatus, ToShard,
 };
 use chronorank_core::{AppendRecord, ObjectId, TemporalSet, TopK};
+use chronorank_curve::ColumnarTail;
 use chronorank_obs::{elapsed_us, AttrValue, Registry, SpanId, SpanSink, TraceId};
 use chronorank_serve::{
     merge_profiles, merge_ranked, partition, Freshness, MethodSet, Planner, PlannerParams, Route,
@@ -373,7 +374,9 @@ impl IngestEngine {
         config: &LiveConfig,
     ) -> Result<(TemporalSet, u64, Vec<Option<GenParts>>), LiveError> {
         let mut img = GenerationImage::open(path)?;
-        let set = TemporalSet::from_bytes(&img.blob("live_set")?)
+        let columns = ColumnarTail::from_bytes(&img.blob("live_set")?)
+            .ok_or_else(|| LiveError::Snapshot("live_set: malformed columnar image".into()))?;
+        let set = TemporalSet::from_columnar(&columns)
             .map_err(|e| LiveError::Snapshot(format!("live_set: {e}")))?;
         let epoch = img.epoch();
         let meta = img.blob("engine")?;
@@ -599,6 +602,68 @@ impl IngestEngine {
         Ok((top, route))
     }
 
+    /// Answer one admitted window of queries as a batch: the planner
+    /// routes the whole window together ([`Planner::route_batch`] — costs
+    /// amortized over shared probes, routes provably identical to solo
+    /// planning), each shard receives the window as **one** message and
+    /// executes probe-identical queries — same snapped `(B(t1), B(t2))`
+    /// pair, `k`, route, and tolerance — with a single index probe whose
+    /// answer is shared across the group, and the per-shard answer lists
+    /// are gathered and merged per query. The answers are bit-identical to
+    /// issuing every query through [`IngestEngine::query`] one at a time
+    /// (the batch agreement suite pins this); what the batch buys is
+    /// amortization, not approximation.
+    pub fn query_batch(&self, qs: &[ServeQuery]) -> Result<Vec<TopK>, LiveError> {
+        if qs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let t0 = Instant::now();
+        let routes = self.planner().route_batch(qs, Some(self.freshness()));
+        let base_qid = self.next_qid.fetch_add(qs.len() as u64, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = channel();
+        let jobs: Vec<LiveJob> = qs
+            .iter()
+            .zip(&routes)
+            .enumerate()
+            .map(|(i, (q, route))| LiveJob {
+                qid: base_qid + i as u64,
+                query: *q,
+                route: *route,
+                reply: reply_tx.clone(),
+            })
+            .collect();
+        drop(reply_tx);
+        for worker in &self.workers {
+            worker.tx.send(ToShard::QueryBatch(jobs.clone())).map_err(|_| LiveError::WorkerGone)?;
+        }
+        let w = self.workers.len();
+        let mut partial: Vec<Vec<Vec<(ObjectId, f64)>>> = vec![Vec::new(); qs.len()];
+        let mut first_err: Option<String> = None;
+        for _ in 0..qs.len() * w {
+            let reply = reply_rx.recv().map_err(|_| LiveError::WorkerGone)?;
+            self.absorb_status(&reply);
+            let i = (reply.qid - base_qid) as usize;
+            match reply.result {
+                Ok(entries) => partial[i].push(entries),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(LiveError::Query(e));
+        }
+        let answers: Vec<TopK> =
+            partial.iter().zip(qs).map(|(lists, q)| merge_ranked(lists, q.k)).collect();
+        let mut counters =
+            self.query_counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        counters.queries += qs.len() as u64;
+        counters.elapsed_secs += t0.elapsed().as_secs_f64();
+        Ok(answers)
+    }
+
     /// [`IngestEngine::query_routed`], joined into an existing
     /// distributed trace: an `engine.query` span is opened as a child of
     /// `parent` on `trace`. The live scatter path does not surface
@@ -776,7 +841,10 @@ impl IngestEngine {
         }
         let Some(path) = &self.image_path else { return Ok(()) };
         let mut writer = ImageWriter::create(path)?;
-        writer.add_blob("live_set", &self.master.to_bytes())?;
+        // The master set travels in columnar (PAX) form: one shared offset
+        // table plus contiguous t/v columns — the same layout the shards'
+        // mutable tails live in, so recovery rehydrates without reshaping.
+        writer.add_blob("live_set", &self.master.to_columnar().to_bytes())?;
         let mut meta = Vec::with_capacity(25);
         meta.extend_from_slice(&(w as u64).to_le_bytes());
         meta.extend_from_slice(&(self.params.block).to_le_bytes());
@@ -820,6 +888,8 @@ impl IngestEngine {
             cache_lookups: statuses.iter().map(|s| s.cache_lookups).sum(),
             cache_invalidations: statuses.iter().map(|s| s.cache_invalidations).sum(),
             tail_segments: statuses.iter().map(|s| s.tail_segments).sum(),
+            tail_bytes: statuses.iter().map(|s| s.tail_bytes).sum(),
+            tail_objects: statuses.iter().map(|s| s.tail_objects).sum(),
             built_mass: statuses.iter().map(|s| s.built_mass).sum(),
             live_mass: self.master.total_mass(),
             generations: statuses.iter().map(|s| s.generation).max().unwrap_or(0),
@@ -852,6 +922,8 @@ impl IngestEngine {
         );
         g("chronorank_live_index_bytes", "bytes across published generations", r.index_bytes);
         g("chronorank_live_tail_segments", "appended segments in mutable tails", r.tail_segments);
+        self.obs.tail_bytes.set_u64(r.tail_bytes);
+        self.obs.tail_objects.set_u64(r.tail_objects);
         g(
             "chronorank_live_queries_during_rebuild",
             "queries served while a rebuild was in flight",

@@ -21,6 +21,10 @@ pub(crate) struct LiveObs {
     pub checkpoint_us: Histogram,
     /// Boot-time recovery (WAL open, image load, replay), µs.
     pub recovery_us: Gauge,
+    /// Bytes held by the shards' columnar tails (offset table + columns).
+    pub tail_bytes: Gauge,
+    /// Objects with a non-empty appended tail.
+    pub tail_objects: Gauge,
     /// Handles cloned into every shard thread.
     pub shard: ShardObs,
 }
@@ -61,6 +65,10 @@ impl LiveObs {
                 "chronorank_live_recovery_us",
                 "boot-time recovery (WAL open, checkpoint image load, replay), microseconds",
             ),
+            tail_bytes: registry
+                .gauge("chronorank_live_tail_bytes", "bytes held by the shards' columnar tails"),
+            tail_objects: registry
+                .gauge("chronorank_live_tail_objects", "objects with a non-empty appended tail"),
             shard: ShardObs {
                 swap_pause_us: registry.histogram(
                     "chronorank_live_swap_pause_us",

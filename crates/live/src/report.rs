@@ -82,6 +82,10 @@ pub struct LiveReport {
     pub cache_invalidations: u64,
     /// Appended segments currently waiting in mutable tails.
     pub tail_segments: u64,
+    /// Bytes held by the shards' columnar tails (offset table + columns).
+    pub tail_bytes: u64,
+    /// Objects with a non-empty appended tail.
+    pub tail_objects: u64,
     /// Σ mass the serving generations were built over.
     pub built_mass: f64,
     /// Current total mass, appends included.
@@ -153,13 +157,15 @@ impl std::fmt::Display for LiveReport {
         )?;
         writeln!(
             f,
-            "  cache: {}/{} hits ({:.1}%), {} ε-invalidations | tail: {} segments, \
-             mass growth {:.1}%",
+            "  cache: {}/{} hits ({:.1}%), {} ε-invalidations | tail: {} segments \
+             over {} objects ({} bytes), mass growth {:.1}%",
             self.cache_hits,
             self.cache_lookups,
             100.0 * self.cache_hit_rate(),
             self.cache_invalidations,
             self.tail_segments,
+            self.tail_objects,
+            self.tail_bytes,
             100.0 * self.mass_growth()
         )?;
         writeln!(
@@ -211,6 +217,8 @@ mod tests {
             cache_lookups: 0,
             cache_invalidations: 0,
             tail_segments: 0,
+            tail_bytes: 0,
+            tail_objects: 0,
             built_mass: 0.0,
             live_mass: 0.0,
             generations: 0,

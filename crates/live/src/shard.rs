@@ -34,9 +34,11 @@ use crate::generation::{generation_main, GenBuildSpec, GenParts, Generation};
 use crate::obs::ShardObs;
 use crate::report::PauseHistogram;
 use chronorank_core::{AppendRecord, ObjectId, TemporalSet};
+use chronorank_curve::{ColumnarTail, Segment};
 use chronorank_serve::{panic_message, LruCache, Route, RouteProfiles, ServeQuery};
 use chronorank_storage::IoStats;
 use std::cell::Cell;
+use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -59,6 +61,11 @@ pub(crate) enum ToShard {
     Apply(Vec<AppendRecord>),
     /// Answer one routed query.
     Query(LiveJob),
+    /// Answer an admitted window of routed queries in one columnar pass:
+    /// jobs sharing a snapped interval (or a raw interval, for the
+    /// non-snapping routes) probe the frozen generation once and share the
+    /// rescored answer. One [`ShardReply`] still goes out per job.
+    QueryBatch(Vec<LiveJob>),
     /// Checkpoint gather: reply with the installed frozen generation and
     /// its frozen edges. Doubles as the barrier — the FIFO mailbox means
     /// every apply sent before this message is applied by the reply.
@@ -125,6 +132,11 @@ pub(crate) struct ShardStatus {
     pub cache_lookups: u64,
     pub cache_invalidations: u64,
     pub size_bytes: u64,
+    /// Heap bytes held by the columnar append log (tail columns + index
+    /// lists).
+    pub tail_bytes: u64,
+    /// Objects with a non-empty appended tail.
+    pub tail_objects: u64,
 }
 
 /// Shard → coordinator build handshake.
@@ -185,8 +197,14 @@ struct PendingGen {
 struct ShardState {
     shard: usize,
     config: LiveConfig,
-    /// The live partition (local dense ids), appends applied immediately.
-    live: TemporalSet,
+    /// The live partition (local dense ids) in columnar form: epoch-frozen
+    /// base columns plus the mutable append log. Appends land immediately;
+    /// rescoring streams the shared `t`/`v` columns.
+    live: ColumnarTail,
+    /// `M` of the live partition, maintained incrementally with exactly
+    /// the arithmetic [`TemporalSet::append_segment`] uses, so rebuild
+    /// triggers and staleness budgets behave as the row-form set did.
+    live_mass: f64,
     /// Local dense id → global id.
     global_ids: Vec<ObjectId>,
     /// Per-object frozen edge of the published generation.
@@ -218,18 +236,19 @@ struct ShardState {
 impl ShardState {
     fn new(
         shard: usize,
-        live: TemporalSet,
+        subset: TemporalSet,
         global_ids: Vec<ObjectId>,
         config: LiveConfig,
         self_tx: Sender<ToShard>,
         obs: ShardObs,
     ) -> Self {
-        let m = live.num_objects();
+        let m = subset.num_objects();
         let cache = (config.cache_capacity > 0).then(|| LruCache::new(config.cache_capacity));
         Self {
             shard,
             config,
-            live,
+            live: subset.to_columnar(),
+            live_mass: subset.total_mass(),
             global_ids,
             frozen_end: vec![f64::NEG_INFINITY; m],
             gen: None,
@@ -256,8 +275,16 @@ impl ShardState {
     /// runs entirely off this thread; `GenReady` arrives through the
     /// mailbox with the finished `Arc` and the builder exits.
     fn spawn_generation(&mut self, generation: u64) {
-        let snapshot = self.live.clone();
-        let frozen_end = self.live.objects().iter().map(|o| o.curve.end()).collect();
+        // Materialize a row-form snapshot from the columns (the index
+        // builders consume `TemporalSet`); point bits are copied verbatim.
+        let snapshot = match TemporalSet::from_columnar(&self.live) {
+            Ok(s) => s,
+            Err(e) => {
+                self.poisoned = Some(format!("generation snapshot: {e}"));
+                return;
+            }
+        };
+        let frozen_end = (0..self.live.num_objects()).map(|i| self.live.end_time(i)).collect();
         let spec = GenBuildSpec {
             methods: self.config.methods,
             approx: self.config.approx,
@@ -297,6 +324,11 @@ impl ShardState {
         self.build_secs += gen.meta.build_secs;
         self.obs.rebuild_us.record((gen.meta.build_secs * 1e6) as u64);
         self.gen = Some(Installed { gen, join: pending.join });
+        // The epoch swap also compacts the columnar append log into the
+        // contiguous base columns — the tail the new generation absorbed
+        // no longer needs its gather indirection (a storage move only;
+        // every point and every integral keeps its bits).
+        self.live.freeze();
         if let Some(cache) = &mut self.cache {
             cache.clear(); // superseded frozen parts
         }
@@ -314,24 +346,28 @@ impl ShardState {
         if recs.is_empty() {
             return;
         }
-        let mass_before = self.live.total_mass();
+        let mass_before = self.live_mass;
         let mut batch_min_t0 = f64::INFINITY;
         for rec in recs {
-            let start = match self.live.object(rec.object) {
-                Ok(o) => o.curve.end(),
+            if rec.object as usize >= self.live.num_objects() {
+                self.poisoned = Some(format!("apply: no such object: {}", rec.object));
+                return;
+            }
+            // Columnar append; the returned previous endpoint feeds the
+            // same incremental mass arithmetic `TemporalSet` uses.
+            let (prev_t, prev_v) = match self.live.append(rec.object as usize, rec.t, rec.v) {
+                Ok(prev) => prev,
                 Err(e) => {
-                    self.poisoned = Some(format!("apply: {e}"));
+                    self.poisoned = Some(format!("apply: curve: {e}"));
                     return;
                 }
             };
-            if let Err(e) = self.live.apply(*rec) {
-                self.poisoned = Some(format!("apply: {e}"));
-                return;
-            }
-            batch_min_t0 = batch_min_t0.min(start);
+            let seg = Segment::new(prev_t, prev_v, rec.t, rec.v);
+            self.live_mass += seg.abs_integral_clipped(prev_t, rec.t);
+            batch_min_t0 = batch_min_t0.min(prev_t);
         }
         self.applied += recs.len() as u64;
-        let batch_mass = (self.live.total_mass() - mass_before).max(0.0);
+        let batch_mass = (self.live_mass - mass_before).max(0.0);
         if let Some(cache) = &mut self.cache {
             cache.retain(|_, v| {
                 if v.snap_t2 > batch_min_t0 {
@@ -345,7 +381,7 @@ impl ShardState {
         if self.pending.is_none() {
             if let Some(installed) = &self.gen {
                 let tail = self.applied - self.gen_applied;
-                let mass_due = self.live.total_mass()
+                let mass_due = self.live_mass
                     >= self.config.rebuild.mass_factor * installed.gen.meta.built_mass;
                 if mass_due || tail >= self.config.rebuild.max_tail_segments as u64 {
                     self.spawn_generation(installed.gen.meta.generation + 1);
@@ -391,7 +427,7 @@ impl ShardState {
         // since the entry was computed, must still fit the query's
         // ε-budget against the *live* mass.
         let eps_abs = gen.meta.profile(job.route).map_or(0.0, |g| g.eps_abs());
-        let budget_abs = q.tolerance.map(|t| t.eps * self.live.total_mass()).unwrap_or(0.0);
+        let budget_abs = q.tolerance.map(|t| t.eps * self.live_mass).unwrap_or(0.0);
         self.cache_lookups += 1;
         let mut invalidate = false;
         if let Some(entry) = self.cache.as_mut().expect("cacheable implies cache").get(&key) {
@@ -415,6 +451,58 @@ impl ShardState {
         res
     }
 
+    /// Answer an admitted window of routed queries, deduplicating shared
+    /// probes: jobs are grouped by the key that fully determines their
+    /// answer — the snapped `(B(t1), B(t2))` pair for the breakpoint
+    /// routes, the raw interval otherwise, plus `(k, route, tolerance)` —
+    /// and each group runs [`ShardState::answer`] exactly once (one frozen
+    /// probe, one columnar rescore, one cache lookup), with every member
+    /// sharing the result. Deterministic state means the shared answer is
+    /// bit-identical to answering each job sequentially.
+    fn answer_batch(&mut self, jobs: &[LiveJob]) -> Vec<Result<Vec<(ObjectId, f64)>, String>> {
+        #[derive(PartialEq, Eq, Hash)]
+        struct BatchKey {
+            a: u64,
+            b: u64,
+            k: usize,
+            route: Route,
+            tol: Option<(u64, bool)>,
+        }
+        let gen = self.gen.as_ref().map(|i| Arc::clone(&i.gen));
+        let mut groups: HashMap<BatchKey, usize> = HashMap::new();
+        let mut computed: Vec<Result<Vec<(ObjectId, f64)>, String>> = Vec::new();
+        let mut out = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let q = job.query;
+            let snapped = match &gen {
+                Some(g) if job.route.cacheable() => g.meta.breakpoints.as_ref(),
+                _ => None,
+            };
+            let (a, b) = match snapped {
+                Some(bp) => (bp.snap_idx(q.t1) as u64, bp.snap_idx(q.t2) as u64),
+                None => (q.t1.to_bits(), q.t2.to_bits()),
+            };
+            let key = BatchKey {
+                a,
+                b,
+                k: q.k,
+                route: job.route,
+                tol: q.tolerance.map(|t| (t.eps.to_bits(), t.tight_ranks)),
+            };
+            let slot = match groups.get(&key) {
+                Some(&slot) => slot,
+                None => {
+                    let slot = computed.len();
+                    computed.push(self.answer(job));
+                    groups.insert(key, slot);
+                    slot
+                }
+            };
+            out.push(computed[slot].clone());
+        }
+        out
+    }
+
     /// Frozen candidates ∪ touched tail objects, exactly rescored on the
     /// live curves over `[t1, t2]`, global ids, descending score.
     fn merged_answer(
@@ -434,9 +522,10 @@ impl ShardState {
         let m = self.live.num_objects();
         // Tail-touched objects: appended segments overlapping the interval.
         let mut touched: Vec<ObjectId> = Vec::new();
-        for (i, o) in self.live.objects().iter().enumerate() {
+        for i in 0..m {
             let fe = self.frozen_end[i];
-            if o.curve.end() > fe && fe < t2 && o.curve.end() > t1 {
+            let end = self.live.end_time(i);
+            if end > fe && fe < t2 && end > t1 {
                 touched.push(i as ObjectId);
             }
         }
@@ -462,13 +551,12 @@ impl ShardState {
                 candidates.push(id);
             }
         }
-        // Exact rescoring on the live curves: identical arithmetic to a
-        // fresh bulk build's brute-force oracle, hence bit-identical
-        // answers for exact routes.
-        let mut scored: Vec<(ObjectId, f64)> = candidates
-            .into_iter()
-            .map(|id| (id, self.live.objects()[id as usize].curve.integral(t1, t2)))
-            .collect();
+        // Exact rescoring streams the shared columns in one batched pass;
+        // the columnar kernel is bit-identical to the per-object curve
+        // walk, hence bit-identical answers for exact routes.
+        let mut scores = Vec::new();
+        self.live.integral_batch(&candidates, t1, t2, &mut scores);
+        let mut scored: Vec<(ObjectId, f64)> = candidates.into_iter().zip(scores).collect();
         scored.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
         scored.truncate(k);
         Ok(scored.into_iter().map(|(id, s)| (self.global_ids[id as usize], s)).collect())
@@ -499,6 +587,8 @@ impl ShardState {
             cache_lookups: self.cache_lookups,
             cache_invalidations: self.cache_invalidations,
             size_bytes,
+            tail_bytes: self.live.tail_bytes() as u64,
+            tail_objects: self.live.tail_objects() as u64,
         }
     }
 
@@ -545,7 +635,7 @@ pub(crate) fn shard_main(
             let frozen_end = parts.frozen_end.clone();
             let live = &state.live;
             let opened = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let snapshot = live.truncated_at(&frozen_end)?;
+                let snapshot = TemporalSet::from_columnar(live)?.truncated_at(&frozen_end)?;
                 Generation::open(&snapshot, parts, spec)
             }));
             let result = match opened {
@@ -562,7 +652,7 @@ pub(crate) fn shard_main(
                     let tx = build_tx.take().expect("handshake not yet sent");
                     let info = ShardInfo {
                         m: state.live.num_objects() as u64,
-                        n: state.live.num_segments(),
+                        n: (state.live.total_points() - state.live.num_objects()) as u64,
                         status: state.status(),
                     };
                     if tx.send(BuildOutcome { shard, result: Ok(info) }).is_err() {
@@ -599,6 +689,19 @@ pub(crate) fn shard_main(
                 // up; later queries carry fresh senders, so keep serving.
                 job.reply.send(reply).ok();
             }
+            ToShard::QueryBatch(jobs) => {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    state.answer_batch(&jobs)
+                }));
+                let results = outcome.unwrap_or_else(|payload| {
+                    let msg = format!("batch query panicked: {}", panic_message(&*payload));
+                    jobs.iter().map(|_| Err(msg.clone())).collect()
+                });
+                for (job, result) in jobs.iter().zip(results) {
+                    let reply = ShardReply { qid: job.qid, shard, result, status: state.status() };
+                    job.reply.send(reply).ok();
+                }
+            }
             ToShard::Checkpoint(reply) => {
                 let cp = ShardCheckpoint {
                     shard,
@@ -614,7 +717,7 @@ pub(crate) fn shard_main(
                         if let Some(tx) = build_tx.take() {
                             let info = ShardInfo {
                                 m: state.live.num_objects() as u64,
-                                n: state.live.num_segments(),
+                                n: (state.live.total_points() - state.live.num_objects()) as u64,
                                 status: state.status(),
                             };
                             // Release the handshake sender right away so a

@@ -156,6 +156,10 @@ impl Backend {
         }
     }
 
+    /// Apply one wire APPEND_BATCH: records are WAL-group-committed by
+    /// the live engine and land in the owning shards' columnar tails
+    /// (one shared offset table + `t`/`v` column pushes per record —
+    /// the same arrays the batch rescoring kernels later stream).
     fn append(&self, recs: &[AppendRecord]) -> Result<AppendOk, (ErrCode, String)> {
         match self {
             Backend::Serve(_) => Err((

@@ -81,16 +81,30 @@ impl StreamOutcome {
     }
 }
 
-/// One unit of pool work: answer `query` on `shard`, reply tagged.
+/// One unit of pool work: answer `work` on `shard`, replies tagged.
 struct Task {
     shard: Arc<Shard>,
     /// Index of `shard` within the engine (trace attribution).
     shard_idx: usize,
-    query: ServeQuery,
-    route: Route,
-    /// Index of the query within its stream (0 for single queries).
-    tag: u64,
+    work: TaskWork,
     reply: Sender<TaskReply>,
+}
+
+enum TaskWork {
+    /// One query (the solo and pipelined-stream paths).
+    One {
+        query: ServeQuery,
+        route: Route,
+        /// Index of the query within its stream (0 for single queries).
+        tag: u64,
+    },
+    /// One shard's view of an admitted batch window
+    /// ([`Shard::answer_batch`]): probe-identical queries share one index
+    /// probe. The window is `Arc`-shared across the per-shard tasks; reply
+    /// tags are window indexes. Batch replies carry the *window's*
+    /// wall-clock and reads (per-probe attribution is a solo/stream
+    /// feature — dedup makes per-query probes fictional here).
+    Batch(Arc<Vec<(ServeQuery, Route)>>),
 }
 
 struct TaskReply {
@@ -163,23 +177,50 @@ fn worker_main(task_rx: &Mutex<Receiver<Task>>) {
         };
         let t0 = Instant::now();
         let reads_before = chronorank_storage::IoCounter::thread_reads();
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            task.shard.answer(task.query, task.route)
-        }));
-        let (result, cache) = outcome.unwrap_or_else(|payload| {
-            (Err(format!("query panicked: {}", panic_message(&*payload))), None)
-        });
-        // A dropped receiver means the query's caller is gone; fine.
-        task.reply
-            .send(TaskReply {
-                tag: task.tag,
-                shard: task.shard_idx,
-                result,
-                elapsed_us: elapsed_us(t0),
-                reads: chronorank_storage::IoCounter::thread_reads() - reads_before,
-                cache,
-            })
-            .ok();
+        match &task.work {
+            TaskWork::One { query, route, tag } => {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    task.shard.answer(*query, *route)
+                }));
+                let (result, cache) = outcome.unwrap_or_else(|payload| {
+                    (Err(format!("query panicked: {}", panic_message(&*payload))), None)
+                });
+                // A dropped receiver means the query's caller is gone; fine.
+                task.reply
+                    .send(TaskReply {
+                        tag: *tag,
+                        shard: task.shard_idx,
+                        result,
+                        elapsed_us: elapsed_us(t0),
+                        reads: chronorank_storage::IoCounter::thread_reads() - reads_before,
+                        cache,
+                    })
+                    .ok();
+            }
+            TaskWork::Batch(window) => {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    task.shard.answer_batch(window)
+                }));
+                let answers = outcome.unwrap_or_else(|payload| {
+                    let msg = format!("query panicked: {}", panic_message(&*payload));
+                    window.iter().map(|_| (Err(msg.clone()), None)).collect()
+                });
+                let elapsed = elapsed_us(t0);
+                let reads = chronorank_storage::IoCounter::thread_reads() - reads_before;
+                for (tag, (result, cache)) in answers.into_iter().enumerate() {
+                    task.reply
+                        .send(TaskReply {
+                            tag: tag as u64,
+                            shard: task.shard_idx,
+                            result,
+                            elapsed_us: elapsed,
+                            reads,
+                            cache,
+                        })
+                        .ok();
+                }
+            }
+        }
     }
 }
 
@@ -421,9 +462,7 @@ impl ServeEngine {
             self.pool.submit(Task {
                 shard: Arc::clone(shard),
                 shard_idx,
-                query: q,
-                route,
-                tag: 0,
+                work: TaskWork::One { query: q, route, tag: 0 },
                 reply: reply_tx.clone(),
             })?;
         }
@@ -497,9 +536,7 @@ impl ServeEngine {
                 self.pool.submit(Task {
                     shard: Arc::clone(shard),
                     shard_idx,
-                    query: *q,
-                    route: *route,
-                    tag: i as u64,
+                    work: TaskWork::One { query: *q, route: *route, tag: i as u64 },
                     reply: reply_tx.clone(),
                 })?;
             }
@@ -552,6 +589,77 @@ impl ServeEngine {
         let answers =
             answers.into_iter().map(|a| a.expect("all shards replied")).collect::<Vec<_>>();
         Ok(StreamOutcome { answers, elapsed_secs })
+    }
+
+    /// Answer one admitted window of queries as a batch: the planner
+    /// routes the whole window together ([`Planner::route_batch`] — costs
+    /// amortized over shared probes, routes provably identical to solo
+    /// planning), each shard receives the window as **one** pool task and
+    /// answers probe-identical queries — same route, `k`, and snapped
+    /// interval (snap-keyed routes) or raw interval — with a single index
+    /// probe shared across the group (`Shard::answer_batch`), and the
+    /// per-shard lists are k-way merged per query. Answers are
+    /// bit-identical to issuing every query through [`ServeEngine::query`]
+    /// one at a time (the batch agreement suite pins this); what the batch
+    /// buys is probe amortization, not approximation. Per-probe latency
+    /// attribution and flight-recorder traces stay solo/stream features —
+    /// dedup makes per-query probes fictional inside a batch.
+    pub fn query_batch(&self, queries: &[ServeQuery]) -> Result<Vec<TopK>, ServeError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let t0 = Instant::now();
+        let routes = self.planner.route_batch(queries, None);
+        for route in &routes {
+            self.obs.route_decisions[route.idx()].inc();
+        }
+        let window: Arc<Vec<(ServeQuery, Route)>> =
+            Arc::new(queries.iter().copied().zip(routes.iter().copied()).collect());
+        let (reply_tx, reply_rx) = channel();
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            self.pool.submit(Task {
+                shard: Arc::clone(shard),
+                shard_idx,
+                work: TaskWork::Batch(Arc::clone(&window)),
+                reply: reply_tx.clone(),
+            })?;
+        }
+        drop(reply_tx);
+        let w = self.shards.len();
+        let mut partial: Vec<Vec<Vec<(ObjectId, f64)>>> = vec![Vec::new(); queries.len()];
+        let mut answers: Vec<Option<TopK>> = (0..queries.len()).map(|_| None).collect();
+        let mut first_err = None;
+        for _ in 0..queries.len() * w {
+            let reply = reply_rx.recv().map_err(|_| ServeError::WorkerGone)?;
+            let i = reply.tag as usize;
+            if let Some(hit) = reply.cache {
+                self.obs.shard_cache(hit);
+            }
+            match reply.result {
+                Ok(entries) => {
+                    partial[i].push(entries);
+                    if partial[i].len() == w {
+                        answers[i] = Some(merge_ranked(&partial[i], queries[i].k));
+                        partial[i] = Vec::new();
+                    }
+                }
+                Err(e) => first_err = Some(e),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(ServeError::Query(e));
+        }
+        let elapsed_secs = t0.elapsed().as_secs_f64();
+        let per_query = elapsed_secs / queries.len() as f64;
+        let mut served = self.served.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for route in &routes {
+            served.routes[route.idx()].queries += 1;
+            served.routes[route.idx()].secs += per_query;
+        }
+        served.queries += queries.len() as u64;
+        served.elapsed_secs += elapsed_secs;
+        drop(served);
+        Ok(answers.into_iter().map(|a| a.expect("all shards replied")).collect())
     }
 
     /// Per-query epilogue of the pipelined stream path: record the

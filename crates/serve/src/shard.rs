@@ -22,6 +22,8 @@ use chronorank_core::{
     ObjectId, SharedMethod, TemporalSet,
 };
 use chronorank_storage::{Env, IoStats, StoreConfig};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -253,6 +255,47 @@ impl Shard {
                 .insert(key, entries.clone());
         }
         (res, Some(false))
+    }
+
+    /// Answer one shard's view of an admitted batch window: queries that
+    /// collapse onto the same probe — same route, `k`, and snapped
+    /// `(B(t1), B(t2))` pair for the snap-keyed routes, same raw interval
+    /// for the rest — are answered by **one** [`Shard::answer`] call whose
+    /// result is cloned to every group member. The result cache therefore
+    /// sees exactly one lookup per group per batch (the probe-dedup
+    /// regression test pins this). Bit-identical to answering every query
+    /// alone: snap-keyed routes ([`Route::cacheable`]) answer from the
+    /// snapped interval alone, and raw groups share the full probe input.
+    pub(crate) fn answer_batch(
+        &self,
+        window: &[(ServeQuery, Route)],
+    ) -> Vec<(ShardAnswer, Option<bool>)> {
+        #[derive(PartialEq, Eq, Hash)]
+        enum ProbeKey {
+            Snapped { b1: u32, b2: u32, k: u32, route: Route },
+            Raw { t1: u64, t2: u64, k: u32, route: Route },
+        }
+        let key_of = |q: &ServeQuery, route: Route| match &self.breakpoints {
+            Some(bp) if route.cacheable() => ProbeKey::Snapped {
+                b1: bp.snap_idx(q.t1) as u32,
+                b2: bp.snap_idx(q.t2) as u32,
+                k: q.k as u32,
+                route,
+            },
+            _ => ProbeKey::Raw { t1: q.t1.to_bits(), t2: q.t2.to_bits(), k: q.k as u32, route },
+        };
+        let mut first_of: HashMap<ProbeKey, usize> = HashMap::with_capacity(window.len());
+        let mut out: Vec<Option<(ShardAnswer, Option<bool>)>> = vec![None; window.len()];
+        for (i, (q, route)) in window.iter().enumerate() {
+            match first_of.entry(key_of(q, *route)) {
+                Entry::Occupied(e) => out[i] = out[*e.get()].clone(),
+                Entry::Vacant(e) => {
+                    e.insert(i);
+                    out[i] = Some(self.answer(*q, *route));
+                }
+            }
+        }
+        out.into_iter().map(|o| o.expect("every slot answered or copied")).collect()
     }
 
     /// Run the routed index probe and translate ids to the global space.

@@ -129,6 +129,17 @@ impl QueryWorkload {
         }
     }
 
+    /// Chunk the generated stream into admission windows of `window`
+    /// queries (the last window may be shorter) — the unit a batching
+    /// execution layer (`query_batch`) admits at once. A Zipf-skewed
+    /// stream chunked this way yields windows that repeat hotspot
+    /// intervals, exactly the shape shared-probe batch execution
+    /// amortizes.
+    pub fn windows(&self, window: usize) -> Vec<Vec<QueryInterval>> {
+        assert!(window >= 1, "window must hold at least one query");
+        self.generate().chunks(window).map(<[QueryInterval]>::to_vec).collect()
+    }
+
     /// One uniformly placed interval of the configured length.
     fn uniform(&self, rng: &mut StdRng) -> QueryInterval {
         let c = self.config;
@@ -200,6 +211,16 @@ mod tests {
         let a = QueryWorkload::new(zipf, 0.0, 1000.0).generate();
         let b = QueryWorkload::new(zipf, 0.0, 1000.0).generate();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn windows_chunk_the_stream_in_order() {
+        let cfg = QueryWorkloadConfig { count: 10, ..Default::default() };
+        let w = QueryWorkload::new(cfg, 0.0, 1000.0);
+        let flat = w.generate();
+        let windows = w.windows(4);
+        assert_eq!(windows.iter().map(Vec::len).collect::<Vec<_>>(), vec![4, 4, 2]);
+        assert_eq!(windows.concat(), flat);
     }
 
     #[test]
